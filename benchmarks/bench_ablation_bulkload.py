@@ -1,0 +1,26 @@
+"""Ablation A5: Z-order bulkloading and page compression.
+
+The paper's conclusion lists bulkloading and compression as future
+precomputation techniques; this bench quantifies them on the simulated
+pager: bulk construction must produce an equivalent index, and
+compaction reclaims the partially-filled pages construction leaves
+behind.
+"""
+
+from repro.bench import figures
+
+
+def test_ablation_bulkload(benchmark, record_figure, profile):
+    sizes = (100, 200) if profile == "smoke" else (200, 400)
+    result = benchmark.pedantic(
+        figures.ablation_bulkload,
+        kwargs={"sizes": sizes},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    for row in result.rows:
+        assert row["tc_seconds"] > 0
+        assert row["write_pages"] > 0
+        assert row["pages_reclaimed"] >= 0

@@ -1,0 +1,34 @@
+"""Ablation A7: probabilistic k-NN cost and candidate growth vs k.
+
+k = 1 is the paper's PNNQ (PV-index-accelerated); larger k exercises
+the exact k-th-maxdist Step-1 filter and the Poisson-binomial Step 2.
+"""
+
+from repro.bench import figures
+
+
+def test_ablation_knn(benchmark, record_figure, profile):
+    kwargs = (
+        {"ks": (1, 2, 4), "size": 150, "n_queries": 10}
+        if profile == "smoke"
+        else {}
+    )
+    result = benchmark.pedantic(
+        figures.ablation_knn,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    # Candidates grow with k.  Probability mass is min(k, candidates)
+    # per query (the exact invariant is unit-tested); the mean over
+    # queries is therefore bounded by both k and the mean candidate
+    # count, and grows with k.
+    cands = result.series("mean_candidates")
+    assert cands == sorted(cands)
+    masses = result.series("prob_mass")
+    assert masses == sorted(masses)
+    for row in result.rows:
+        assert row["prob_mass"] <= row["k"] + 1e-6
+        assert row["prob_mass"] <= row["mean_candidates"] + 1e-6

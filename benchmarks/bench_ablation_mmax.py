@@ -1,0 +1,29 @@
+"""Ablation A1: m_max — partition budget of domination-count estimation.
+
+Section V-B remark: partition granularity trades the accuracy of the
+emptiness test (and therefore UBR tightness) against its runtime.  A
+coarser m_max must never make a UBR *tighter*; it can only leave it
+looser (the conservative direction).
+"""
+
+from repro.bench import figures
+
+
+def test_ablation_mmax(benchmark, record_figure, profile):
+    kwargs = (
+        {"m_maxes": (2, 5, 10, 20), "size": 80}
+        if profile == "smoke"
+        else {}
+    )
+    result = benchmark.pedantic(
+        figures.ablation_mmax,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    # Mean UBR volume is non-increasing in m_max (finer partitioning
+    # detects more empty slabs, so SE shrinks more).
+    volumes = result.series("mean_ubr_volume")
+    assert volumes[-1] <= volumes[0] * 1.0000001

@@ -1,0 +1,31 @@
+"""Ablation A3: UBR tightness against a Monte-Carlo PV-cell MBR.
+
+Checks Section V's claim that SE's UBR is only slightly larger than the
+(intractable) exact MBR, and that no sampled PV-cell point ever falls
+outside its UBR (conservativeness — the correctness invariant).
+"""
+
+from repro.bench import figures
+
+
+def test_ablation_tightness(benchmark, record_figure, profile):
+    kwargs = (
+        {"deltas": (1.0, 100.0), "size": 60, "n_probe": 2048}
+        if profile == "smoke"
+        else {}
+    )
+    result = benchmark.pedantic(
+        figures.ablation_ubr_tightness,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    # Conservativeness is non-negotiable at every delta.
+    assert all(r["containment_violations"] == 0 for r in result.rows)
+    # The UBR contains the MC inner bound, so the ratio is >= ~1.
+    assert all(r["mean_volume_ratio"] >= 0.99 for r in result.rows)
+    # Looseness does not improve when delta gets coarser.
+    ratios = result.series("mean_volume_ratio")
+    assert ratios[-1] >= ratios[0] * 0.99

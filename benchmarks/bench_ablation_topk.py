@@ -1,0 +1,29 @@
+"""Ablation A6: top-k probable NN latency and bound pruning vs k.
+
+Reference [10]'s query class on top of the PV-index: latency should be
+flat-ish in k (Step 1 dominates) and the number of returned answers
+grows toward the candidate-set size.
+"""
+
+from repro.bench import figures
+
+
+def test_ablation_topk(benchmark, record_figure, profile):
+    kwargs = (
+        {"ks": (1, 2, 4), "size": 150, "n_queries": 10}
+        if profile == "smoke"
+        else {}
+    )
+    result = benchmark.pedantic(
+        figures.ablation_topk,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    # Returned answers never exceed k and grow with it.
+    counts = result.series("mean_candidates")
+    ks = result.series("k")
+    assert all(c <= k for c, k in zip(counts, ks))
+    assert counts == sorted(counts)

@@ -1,0 +1,27 @@
+"""Ablation A4: probabilistic-verifier bounds vs full Step-2 evaluation.
+
+The paper notes (referencing [11]) that cheap probability bounds can
+avoid expensive exact Step-2 integrations; this measures the fraction of
+candidates decided by bounds alone at threshold tau = 0.1.
+"""
+
+from repro.bench import figures
+
+
+def test_ablation_verifier(benchmark, record_figure, profile):
+    kwargs = (
+        {"size": 150, "n_queries": 10} if profile == "smoke" else {}
+    )
+    result = benchmark.pedantic(
+        figures.ablation_verifier,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    row = result.rows[0]
+    assert 0.0 <= row["avoided_frac"] <= 1.0
+    # The verifier decides at least some candidates without exact
+    # evaluation at tau = 0.1 on uniform data.
+    assert row["avoided_frac"] > 0.0

@@ -1,0 +1,26 @@
+"""Fig 10(a): PV-index construction time vs the SE threshold delta.
+
+Paper result: Tc drops as delta grows — SE needs fewer bisection rounds
+to converge.
+"""
+
+from repro.bench import figures
+
+
+def test_fig10a_construction_vs_delta(benchmark, record_figure, profile):
+    kwargs = (
+        {"size": 100} if profile == "smoke" else {}
+    )
+    result = benchmark.pedantic(
+        figures.fig10a_construction_vs_delta,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    # Iterations decrease monotonically in delta; time follows suit
+    # modulo noise, so assert the robust endpoint comparison.
+    iters = result.series("se_iterations")
+    assert iters == sorted(iters, reverse=True)
+    assert result.rows[-1]["tc_seconds"] <= result.rows[0]["tc_seconds"]

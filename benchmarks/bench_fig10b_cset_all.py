@@ -1,0 +1,31 @@
+"""Fig 10(b): construction time with ALL vs FS vs IS C-set strategies.
+
+Paper result: ALL is catastrophically slow (103 hours at 20k objects);
+FS and IS finish in minutes.  The bench keeps ALL to tiny databases and
+exposes the same blow-up.
+"""
+
+from repro.bench import figures
+
+
+def test_fig10b_cset_all_fs_is(benchmark, record_figure, profile):
+    # ALL's cost blow-up appears once |S| clearly exceeds FS's k = 200
+    # (below that, the whole database is a *smaller* C-set than FS's).
+    sizes = (100, 250, 400) if profile == "smoke" else None
+    result = benchmark.pedantic(
+        figures.fig10b_cset_all_fs_is,
+        kwargs={"sizes": sizes},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    largest = max(result.series("size"))
+    rows = {
+        r["strategy"]: r["tc_seconds"]
+        for r in result.rows
+        if r["size"] == largest
+    }
+    # ALL must be the slowest strategy at the largest size.
+    assert rows["ALL"] >= rows["FS"]
+    assert rows["ALL"] >= rows["IS"]

@@ -1,0 +1,24 @@
+"""Fig 10(d): construction time of FS vs IS across |u(o)|.
+
+Paper result: Tc rises with the uncertainty-region size for both
+strategies, and IS stays below FS.
+"""
+
+from repro.bench import figures
+
+
+def test_fig10d_construction_vs_region(benchmark, record_figure, profile):
+    kwargs = (
+        {"u_maxes": (20.0, 100.0), "size": 250}
+        if profile == "smoke"
+        else {}
+    )
+    result = benchmark.pedantic(
+        figures.fig10d_construction_vs_region,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert all(r["tc_seconds"] > 0 for r in result.rows)
+    assert {r["strategy"] for r in result.rows} == {"FS", "IS"}

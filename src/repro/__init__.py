@@ -1,0 +1,84 @@
+"""repro — reproduction of the PV-index (ICDE 2013).
+
+Voronoi-based nearest neighbor search for multi-dimensional uncertain
+databases: Possible Voronoi cells (PV-cells), Uncertain Bounding
+Rectangles (UBRs), the Shrink-and-Expand (SE) algorithm, and the PV-index
+with incremental maintenance, plus the R-tree and UV-index baselines the
+paper evaluates against.
+
+Quick start::
+
+    from repro import synthetic_dataset, PVIndex, PNNQEngine
+
+    dataset = synthetic_dataset(n=500, dims=2, seed=0)
+    index = PVIndex.build(dataset)
+    engine = PNNQEngine(index, dataset)
+    result = engine.query([5000.0, 5000.0])
+    for oid, prob in result.probabilities.items():
+        print(oid, prob)
+"""
+
+from .geometry import Rect
+from .uncertain import (
+    UncertainDataset,
+    UncertainObject,
+    gaussian_pdf,
+    point_pdf,
+    simulate_airports,
+    simulate_rrlines,
+    simulate_roads,
+    synthetic_dataset,
+    uniform_pdf,
+)
+from .core import (
+    AllCSet,
+    FixedSelection,
+    GroupNNEngine,
+    IncrementalSelection,
+    KNNEngine,
+    PNNQEngine,
+    PVIndex,
+    ReverseNNEngine,
+    SEConfig,
+    ShrinkExpand,
+    TopKEngine,
+    VerifierEngine,
+    bulk_build,
+    compact,
+    pv_cell_contains,
+)
+from .rtree import RStarTree, RTreePNNQ
+from .uvindex import UVIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Rect",
+    "UncertainObject",
+    "UncertainDataset",
+    "uniform_pdf",
+    "gaussian_pdf",
+    "point_pdf",
+    "synthetic_dataset",
+    "simulate_roads",
+    "simulate_rrlines",
+    "simulate_airports",
+    "AllCSet",
+    "FixedSelection",
+    "IncrementalSelection",
+    "SEConfig",
+    "ShrinkExpand",
+    "PVIndex",
+    "PNNQEngine",
+    "pv_cell_contains",
+    "RStarTree",
+    "RTreePNNQ",
+    "UVIndex",
+    "TopKEngine",
+    "KNNEngine",
+    "GroupNNEngine",
+    "ReverseNNEngine",
+    "VerifierEngine",
+    "bulk_build",
+    "compact",
+]

@@ -1,0 +1,50 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+The package is organised around one driver function per experiment
+(:mod:`repro.bench.figures`); each driver builds its workload
+(:mod:`repro.bench.workloads`), runs the indexes under instrumentation
+(:mod:`repro.bench.instruments`), and returns a :class:`FigureResult`
+whose rows mirror the series the paper plots.  Formatting helpers live
+in :mod:`repro.bench.reporting`; paper defaults and the bench-scale
+mapping live in :mod:`repro.bench.config`.
+
+Typical use::
+
+    from repro.bench import figures, reporting
+
+    result = figures.fig9a_query_vs_size()
+    print(reporting.format_figure(result))
+"""
+
+from .config import BenchScale, PaperDefaults, PAPER, SCALE
+from .figures import FigureResult
+from .instruments import Stopwatch, measure_io
+from .reporting import format_figure, format_rows
+from .workloads import (
+    IndexBundle,
+    build_pv_bundle,
+    build_rtree_bundle,
+    build_uv_bundle,
+    make_dataset,
+    query_points,
+    real_dataset,
+)
+
+__all__ = [
+    "BenchScale",
+    "PaperDefaults",
+    "PAPER",
+    "SCALE",
+    "FigureResult",
+    "Stopwatch",
+    "measure_io",
+    "format_figure",
+    "format_rows",
+    "IndexBundle",
+    "build_pv_bundle",
+    "build_rtree_bundle",
+    "build_uv_bundle",
+    "make_dataset",
+    "query_points",
+    "real_dataset",
+]

@@ -1,0 +1,89 @@
+"""Timing and I/O instrumentation used by every figure driver."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..storage import IOStats, Pager
+
+__all__ = ["Stopwatch", "measure_io", "RunningMean"]
+
+
+class Stopwatch:
+    """Accumulating wall-clock timer.
+
+    Use as a context manager; re-enter to accumulate::
+
+        watch = Stopwatch()
+        with watch:
+            work()
+        print(watch.seconds)
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._t0: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._t0 is not None
+        self.seconds += time.perf_counter() - self._t0
+        self._t0 = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.seconds = 0.0
+
+    @property
+    def millis(self) -> float:
+        """Accumulated time in milliseconds."""
+        return self.seconds * 1e3
+
+
+@contextmanager
+def measure_io(pager: Pager) -> Iterator[IOStats]:
+    """Yield an :class:`IOStats` populated with the traffic of the block.
+
+    The yielded object is filled in when the block exits::
+
+        with measure_io(pager) as io:
+            index.candidates(q)
+        print(io.reads)
+    """
+    before = pager.stats.snapshot()
+    out = IOStats()
+    try:
+        yield out
+    finally:
+        after = pager.stats.snapshot()
+        delta = after.delta(before)
+        out.reads = delta.reads
+        out.writes = delta.writes
+
+
+@dataclass
+class RunningMean:
+    """Streaming mean of a series of measurements."""
+
+    total: float = 0.0
+    count: int = 0
+    values: list[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        """Record one measurement."""
+        self.total += value
+        self.count += 1
+        self.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Average of all recorded measurements (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count

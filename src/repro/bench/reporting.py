@@ -1,0 +1,53 @@
+"""Plain-text rendering of :class:`~repro.bench.figures.FigureResult`."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .figures import FigureResult
+
+__all__ = ["format_figure", "format_rows"]
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_fmt_value(v) for v in value) + ")"
+    return str(value)
+
+
+def format_rows(
+    columns: Iterable[str], rows: Iterable[dict]
+) -> str:
+    """ASCII table of dict rows under the given column order."""
+    cols = list(columns)
+    rendered = [
+        [_fmt_value(row[c]) for c in cols] for row in rows
+    ]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered)) if rendered else len(c)
+        for i, c in enumerate(cols)
+    ]
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(v.ljust(w) for v, w in zip(r, widths))
+        for r in rendered
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def format_figure(result: FigureResult) -> str:
+    """Full report for one figure: heading, table, notes."""
+    parts = [f"{result.figure}: {result.title}"]
+    parts.append("=" * len(parts[0]))
+    parts.append(format_rows(result.columns, result.rows))
+    if result.notes:
+        parts.append("")
+        parts.append(f"note: {result.notes}")
+    return "\n".join(parts)

@@ -1,0 +1,265 @@
+"""C-set selection strategies (the ``chooseCSet`` routine, Section V-A).
+
+SE bounds the PV-cell by the non-dominated intersection of a *candidate
+set* ``Cset(o) ⊆ S`` (Definition 8).  By Lemma 7, any non-empty subset of
+``S \\ {o}`` is valid — correctness never depends on the choice — but the
+tightness of the resulting UBR and the cost of every domination test do.
+Three strategies from the paper:
+
+* :class:`AllCSet` — returns the whole database ("ALL" in Figure 10(b));
+  tightest possible bound, prohibitively slow.
+* :class:`FixedSelection` (FS) — the ``k`` objects with nearest mean
+  positions.
+* :class:`IncrementalSelection` (IS) — examines nearest neighbors of
+  ``o`` one at a time via R-tree distance browsing, skips objects whose
+  uncertainty regions overlap ``u(o)`` (their ``dom`` is empty by
+  Lemma 2, so they cannot shrink anything), and spreads the selection
+  over the ``2^d`` quadrants around ``o``'s mean until each quadrant has
+  ``kpartition`` members or ``kglobal`` neighbors were scanned.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rtree import RStarTree
+from ..uncertain import UncertainDataset, UncertainObject
+
+__all__ = [
+    "CSet",
+    "CSetStrategy",
+    "AllCSet",
+    "FixedSelection",
+    "IncrementalSelection",
+]
+
+
+@dataclass(frozen=True)
+class CSet:
+    """A packed candidate set: ids plus corner arrays for vectorization."""
+
+    ids: np.ndarray  # (n,) int64
+    los: np.ndarray  # (n, d)
+    his: np.ndarray  # (n, d)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def from_objects(cls, objects: list[UncertainObject]) -> "CSet":
+        """Pack a list of uncertain objects."""
+        if not objects:
+            d = 0
+            return cls(
+                ids=np.empty(0, dtype=np.int64),
+                los=np.empty((0, d)),
+                his=np.empty((0, d)),
+            )
+        return cls(
+            ids=np.array([o.oid for o in objects], dtype=np.int64),
+            los=np.array([o.region.lo for o in objects]),
+            his=np.array([o.region.hi for o in objects]),
+        )
+
+
+class CSetStrategy(ABC):
+    """Interface of a ``chooseCSet`` implementation."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(
+        self, obj: UncertainObject, dataset: UncertainDataset
+    ) -> CSet:
+        """Candidate set for the object's SE run (must exclude ``obj``)."""
+
+    def bind(self, dataset: UncertainDataset) -> None:
+        """Hook for strategies that precompute per-dataset structures.
+
+        Called once before a batch of :meth:`choose` calls over the same
+        dataset; the default is a no-op.
+        """
+
+    def notify_insert(self, obj: UncertainObject) -> None:
+        """Hook: the bound dataset gained ``obj`` (default no-op)."""
+
+    def notify_delete(self, obj: UncertainObject) -> None:
+        """Hook: the bound dataset lost ``obj`` (default no-op)."""
+
+
+class AllCSet(CSetStrategy):
+    """``chooseCSet`` returning the entire database (minus ``o``)."""
+
+    name = "ALL"
+
+    def choose(
+        self, obj: UncertainObject, dataset: UncertainDataset
+    ) -> CSet:
+        ids, los, his = dataset.packed_regions()
+        mask = ids != obj.oid
+        return CSet(ids=ids[mask], los=los[mask], his=his[mask])
+
+
+class _RTreeBackedStrategy(CSetStrategy):
+    """Shared machinery: an R*-tree over object means for NN search.
+
+    FS and IS both rank objects by the distance between *mean positions*;
+    a point R-tree over means supports that with the distance-browsing
+    iterator.  The tree is built lazily per dataset and reused across the
+    whole construction pass (the paper assumes "an R-tree of objects'
+    uncertainty regions for efficient NN retrieval"; means give identical
+    ordering for mean-distance ranking while keeping the tree slim).
+    """
+
+    def __init__(self) -> None:
+        self._tree: RStarTree | None = None
+        self._dataset_token: int | None = None
+        self._dataset_len: int | None = None
+
+    def bind(self, dataset: UncertainDataset) -> None:
+        token = id(dataset)
+        if (
+            self._tree is None
+            or self._dataset_token != token
+            or self._dataset_len != len(dataset)
+        ):
+            tree = RStarTree(dims=dataset.dims, max_entries=32)
+            from ..geometry import Rect
+
+            for o in dataset:
+                tree.insert(o.oid, Rect.from_point(o.mean))
+            self._tree = tree
+            self._dataset_token = token
+            self._dataset_len = len(dataset)
+
+    def notify_insert(self, obj: UncertainObject) -> None:
+        """Maintain the cached mean tree after a dataset insertion.
+
+        Keeps incremental PV-index maintenance from paying a full
+        NN-structure rebuild per update (Section VI-B's point).
+        """
+        if self._tree is not None:
+            from ..geometry import Rect
+
+            self._tree.insert(obj.oid, Rect.from_point(obj.mean))
+            if self._dataset_len is not None:
+                self._dataset_len += 1
+
+    def notify_delete(self, obj: UncertainObject) -> None:
+        """Maintain the cached mean tree after a dataset deletion."""
+        if self._tree is not None:
+            from ..geometry import Rect
+
+            self._tree.delete(obj.oid, Rect.from_point(obj.mean))
+            if self._dataset_len is not None:
+                self._dataset_len -= 1
+
+    def _ensure_tree(self, dataset: UncertainDataset) -> RStarTree:
+        self.bind(dataset)
+        assert self._tree is not None
+        return self._tree
+
+
+class FixedSelection(_RTreeBackedStrategy):
+    """FS: the ``k`` nearest objects by mean position.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbors returned (Table I default 200).
+    """
+
+    name = "FS"
+
+    def __init__(self, k: int = 200) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def choose(
+        self, obj: UncertainObject, dataset: UncertainDataset
+    ) -> CSet:
+        tree = self._ensure_tree(dataset)
+        hits = tree.knn(
+            obj.mean, self.k, skip=lambda e: e.key == obj.oid
+        )
+        objects = [dataset[e.key] for _, e in hits]
+        return CSet.from_objects(objects)
+
+
+class IncrementalSelection(_RTreeBackedStrategy):
+    """IS: quadrant-balanced incremental selection.
+
+    Parameters
+    ----------
+    kpartition:
+        Target number of selected neighbors per domain quadrant
+        (Table I default 10).
+    kglobal:
+        Hard cap on how many nearest neighbors are examined
+        (Table I default 200).
+    """
+
+    name = "IS"
+
+    def __init__(self, kpartition: int = 10, kglobal: int = 200) -> None:
+        super().__init__()
+        if kpartition < 1:
+            raise ValueError("kpartition must be >= 1")
+        if kglobal < 1:
+            raise ValueError("kglobal must be >= 1")
+        self.kpartition = kpartition
+        self.kglobal = kglobal
+
+    def choose(
+        self, obj: UncertainObject, dataset: UncertainDataset
+    ) -> CSet:
+        tree = self._ensure_tree(dataset)
+        d = dataset.dims
+        n_parts = 1 << d
+        counters = np.zeros(n_parts, dtype=np.int64)
+        mean = obj.mean
+        selected: list[UncertainObject] = []
+        examined = 0
+        for _, entry in tree.nearest_iter(
+            mean, skip=lambda e: e.key == obj.oid
+        ):
+            if examined >= self.kglobal:
+                break
+            examined += 1
+            cand = dataset[entry.key]
+            if cand.region.intersects(obj.region):
+                # Lemma 2: dom(cand, o) is empty — useless for shrinking.
+                continue
+            parts = self._touched_partitions(cand, mean, d)
+            counters[parts] += 1
+            selected.append(cand)
+            if np.all(counters >= self.kpartition):
+                break
+        return CSet.from_objects(selected)
+
+    @staticmethod
+    def _touched_partitions(
+        cand: UncertainObject, mean: np.ndarray, d: int
+    ) -> list[int]:
+        """Indices of the 2^d quadrants intersected by ``u(cand)``.
+
+        Quadrant bit ``j`` is set for the half-space ``x_j >= mean_j``.
+        A region straddling the split plane in some dimension touches
+        quadrants with either bit value there.
+        """
+        lo_side = cand.region.lo < mean  # touches the low half-space
+        hi_side = cand.region.hi >= mean  # touches the high half-space
+        parts = [0]
+        for j in range(d):
+            nxt = []
+            if lo_side[j]:
+                nxt.extend(parts)
+            if hi_side[j]:
+                nxt.extend(p | (1 << j) for p in parts)
+            parts = nxt
+        return parts

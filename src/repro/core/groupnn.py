@@ -1,0 +1,212 @@
+"""Probabilistic group nearest neighbor (PGNN) queries.
+
+Reference [12] of the paper (Lian and Chen, TKDE 2008) studies group
+nearest neighbor queries over uncertain data: given a *set* ``Q`` of
+query points, find the objects that may minimize an aggregate distance
+
+``adist(o, Q) = agg_{q in Q} dist(o, q)``   with ``agg`` one of
+``sum`` / ``max`` / ``min``.
+
+The paper's conclusion names PGNN support as future work for the
+PV-index.  This module provides it, generalizing the PNNQ pipeline:
+
+* **Step 1** — candidate filtering with aggregate min/max distance
+  bounds.  For each object the aggregate of per-point ``distmin`` is a
+  lower bound of its aggregate distance, and the aggregate of
+  ``distmax`` an upper bound (all three aggregates are monotone).  An
+  object whose lower bound exceeds the smallest upper bound can never
+  be the group NN — the multi-point analogue of the min-max filter the
+  indexes use for single-point queries.
+* **Step 2** — exact qualification probabilities from the discrete
+  pdfs, evaluated by the same survival-function construction as
+  :func:`~repro.core.pnnq.qualification_probabilities`, applied to each
+  instance's aggregate distance.
+
+The Step-1 prefilter runs over the whole dataset by default, or over a
+candidate superset produced by a Step-1 index (the union of per-point
+candidate sets is a correct superset for ``min``; for ``sum`` / ``max``
+the filter itself is cheap enough to run unindexed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Literal
+
+import numpy as np
+
+from ..geometry import maxdist_sq_point_rect, mindist_sq_point_rect
+from ..uncertain import UncertainDataset
+from .pnnq import StepTimes
+
+__all__ = ["Aggregate", "GroupNNResult", "GroupNNEngine"]
+
+Aggregate = Literal["sum", "max", "min"]
+
+_AGGREGATORS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "sum": lambda d: d.sum(axis=-1),
+    "max": lambda d: d.max(axis=-1),
+    "min": lambda d: d.min(axis=-1),
+}
+
+
+@dataclass(frozen=True)
+class GroupNNResult:
+    """Answer of one probabilistic group NN query."""
+
+    queries: np.ndarray
+    aggregate: str
+    candidate_ids: list[int]
+    probabilities: dict[int, float]
+
+    @property
+    def best(self) -> int:
+        """Id of the most probable group NN."""
+        if not self.probabilities:
+            raise ValueError("empty result")
+        return max(self.probabilities, key=self.probabilities.__getitem__)
+
+
+class GroupNNEngine:
+    """PGNN evaluation over an uncertain database.
+
+    Parameters
+    ----------
+    dataset:
+        The uncertain database.
+    retriever:
+        Optional Step-1 index used to pre-narrow candidates for the
+        ``min`` aggregate (union of per-point PNNQ candidates); ``sum``
+        and ``max`` always use the direct aggregate-bound filter.
+    """
+
+    def __init__(self, dataset: UncertainDataset, retriever=None) -> None:
+        self.dataset = dataset
+        self.retriever = retriever
+        self.times = StepTimes()
+
+    # ------------------------------------------------------------------
+    def candidates(
+        self, queries: np.ndarray, aggregate: Aggregate = "sum"
+    ) -> list[int]:
+        """Step 1: ids with non-zero probability of being the group NN.
+
+        Exact filter: keep ``o`` iff ``aggmin(o, Q) <= min_x aggmax(x, Q)``.
+        """
+        q = self._validate_queries(queries)
+        agg = _AGGREGATORS[aggregate]
+
+        ids = self.dataset.ids
+        if self.retriever is not None and aggregate == "min":
+            # The min-aggregate group NN must be the single-point NN of
+            # at least one query point, so the union of per-point
+            # candidate sets is a correct superset.
+            pool: set[int] = set()
+            for point in q:
+                pool.update(self.retriever.candidates(point))
+            ids = sorted(pool)
+        if not ids:
+            return []
+
+        lows = np.empty((len(ids), len(q)))
+        highs = np.empty((len(ids), len(q)))
+        for i, oid in enumerate(ids):
+            region = self.dataset[oid].region
+            for j, point in enumerate(q):
+                lows[i, j] = np.sqrt(
+                    mindist_sq_point_rect(point, region)
+                )
+                highs[i, j] = np.sqrt(
+                    maxdist_sq_point_rect(point, region)
+                )
+        agg_low = agg(lows)
+        agg_high = agg(highs)
+        bound = agg_high.min()
+        return [
+            oid for oid, lo in zip(ids, agg_low) if lo <= bound
+        ]
+
+    # ------------------------------------------------------------------
+    def query(
+        self, queries: np.ndarray, aggregate: Aggregate = "sum"
+    ) -> GroupNNResult:
+        """Full PGNN: Step-1 filter, then exact probabilities."""
+        q = self._validate_queries(queries)
+        t0 = time.perf_counter()
+        ids = self.candidates(q, aggregate)
+        t1 = time.perf_counter()
+        probabilities = self._probabilities(ids, q, aggregate)
+        t2 = time.perf_counter()
+        self.times.object_retrieval += t1 - t0
+        self.times.probability_computation += t2 - t1
+        self.times.queries += 1
+        return GroupNNResult(
+            queries=q,
+            aggregate=aggregate,
+            candidate_ids=ids,
+            probabilities=probabilities,
+        )
+
+    def _probabilities(
+        self, ids: list[int], q: np.ndarray, aggregate: Aggregate
+    ) -> dict[int, float]:
+        """Exact Pr[o minimizes the aggregate distance] per candidate.
+
+        Same construction as single-point Step 2, with each instance's
+        scalar distance replaced by its aggregate distance to ``Q``.
+        """
+        if not ids:
+            return {}
+        if len(ids) == 1:
+            return {ids[0]: 1.0}
+        agg = _AGGREGATORS[aggregate]
+
+        adists: dict[int, np.ndarray] = {}
+        weights: dict[int, np.ndarray] = {}
+        sorted_d: dict[int, np.ndarray] = {}
+        cum_w: dict[int, np.ndarray] = {}
+        for oid in ids:
+            obj = self.dataset[oid]
+            # (m, |Q|) pairwise distances -> (m,) aggregate distances.
+            diff = obj.instances[:, None, :] - q[None, :, :]
+            d = agg(np.sqrt(np.einsum("mqd,mqd->mq", diff, diff)))
+            order = np.argsort(d)
+            adists[oid] = d
+            weights[oid] = obj.weights
+            sorted_d[oid] = d[order]
+            cum_w[oid] = np.concatenate(
+                ([0.0], np.cumsum(obj.weights[order]))
+            )
+
+        def survival(oid: int, radii: np.ndarray) -> np.ndarray:
+            sd = sorted_d[oid]
+            cw = cum_w[oid]
+            le = cw[np.searchsorted(sd, radii, side="right")]
+            lt = cw[np.searchsorted(sd, radii, side="left")]
+            return 1.0 - 0.5 * (le + lt)
+
+        out: dict[int, float] = {}
+        for oid in ids:
+            radii = adists[oid]
+            prod = np.ones(len(radii))
+            for other in ids:
+                if other == oid:
+                    continue
+                prod *= survival(other, radii)
+            out[oid] = float(
+                np.clip(np.dot(weights[oid], prod), 0.0, 1.0)
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def _validate_queries(self, queries: np.ndarray) -> np.ndarray:
+        q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if q.ndim != 2 or q.shape[0] == 0:
+            raise ValueError("queries must be a non-empty (n, d) array")
+        if q.shape[1] != self.dataset.dims:
+            raise ValueError(
+                f"query dimensionality {q.shape[1]} does not match "
+                f"dataset dimensionality {self.dataset.dims}"
+            )
+        return q

@@ -1,0 +1,171 @@
+"""Probabilistic k-nearest-neighbor (k-PNN) queries.
+
+Generalizes the paper's PNNQ (k = 1) to "objects with non-zero
+probability of being among the k nearest neighbors of q", the query
+class of Beskales et al. [10] and Cheng et al. [11].
+
+* **Step 1** — candidate filter: object ``o`` can be among the k
+  nearest iff ``distmin(o, q)`` is at most the k-th smallest
+  ``distmax(x, q)`` over all objects.  (If k objects are *certainly*
+  closer than ``o`` can ever be, ``o`` can never make the top k.)
+  The PV-index accelerates the k = 1 case; for general k the filter
+  runs over any retriever's superset or the whole database — it is a
+  single vectorized pass.
+
+* **Step 2** — exact probabilities on the discrete pdfs.  For each
+  instance ``p`` of ``o`` (weight ``w``), the number of *other*
+  candidates closer than ``p`` is a sum of independent Bernoulli
+  variables (one per candidate, success probability
+  ``Pr[dist(x, q) < |p - q|]``) — a Poisson-binomial distribution.
+  ``Pr[o among k-NN at p] = Pr[at most k-1 successes]``, computed by
+  the standard O(n·k) dynamic program per instance.
+
+Invariant (tested): summing ``Pr[o in top-k]`` over all objects gives
+exactly ``min(k, |candidates|)`` — the expected size of the answer set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import maxdist_sq_point_rect, mindist_sq_point_rect
+from ..uncertain import UncertainDataset
+from .pnnq import StepTimes
+
+__all__ = ["KNNResult", "KNNEngine"]
+
+
+@dataclass(frozen=True)
+class KNNResult:
+    """Answer of one probabilistic k-NN query."""
+
+    query: np.ndarray
+    k: int
+    candidate_ids: list[int]
+    #: oid -> Pr[object is among the k nearest neighbors of the query].
+    probabilities: dict[int, float]
+
+    def top(self, n: int | None = None) -> list[tuple[int, float]]:
+        """``(oid, probability)`` pairs, most probable first."""
+        ranked = sorted(
+            self.probabilities.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return ranked if n is None else ranked[:n]
+
+
+class KNNEngine:
+    """k-PNN evaluation over an uncertain database.
+
+    Parameters
+    ----------
+    dataset:
+        The uncertain database.
+    retriever:
+        Optional Step-1 index.  For k = 1 its candidate set is used
+        directly; for k > 1 the engine widens it with the exact
+        k-th-maxdist filter over the whole database (still one
+        vectorized pass — the index saves work only for k = 1, which
+        is the case the paper's PV-index targets).
+    """
+
+    def __init__(self, dataset: UncertainDataset, retriever=None) -> None:
+        self.dataset = dataset
+        self.retriever = retriever
+        self.times = StepTimes()
+
+    # ------------------------------------------------------------------
+    def candidates(self, query: np.ndarray, k: int = 1) -> list[int]:
+        """Step 1: ids with non-zero probability of making the top k."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        q = np.asarray(query, dtype=np.float64)
+        if k == 1 and self.retriever is not None:
+            return list(self.retriever.candidates(q))
+
+        ids, los, his = self.dataset.packed_regions()
+        gap = np.maximum(np.maximum(los - q, q - his), 0.0)
+        min_sq = np.einsum("ij,ij->i", gap, gap)
+        far = np.maximum(np.abs(q - los), np.abs(q - his))
+        max_sq = np.einsum("ij,ij->i", far, far)
+        if len(ids) <= k:
+            return [int(i) for i in ids]
+        kth_max = np.partition(max_sq, k - 1)[k - 1]
+        keep = min_sq <= kth_max
+        return [int(i) for i in ids[keep]]
+
+    # ------------------------------------------------------------------
+    def query(self, query: np.ndarray, k: int = 1) -> KNNResult:
+        """Full k-PNN: Step-1 filter, then exact Poisson-binomial Step 2."""
+        q = np.asarray(query, dtype=np.float64)
+        t0 = time.perf_counter()
+        ids = self.candidates(q, k)
+        t1 = time.perf_counter()
+        probabilities = self._probabilities(ids, q, k)
+        t2 = time.perf_counter()
+        self.times.object_retrieval += t1 - t0
+        self.times.probability_computation += t2 - t1
+        self.times.queries += 1
+        return KNNResult(
+            query=q, k=k, candidate_ids=ids,
+            probabilities=probabilities,
+        )
+
+    def _probabilities(
+        self, ids: list[int], q: np.ndarray, k: int
+    ) -> dict[int, float]:
+        if not ids:
+            return {}
+        if len(ids) <= k:
+            return {oid: 1.0 for oid in ids}
+
+        # Per-candidate sorted distances + cumulative weights, reused
+        # for every "Pr[dist(x, q) < r]" lookup.
+        sorted_d: dict[int, np.ndarray] = {}
+        cum_w: dict[int, np.ndarray] = {}
+        dists: dict[int, np.ndarray] = {}
+        weights: dict[int, np.ndarray] = {}
+        for oid in ids:
+            obj = self.dataset[oid]
+            d = obj.distance_samples(q)
+            order = np.argsort(d)
+            dists[oid] = d
+            weights[oid] = obj.weights
+            sorted_d[oid] = d[order]
+            cum_w[oid] = np.concatenate(
+                ([0.0], np.cumsum(obj.weights[order]))
+            )
+
+        def closer_prob(oid: int, radii: np.ndarray) -> np.ndarray:
+            """Pr[dist(oid, q) < r] per radius, half-weight on ties."""
+            sd = sorted_d[oid]
+            cw = cum_w[oid]
+            lt = cw[np.searchsorted(sd, radii, side="left")]
+            le = cw[np.searchsorted(sd, radii, side="right")]
+            return 0.5 * (lt + le)
+
+        out: dict[int, float] = {}
+        for oid in ids:
+            radii = dists[oid]  # (m,) instance distances of o
+            m = len(radii)
+            others = [x for x in ids if x != oid]
+            # Bernoulli success probabilities: (n_others, m).
+            p = np.stack([closer_prob(x, radii) for x in others])
+            # Poisson-binomial DP, vectorized over instances:
+            # dp[j, i] = Pr[exactly j of the first t others closer than
+            # instance i]; we only need j <= k-1.
+            dp = np.zeros((k, m))
+            dp[0] = 1.0
+            for t in range(len(others)):
+                pt = p[t]
+                # Update in place from high j to low (knapsack style).
+                for j in range(min(t + 1, k - 1), 0, -1):
+                    dp[j] = dp[j] * (1.0 - pt) + dp[j - 1] * pt
+                dp[0] = dp[0] * (1.0 - pt)
+            tail = dp.sum(axis=0)  # Pr[at most k-1 others closer]
+            out[oid] = float(
+                np.clip(np.dot(weights[oid], tail), 0.0, 1.0)
+            )
+        return out

@@ -1,0 +1,140 @@
+"""PV-cell semantics and reference (ground-truth) computations.
+
+The Possible Voronoi cell ``V(o)`` (Definition 1) is never materialized
+by the fast path — that is the whole point of the paper — but its
+*membership predicate* is cheap thanks to Lemma 4:
+
+``p ∈ V(o)``  ⇔  ``p ∈ I(S, o)``  ⇔  no ``x ∈ S`` has
+``distmax(x, p) < distmin(o, p)``.
+
+This module exposes that predicate (vectorized), plus Monte-Carlo
+estimators of the PV-cell's MBR and volume used by tests and by the
+UBR-tightness ablation.  All lemma-level properties of Section III/IV are
+checked against these references in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect, maxdist_sq_point_rects, mindist_sq_point_rect
+from ..geometry.distance import mindist_sq_points_rect
+from ..uncertain import UncertainDataset, UncertainObject
+
+__all__ = [
+    "pv_cell_contains",
+    "pv_cell_contains_many",
+    "possible_nn_ids",
+    "monte_carlo_mbr",
+    "monte_carlo_volume",
+]
+
+
+def pv_cell_contains(
+    dataset: UncertainDataset, oid: int, point: np.ndarray
+) -> bool:
+    """True iff ``point`` lies in the PV-cell of object ``oid``.
+
+    Exact (up to floating point): applies Lemma 4 directly against the
+    full database.
+    """
+    p = np.asarray(point, dtype=np.float64)
+    obj = dataset[oid]
+    ids, los, his = dataset.packed_regions()
+    mask = ids != oid
+    if not mask.any():
+        return True  # singleton database: o is always the NN
+    max_sq = maxdist_sq_point_rects(p, los[mask], his[mask])
+    min_sq = mindist_sq_point_rect(p, obj.region)
+    return bool(np.all(max_sq >= min_sq))
+
+
+def pv_cell_contains_many(
+    dataset: UncertainDataset, oid: int, points: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`pv_cell_contains` over an ``(n, d)`` array.
+
+    Computes, for every point, whether any other object dominates ``o``
+    there.  O(n * |S|) but fully vectorized — fine for the test-scale
+    sampling the references need.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    obj = dataset[oid]
+    ids, los, his = dataset.packed_regions()
+    mask = ids != oid
+    if not mask.any():
+        return np.ones(len(pts), dtype=bool)
+    min_sq = mindist_sq_points_rect(pts, obj.region)  # (n,)
+    out = np.ones(len(pts), dtype=bool)
+    # Chunk over objects to bound memory at (chunk, n).
+    sel_los = los[mask]
+    sel_his = his[mask]
+    chunk = max(1, int(2_000_000 // max(len(pts), 1)))
+    for start in range(0, len(sel_los), chunk):
+        lo_c = sel_los[start : start + chunk]  # (c, d)
+        hi_c = sel_his[start : start + chunk]
+        far = np.maximum(
+            np.abs(pts[None, :, :] - lo_c[:, None, :]),
+            np.abs(hi_c[:, None, :] - pts[None, :, :]),
+        )
+        max_sq = np.einsum("cnd,cnd->cn", far, far)  # (c, n)
+        out &= np.all(max_sq >= min_sq[None, :], axis=0)
+        if not out.any():
+            break
+    return out
+
+
+def possible_nn_ids(
+    dataset: UncertainDataset, point: np.ndarray
+) -> set[int]:
+    """Ground-truth PNNQ Step-1 answer: ids whose PV-cell contains ``point``.
+
+    Equivalent formulation used for cross-checking every index:
+    ``{o : distmin(o, q) <= min_x distmax(x, q)}``.
+    """
+    p = np.asarray(point, dtype=np.float64)
+    ids, los, his = dataset.packed_regions()
+    max_sq = maxdist_sq_point_rects(p, los, his)
+    gap = np.maximum(np.maximum(los - p, p - his), 0.0)
+    min_sq = np.einsum("ij,ij->i", gap, gap)
+    bound = max_sq.min()
+    return set(ids[min_sq <= bound].tolist())
+
+
+def monte_carlo_mbr(
+    dataset: UncertainDataset,
+    oid: int,
+    n_samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> Rect:
+    """Sampled inner approximation of the MBR of ``V(o)``.
+
+    Uniform samples of the domain that fall in the PV-cell are bounded;
+    the object's own region is included (Lemma 5 guarantees
+    ``u(o) ⊆ V(o)``), so the result is never empty.  The estimate is an
+    *inner* bound of the true ``M(o)`` — useful to check that a UBR
+    contains the cell, and to measure UBR looseness from below.
+    """
+    rng = rng or np.random.default_rng(0)
+    obj = dataset[oid]
+    pts = dataset.domain.sample_points(n_samples, rng)
+    inside = pv_cell_contains_many(dataset, oid, pts)
+    rects = [obj.region]
+    if inside.any():
+        rects.append(Rect.bounding_points(pts[inside]))
+    return Rect.bounding(rects)
+
+
+def monte_carlo_volume(
+    dataset: UncertainDataset,
+    oid: int,
+    within: Rect | None = None,
+    n_samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Sampled volume of ``V(o) ∩ within`` (``within`` defaults to ``D``)."""
+    rng = rng or np.random.default_rng(0)
+    box = within if within is not None else dataset.domain
+    pts = box.sample_points(n_samples, rng)
+    inside = pv_cell_contains_many(dataset, oid, pts)
+    return float(inside.mean() * box.volume)

@@ -1,0 +1,332 @@
+"""The PV-index (Section VI): construction, querying, maintenance.
+
+Two-part structure:
+
+* **Primary index** — a paged octree over the domain.  Each leaf stores
+  ``(object id, u(o))`` for every object whose UBR overlaps the leaf's
+  region.  Non-leaf nodes occupy a bounded main-memory budget; leaves are
+  linked lists of simulated disk pages.
+* **Secondary index** — an extensible hash table mapping object id to
+  ``(UBR, object)``; consulted for UBRs during maintenance and for pdfs
+  during PNNQ Step 2.
+
+A point query descends the octree (free — non-leaves are in memory),
+reads the one leaf containing ``q`` (charged I/O), and then prunes the
+leaf's candidate list with the min-max distance filter described in
+Section VI-A: objects whose ``distmin`` from ``q`` exceed the smallest
+``distmax`` among the leaf's candidates cannot have non-zero probability.
+
+Maintenance follows Section VI-B.  On the Lemma 8 conditions: the paper's
+scanned text renders conditions (3) and the corresponding Step-2 filters
+with an ambiguous =/≠ glyph; by Lemma 2 (``dom(o', o) = ∅`` iff the
+uncertainty regions intersect) an object whose region *intersects*
+``u(o')`` is unconstrained by ``o'`` and therefore **unaffected** — the
+implementation uses that logically forced direction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import (
+    Rect,
+    maxdist_sq_point_rect,
+    mindist_sq_point_rect,
+)
+from ..storage import ExtensibleHashTable, OctreeConfig, PagedOctree, Pager
+from ..uncertain import UncertainDataset, UncertainObject
+from .cset import CSetStrategy, IncrementalSelection
+from .se import SEConfig, ShrinkExpand
+
+__all__ = ["PVIndex", "PVIndexStats", "SecondaryRecord"]
+
+
+@dataclass(frozen=True)
+class SecondaryRecord:
+    """One secondary-index record: the object's UBR and the object."""
+
+    ubr: Rect
+    obj: UncertainObject
+
+
+@dataclass
+class PVIndexStats:
+    """Construction / maintenance cost counters."""
+
+    build_seconds: float = 0.0
+    se_seconds: float = 0.0
+    insert_seconds: float = 0.0
+    update_affected: int = 0
+    update_examined: int = 0
+
+    def reset(self) -> None:
+        self.build_seconds = 0.0
+        self.se_seconds = 0.0
+        self.insert_seconds = 0.0
+        self.update_affected = 0
+        self.update_examined = 0
+
+
+class PVIndex:
+    """The PV-index over an uncertain dataset.
+
+    Build with :meth:`build`; query Step 1 with :meth:`candidates`;
+    maintain with :meth:`insert` / :meth:`delete` (incremental, the
+    contribution of Section VI-B) or rebuild from scratch.
+
+    The index mutates the dataset it was built over on insert/delete —
+    dataset and index evolve together, as in the paper's system model.
+    """
+
+    def __init__(
+        self,
+        dataset: UncertainDataset,
+        se: ShrinkExpand,
+        pager: Pager,
+        primary: PagedOctree,
+        secondary: ExtensibleHashTable,
+    ) -> None:
+        self.dataset = dataset
+        self.se = se
+        self.pager = pager
+        self.primary = primary
+        self.secondary = secondary
+        self.stats = PVIndexStats()
+
+    # ------------------------------------------------------------------
+    # Construction (Section VI-A, "Index Construction")
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        dataset: UncertainDataset,
+        strategy: CSetStrategy | None = None,
+        se_config: SEConfig | None = None,
+        octree_config: OctreeConfig | None = None,
+        pager: Pager | None = None,
+    ) -> "PVIndex":
+        """Compute every UBR with SE and bulk-insert into the index."""
+        t0 = time.perf_counter()
+        pager = pager or Pager()
+        se = ShrinkExpand(
+            strategy=strategy or IncrementalSelection(),
+            config=se_config or SEConfig(),
+        )
+        primary = PagedOctree(
+            domain=dataset.domain,
+            pager=pager,
+            config=octree_config or OctreeConfig(),
+        )
+        sample_obj = next(iter(dataset))
+        secondary = ExtensibleHashTable(
+            pager,
+            record_size=sample_obj.nbytes() + sample_obj.region.nbytes(),
+        )
+        index = cls(dataset, se, pager, primary, secondary)
+
+        t_se0 = time.perf_counter()
+        results = {
+            obj.oid: se.compute_ubr(obj, dataset) for obj in dataset
+        }
+        index.stats.se_seconds += time.perf_counter() - t_se0
+        for obj in dataset:
+            index._insert_entry(obj, results[obj.oid].ubr)
+        index.stats.build_seconds += time.perf_counter() - t0
+        return index
+
+    def _insert_entry(self, obj: UncertainObject, ubr: Rect) -> None:
+        """Steps 1–4 of the construction algorithm for one object."""
+        self.primary.insert(obj.oid, ubr, payload=obj.region)
+        self.secondary.put(obj.oid, SecondaryRecord(ubr=ubr, obj=obj))
+
+    # ------------------------------------------------------------------
+    # Query (PNNQ Step 1)
+    # ------------------------------------------------------------------
+    def candidates(self, query: np.ndarray) -> list[int]:
+        """Ids of objects with non-zero probability of being NN of ``query``.
+
+        One octree descent + leaf read, then the min-max pruning filter.
+        """
+        q = np.asarray(query, dtype=np.float64)
+        entries = self.primary.point_query(q)
+        if not entries:
+            return []
+        # Leaf entries are (oid, placement UBR, u(o)); the paper prunes L
+        # with the min-max filter only.  Any object whose PV-cell holds q
+        # has its UBR over this leaf, so the leaf contains the global
+        # minimizer of distmax and the filter below is exact.
+        live = [(oid, region) for oid, _ubr, region in entries]
+        min_sq = np.array(
+            [mindist_sq_point_rect(q, region) for _, region in live]
+        )
+        max_sq = np.array(
+            [maxdist_sq_point_rect(q, region) for _, region in live]
+        )
+        bound = max_sq.min()
+        return [
+            oid for (oid, _), m in zip(live, min_sq) if m <= bound
+        ]
+
+    def ubr_of(self, oid: int) -> Rect:
+        """The stored UBR of an object (one secondary-index probe)."""
+        record: SecondaryRecord = self.secondary.get(oid)
+        return record.ubr
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (Section VI-B)
+    # ------------------------------------------------------------------
+    def delete(self, oid: int) -> None:
+        """Remove object ``oid``; incrementally refresh affected UBRs."""
+        t0 = time.perf_counter()
+        record: SecondaryRecord = self.secondary.get(oid)
+        removed = record.obj
+        old_ubr = record.ubr
+
+        # Step 2: candidate affected set from a primary range query.
+        affected = self._affected_objects(
+            probe_ubr=old_ubr, other=removed, exclude_oid=oid
+        )
+
+        # Apply the dataset change before recomputation (SE must see S').
+        self.dataset.delete(oid)
+        self.se.strategy.notify_delete(removed)
+
+        # Step 3: warm-started SE — old UBR becomes the lower bound.
+        new_ubrs: dict[int, Rect] = {}
+        t_se0 = time.perf_counter()
+        for obj in affected:
+            old = self.secondary.get(obj.oid).ubr
+            result = self.se.recompute_after_deletion(
+                obj, self.dataset, old_ubr=old
+            )
+            new_ubrs[obj.oid] = result.ubr
+        self.stats.se_seconds += time.perf_counter() - t_se0
+
+        # Step 4: refresh the primary and secondary indexes.
+        self._remove_primary_entries(oid, old_ubr)
+        self.secondary.delete(oid)
+        for obj in affected:
+            old = self.secondary.get(obj.oid).ubr
+            self._grow_primary_entries(obj, old, new_ubrs[obj.oid])
+            self.secondary.put(
+                obj.oid,
+                SecondaryRecord(ubr=new_ubrs[obj.oid], obj=obj),
+            )
+        self.stats.update_affected += len(affected)
+        self.stats.insert_seconds += time.perf_counter() - t0
+
+    def insert(self, obj: UncertainObject) -> None:
+        """Add ``obj``; incrementally refresh affected UBRs."""
+        t0 = time.perf_counter()
+        self.dataset.insert(obj)
+        self.se.strategy.notify_insert(obj)
+
+        # Step 1: UBR of the new object via a full SE run on S'.
+        t_se0 = time.perf_counter()
+        new_obj_ubr = self.se.compute_ubr(obj, self.dataset).ubr
+        self.stats.se_seconds += time.perf_counter() - t_se0
+
+        # Step 2: affected set via a range query with B(S', o').
+        affected = self._affected_objects(
+            probe_ubr=new_obj_ubr, other=obj, exclude_oid=obj.oid
+        )
+
+        # Step 3: warm-started SE — old UBR becomes the upper bound.
+        new_ubrs: dict[int, Rect] = {}
+        t_se0 = time.perf_counter()
+        for other in affected:
+            old = self.secondary.get(other.oid).ubr
+            result = self.se.recompute_after_insertion(
+                other, self.dataset, old_ubr=old
+            )
+            new_ubrs[other.oid] = result.ubr
+        self.stats.se_seconds += time.perf_counter() - t_se0
+
+        # Step 4: shrink affected entries, then insert the new object.
+        for other in affected:
+            old = self.secondary.get(other.oid).ubr
+            self._shrink_primary_entries(other, old, new_ubrs[other.oid])
+            self.secondary.put(
+                other.oid,
+                SecondaryRecord(ubr=new_ubrs[other.oid], obj=other),
+            )
+        self._insert_entry(obj, new_obj_ubr)
+        self.stats.update_affected += len(affected)
+        self.stats.insert_seconds += time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    def _affected_objects(
+        self,
+        probe_ubr: Rect,
+        other: UncertainObject,
+        exclude_oid: int,
+    ) -> list[UncertainObject]:
+        """Lemma 8 filter: objects whose PV-cell may change.
+
+        Starts from all objects found in leaves overlapping
+        ``probe_ubr``, then discards:
+
+        * objects whose uncertainty region intersects ``u(other)``
+          (Lemma 2 ⇒ ``dom(other, o) = ∅`` ⇒ unaffected);
+        * objects whose stored UBR does not intersect ``probe_ubr``
+          (conservative surrogate for disjoint PV-cells, conditions
+          (1)/(2) of Lemma 8).
+        """
+        seen: set[int] = set()
+        for leaf in self.primary.range_query_leaves(probe_ubr):
+            for oid, _ubr, _region in leaf.read():
+                seen.add(oid)
+        seen.discard(exclude_oid)
+        affected: list[UncertainObject] = []
+        for oid in sorted(seen):
+            obj = self.dataset.get(oid)
+            if obj is None:
+                continue
+            self.stats.update_examined += 1
+            if obj.region.intersects(other.region):
+                continue  # condition (3): never constrained by `other`
+            stored: SecondaryRecord = self.secondary.get(oid)
+            if not stored.ubr.intersects(probe_ubr):
+                continue  # conditions (1)/(2) via UBR disjointness
+            affected.append(obj)
+        return affected
+
+    def _remove_primary_entries(self, oid: int, ubr: Rect) -> None:
+        """Drop every primary-index entry of ``oid``."""
+        for leaf in self.primary.range_query_leaves(ubr):
+            leaf.remove_key(oid)
+
+    def _grow_primary_entries(
+        self, obj: UncertainObject, old: Rect, new: Rect
+    ) -> None:
+        """After deletion: UBR can only grow; add entries to new leaves.
+
+        The paper (Step 4) leaves old entries in place (``N' − N``) so
+        non-leaf structure is not churned; entries carry the new UBR in
+        freshly covered leaves only.
+        """
+        for leaf in self.primary.range_query_leaves(new):
+            if leaf.region.intersects(old):
+                continue  # already holds an entry for obj
+            leaf.add_entry(obj.oid, new, payload=obj.region)
+
+    def _shrink_primary_entries(
+        self, obj: UncertainObject, old: Rect, new: Rect
+    ) -> None:
+        """After insertion: UBR can only shrink; drop entries in N − N'."""
+        for leaf in self.primary.range_query_leaves(old):
+            if leaf.region.intersects(new):
+                continue
+            leaf.remove_key(obj.oid)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.secondary)
+
+    def __repr__(self) -> str:
+        return (
+            f"PVIndex(objects={len(self)}, octree={self.primary!r})"
+        )

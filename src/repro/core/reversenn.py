@@ -1,0 +1,170 @@
+"""Probabilistic reverse nearest neighbor (PRNN) queries.
+
+References [13] (Cheema et al., TKDE 2010) and [14] (Bernecker et al.,
+VLDB 2011) study reverse NN queries over uncertain data: given a query
+object ``q``, find the database objects that have a non-zero probability
+of having ``q`` as *their* nearest neighbor.  The paper's conclusion
+names PRNN support as future work for the PV-index.
+
+Semantics (possible-RNN, matching the paper's "non-zero probability"
+query class): object ``o`` is an answer iff there exist attribute values
+``o.a in u(o)``, ``q.a in u(q)`` and, for every other object ``x``,
+values ``x.a in u(x)`` such that ``dist(o.a, q.a) <= dist(o.a, x.a)``.
+Because each object's value can be chosen independently (attribute
+uncertainty model), this reduces to a per-point condition on ``u(o)``:
+
+``o`` qualifies iff some point ``p in u(o)`` satisfies
+``distmin(q, p) <= min_{x != o, q} distmax(x, p)`` — i.e. some possible
+position of ``o`` lies inside the PV-cell of ``q`` computed over
+``S - {o} + {q}``.
+
+Step-1 filtering uses the spatial-domination machinery: a candidate
+``o`` is pruned when some third object ``x`` dominates ``u(o)`` with
+respect to ``q`` (``distmax(x, p) < distmin(q, p)`` for all
+``p in u(o)``) — then no position of ``o`` can have ``q`` as NN.  The
+surviving candidates are resolved exactly on the discrete pdfs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..geometry import Rect
+from ..geometry.domination import margin_bounds_batch
+from ..uncertain import UncertainDataset, UncertainObject
+from .pnnq import StepTimes
+
+__all__ = ["ReverseNNResult", "ReverseNNEngine"]
+
+
+@dataclass(frozen=True)
+class ReverseNNResult:
+    """Answer of one probabilistic reverse NN query."""
+
+    query_region: Rect
+    candidate_ids: list[int]
+    probabilities: dict[int, float]
+
+
+class ReverseNNEngine:
+    """PRNN evaluation over an uncertain database.
+
+    Parameters
+    ----------
+    dataset:
+        The uncertain database.
+    """
+
+    def __init__(self, dataset: UncertainDataset) -> None:
+        self.dataset = dataset
+        self.times = StepTimes()
+
+    # ------------------------------------------------------------------
+    def candidates(self, query: UncertainObject) -> list[int]:
+        """Step 1: ids that may have ``query`` as their nearest neighbor.
+
+        Conservative filter (no false dismissals): candidate ``o``
+        survives unless some other object provably dominates all of
+        ``u(o)`` with respect to ``query``.
+        """
+        ids, los, his = self.dataset.packed_regions()
+        out: list[int] = []
+        for i, oid in enumerate(ids):
+            oid = int(oid)
+            if oid == query.oid:
+                continue
+            region = self.dataset[oid].region
+            # Other objects' regions, excluding o itself and the query.
+            mask = np.ones(len(ids), dtype=bool)
+            mask[i] = False
+            if query.oid in self.dataset:
+                mask &= ids != query.oid
+            if not mask.any():
+                out.append(oid)
+                continue
+            _mins, maxs = margin_bounds_batch(
+                los[mask], his[mask], query.region, region
+            )
+            # maxs[j] < 0 would mean x_j dominates u(o) wrt q over all of
+            # u(o) — wrong direction; we need domination of x over q.
+            # margin f = distmax(x, p)^2 - distmin(q, p)^2 with
+            # a := x, b := q, region := u(o):  max_p f < 0 means every
+            # position of o is certainly closer to x than it can ever be
+            # to q, so q can never be o's NN.
+            if bool((maxs < 0.0).any()):
+                continue
+            out.append(oid)
+        return out
+
+    # ------------------------------------------------------------------
+    def query(self, query: UncertainObject) -> ReverseNNResult:
+        """Full PRNN: Step-1 filter, then exact instance-level check.
+
+        Probabilities follow the discrete semantics of [13]: for each
+        instance ``p`` of candidate ``o`` (weight ``w``), ``q`` is the NN
+        of ``o`` at ``p`` with probability
+        ``Pr[dist(q, p) <= min_x dist(x, p)]`` computed instance-wise
+        over the independent pdfs; the candidate's probability is the
+        weighted sum.
+        """
+        t0 = time.perf_counter()
+        ids = self.candidates(query)
+        t1 = time.perf_counter()
+        probabilities: dict[int, float] = {}
+        for oid in ids:
+            prob = self._instance_probability(oid, query)
+            if prob > 0.0:
+                probabilities[oid] = prob
+        result = ReverseNNResult(
+            query_region=query.region,
+            candidate_ids=ids,
+            probabilities=probabilities,
+        )
+        t2 = time.perf_counter()
+        self.times.object_retrieval += t1 - t0
+        self.times.probability_computation += t2 - t1
+        self.times.queries += 1
+        return result
+
+    def _instance_probability(
+        self, oid: int, query: UncertainObject
+    ) -> float:
+        """Exact Pr[query is the NN of object ``oid``] on discrete pdfs."""
+        obj = self.dataset[oid]
+        others = [
+            x
+            for x in self.dataset
+            if x.oid != oid and x.oid != query.oid
+        ]
+
+        # Distances from each instance of o to each instance of q.
+        diff = obj.instances[:, None, :] - query.instances[None, :, :]
+        dq = np.sqrt(np.einsum("mnd,mnd->mn", diff, diff))  # (m, nq)
+
+        total = 0.0
+        for m, (p, w) in enumerate(zip(obj.instances, obj.weights)):
+            # Survival per competitor: Pr[dist(x, p) > r] as a step
+            # function of r; evaluated at each query-instance distance.
+            radii = dq[m]  # (nq,)
+            prod = np.ones(len(radii))
+            for x in others:
+                dx = np.sqrt(
+                    np.einsum(
+                        "nd,nd->n", x.instances - p, x.instances - p
+                    )
+                )
+                order = np.argsort(dx)
+                sd = dx[order]
+                cw = np.concatenate(
+                    ([0.0], np.cumsum(x.weights[order]))
+                )
+                le = cw[np.searchsorted(sd, radii, side="right")]
+                lt = cw[np.searchsorted(sd, radii, side="left")]
+                prod *= 1.0 - 0.5 * (le + lt)
+                if not prod.any():
+                    break
+            total += w * float(np.dot(query.weights, prod))
+        return float(np.clip(total, 0.0, 1.0))

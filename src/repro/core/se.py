@@ -1,0 +1,322 @@
+"""The Shrink-and-Expand (SE) algorithm — Algorithm 1 of the paper.
+
+SE computes the UBR ``B(o)`` of a PV-cell without ever materializing the
+cell.  It keeps two rectangles sandwiching the cell's MBR ``M(o)``:
+
+* ``l(o)`` — contained in ``M(o)``; initialized to ``u(o)`` (valid by
+  Lemma 5: ``u(o) ⊆ V(o) ⊆ M(o)``);
+* ``h(o)`` — containing ``M(o)``; initialized to the domain ``D``.
+
+Each iteration sweeps every (dimension, direction) pair.  For direction
+``ρ`` of dimension ``j`` it places the plane ``i^ρ_j`` midway between the
+corresponding faces of ``h(o)`` and ``l(o)``, forms the slab ``R^ρ_j``
+between ``i^ρ_j`` and ``h(o)``'s face, and asks whether the slab can
+touch ``I(Cset(o), o) ⊇ V(o)``:
+
+* provably not → *shrink*: ``h(o)``'s face moves to ``i^ρ_j``;
+* possibly    → *expand*: ``l(o)``'s face moves to ``i^ρ_j``.
+
+The per-direction gap halves every sweep, so
+``log2(|D|_max / Δ) · 2d`` emptiness tests suffice (Section V,
+Discussions).  The emptiness test is the domination-count estimation of
+:mod:`repro.geometry.domination`; a conservative "may touch" answer can
+only inflate the final UBR, never make it miss part of the cell.
+
+The incremental variants of Section VI-B reuse the same loop with warm
+starts: after a *deletion* the cell can only grow (Lemma 9), so the old
+UBR becomes the new lower bound ``l(o)``; after an *insertion* the cell
+can only shrink, so the old UBR becomes the new upper bound ``h(o)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import Rect
+from ..geometry.domination import DominationTester, margin_bounds_batch
+from ..uncertain import UncertainDataset, UncertainObject
+from .cset import CSet, CSetStrategy, IncrementalSelection
+
+__all__ = ["SEConfig", "SEStats", "SEResult", "ShrinkExpand"]
+
+
+@dataclass(frozen=True)
+class SEConfig:
+    """Tuning parameters of the SE algorithm.
+
+    Parameters
+    ----------
+    delta:
+        Convergence threshold Δ: iteration stops once the maximum
+        per-dimension distance between ``h(o)`` and ``l(o)`` drops below
+        it (Table I default 1).
+    m_max:
+        Partition budget of the domination-count estimation (Table I
+        default 10).
+    """
+
+    delta: float = 1.0
+    m_max: int = 10
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ValueError("delta must be >= 0")
+        if self.m_max < 1:
+            raise ValueError("m_max must be >= 1")
+
+
+@dataclass
+class SEStats:
+    """Accumulated cost counters across SE runs (Figure 10(e) split)."""
+
+    choose_cset_seconds: float = 0.0
+    ubr_seconds: float = 0.0
+    runs: int = 0
+    iterations: int = 0
+    emptiness_tests: int = 0
+    shrinks: int = 0
+    expands: int = 0
+    cset_sizes: list[int] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.choose_cset_seconds = 0.0
+        self.ubr_seconds = 0.0
+        self.runs = 0
+        self.iterations = 0
+        self.emptiness_tests = 0
+        self.shrinks = 0
+        self.expands = 0
+        self.cset_sizes = []
+
+    @property
+    def mean_cset_size(self) -> float:
+        """Average candidate-set size over all runs."""
+        if not self.cset_sizes:
+            return 0.0
+        return float(np.mean(self.cset_sizes))
+
+
+@dataclass(frozen=True)
+class SEResult:
+    """Outcome of one SE run."""
+
+    ubr: Rect
+    lower: Rect
+    iterations: int
+    cset_size: int
+
+
+class ShrinkExpand:
+    """Computes UBRs via the SE algorithm.
+
+    Parameters
+    ----------
+    strategy:
+        The ``chooseCSet`` implementation (defaults to IS with Table I
+        parameters).
+    config:
+        Δ and partition budget.
+    """
+
+    def __init__(
+        self,
+        strategy: CSetStrategy | None = None,
+        config: SEConfig | None = None,
+    ) -> None:
+        self.strategy = strategy or IncrementalSelection()
+        self.config = config or SEConfig()
+        self.stats = SEStats()
+
+    # ------------------------------------------------------------------
+    def compute_ubr(
+        self, obj: UncertainObject, dataset: UncertainDataset
+    ) -> SEResult:
+        """Run SE for ``obj`` against ``dataset`` (Algorithm 1)."""
+        t0 = time.perf_counter()
+        self.strategy.bind(dataset)
+        cset = self.strategy.choose(obj, dataset)
+        t1 = time.perf_counter()
+        result = self.refine(
+            obj,
+            cset,
+            dataset.domain,
+            lower=obj.region,
+            upper=dataset.domain,
+        )
+        t2 = time.perf_counter()
+        self.stats.choose_cset_seconds += t1 - t0
+        self.stats.ubr_seconds += t2 - t1
+        self.stats.runs += 1
+        self.stats.cset_sizes.append(len(cset))
+        return result
+
+    def refine(
+        self,
+        obj: UncertainObject,
+        cset: CSet,
+        domain: Rect,
+        lower: Rect,
+        upper: Rect,
+    ) -> SEResult:
+        """The shrink/expand loop with explicit warm-start bounds.
+
+        ``lower`` must be contained in the cell's MBR and ``upper`` must
+        contain it; the standard run uses ``u(o)`` and ``D``, the
+        incremental variants pass old UBRs (Section VI-B, Steps 3).
+        """
+        if not upper.contains_rect(lower):
+            # A stale warm start (e.g. old UBR marginally tighter than
+            # the new bound) is reconciled conservatively.
+            lower = upper.intersection(lower) or Rect(
+                np.clip(lower.lo, upper.lo, upper.hi),
+                np.clip(lower.hi, upper.lo, upper.hi),
+            )
+        tester = DominationTester(m_max=self.config.m_max)
+        h_lo = upper.lo.copy()
+        h_hi = upper.hi.copy()
+        l_lo = lower.lo.copy()
+        l_hi = lower.hi.copy()
+        d = domain.dims
+        delta = self.config.delta
+        iterations = 0
+        # Working candidate arrays.  Candidates whose dominated region
+        # provably misses the current h(o) can never prove emptiness for
+        # any future slab (slabs only shrink with h), so they are culled
+        # once per sweep — the effective C-set collapses toward the
+        # object's true V-set as the sandwich tightens.
+        act_los = cset.los
+        act_his = cset.his
+
+        def gap() -> float:
+            return float(
+                max(np.max(l_lo - h_lo), np.max(h_hi - l_hi))
+            )
+
+        while gap() >= delta and gap() > 0:
+            iterations += 1
+            if len(act_los):
+                mins, _ = margin_bounds_batch(
+                    act_los, act_his, obj.region, Rect(h_lo, h_hi)
+                )
+                live = mins < 0.0
+                if not live.all():
+                    act_los = act_los[live]
+                    act_his = act_his[live]
+            for j in range(d):
+                # direction "low": the face at h_lo[j] vs l_lo[j].
+                if l_lo[j] - h_lo[j] >= delta:
+                    mid = (h_lo[j] + l_lo[j]) / 2.0
+                    slab_lo = h_lo.copy()
+                    slab_hi = h_hi.copy()
+                    slab_hi[j] = mid
+                    if self._slab_empty(
+                        tester, Rect(slab_lo, slab_hi), act_los,
+                        act_his, obj,
+                    ):
+                        h_lo[j] = mid
+                        self.stats.shrinks += 1
+                    else:
+                        l_lo[j] = mid
+                        self.stats.expands += 1
+                # direction "high": the face at h_hi[j] vs l_hi[j].
+                if h_hi[j] - l_hi[j] >= delta:
+                    mid = (h_hi[j] + l_hi[j]) / 2.0
+                    slab_lo = h_lo.copy()
+                    slab_hi = h_hi.copy()
+                    slab_lo[j] = mid
+                    if self._slab_empty(
+                        tester, Rect(slab_lo, slab_hi), act_los,
+                        act_his, obj,
+                    ):
+                        h_hi[j] = mid
+                        self.stats.shrinks += 1
+                    else:
+                        l_hi[j] = mid
+                        self.stats.expands += 1
+        self.stats.iterations += iterations
+        self.stats.emptiness_tests += tester.stats.tests
+        return SEResult(
+            ubr=Rect(h_lo, h_hi),
+            lower=Rect(l_lo, l_hi),
+            iterations=iterations,
+            cset_size=len(cset),
+        )
+
+    def _slab_empty(
+        self,
+        tester: DominationTester,
+        slab: Rect,
+        act_los,
+        act_his,
+        obj: UncertainObject,
+    ) -> bool:
+        """Step 9 of Algorithm 1: ``R^ρ_j ∩ I(Cset(o), o) = ∅``?"""
+        return not tester.region_intersects_nondominated(
+            slab, act_los, act_his, obj.region
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental variants (Section VI-B)
+    # ------------------------------------------------------------------
+    def recompute_after_deletion(
+        self,
+        obj: UncertainObject,
+        dataset: UncertainDataset,
+        old_ubr: Rect,
+    ) -> SEResult:
+        """New UBR of an affected object after a deletion.
+
+        By Lemma 9 the PV-cell cannot shrink, so ``old_ubr`` (which
+        contained the old cell and is contained in the new MBR's upper
+        bound region only as a *lower* bound) warm-starts ``l(o)``.
+        """
+        t0 = time.perf_counter()
+        self.strategy.bind(dataset)
+        cset = self.strategy.choose(obj, dataset)
+        t1 = time.perf_counter()
+        result = self.refine(
+            obj,
+            cset,
+            dataset.domain,
+            lower=old_ubr,
+            upper=dataset.domain,
+        )
+        t2 = time.perf_counter()
+        self.stats.choose_cset_seconds += t1 - t0
+        self.stats.ubr_seconds += t2 - t1
+        self.stats.runs += 1
+        self.stats.cset_sizes.append(len(cset))
+        return result
+
+    def recompute_after_insertion(
+        self,
+        obj: UncertainObject,
+        dataset: UncertainDataset,
+        old_ubr: Rect,
+    ) -> SEResult:
+        """New UBR of an affected object after an insertion.
+
+        By Lemma 9 the PV-cell cannot grow, so ``old_ubr`` warm-starts
+        ``h(o)`` — SE starts from a much smaller upper bound than ``D``.
+        """
+        t0 = time.perf_counter()
+        self.strategy.bind(dataset)
+        cset = self.strategy.choose(obj, dataset)
+        t1 = time.perf_counter()
+        lower = obj.region
+        result = self.refine(
+            obj,
+            cset,
+            dataset.domain,
+            lower=lower,
+            upper=old_ubr,
+        )
+        t2 = time.perf_counter()
+        self.stats.choose_cset_seconds += t1 - t0
+        self.stats.ubr_seconds += t2 - t1
+        self.stats.runs += 1
+        self.stats.cset_sizes.append(len(cset))
+        return result

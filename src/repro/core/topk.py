@@ -1,0 +1,132 @@
+"""Top-k probable nearest neighbor queries.
+
+Reference [10] of the paper (Beskales, Soliman, Ilyas, VLDB 2008)
+studies retrieving the ``k`` objects most likely to be the nearest
+neighbor of a query point.  The paper's conclusion lists supporting
+such query variants through the PV-index as future work; this module
+provides that support.
+
+The evaluation reuses the PNNQ pipeline:
+
+1. Step 1 through any :class:`~repro.core.pnnq.Retriever` (PV-index,
+   R-tree, UV-index) — the top-k answer can only contain objects with
+   non-zero qualification probability, so the PV-cell filter applies
+   unchanged.
+2. A bound-based pruning pass (:func:`~repro.core.verifier.probability_bounds`)
+   discards candidates whose upper probability bound cannot reach the
+   current k-th lower bound.
+3. Exact Step-2 evaluation of the survivors, returning the k largest.
+
+For small candidate sets step 2 is skipped — exact evaluation of a
+handful of candidates is cheaper than computing histogram bounds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..uncertain import UncertainDataset
+from .pnnq import Retriever, StepTimes, qualification_probabilities
+from .verifier import probability_bounds
+
+__all__ = ["TopKResult", "TopKEngine"]
+
+#: Candidate-set size below which bound-based pruning is not worth it.
+_EXACT_THRESHOLD = 8
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Answer of one top-k probable NN query."""
+
+    query: np.ndarray
+    k: int
+    #: ``(oid, probability)`` pairs, descending by probability.
+    ranking: tuple[tuple[int, float], ...]
+    #: Candidates removed by bound-based pruning (never exactly evaluated).
+    pruned: int
+
+    @property
+    def ids(self) -> tuple[int, ...]:
+        """Object ids of the ranking, most probable first."""
+        return tuple(oid for oid, _ in self.ranking)
+
+
+class TopKEngine:
+    """Top-k probable NN evaluation over any Step-1 retriever.
+
+    Parameters
+    ----------
+    retriever:
+        The Step-1 index.
+    dataset:
+        The uncertain database (pdf source).
+    n_bins:
+        Histogram resolution for the pruning bounds.
+    """
+
+    def __init__(
+        self,
+        retriever: Retriever,
+        dataset: UncertainDataset,
+        n_bins: int = 8,
+    ) -> None:
+        self.retriever = retriever
+        self.dataset = dataset
+        self.n_bins = n_bins
+        self.times = StepTimes()
+
+    def query(self, query: np.ndarray, k: int = 1) -> TopKResult:
+        """The ``k`` objects most likely to be the NN of ``query``.
+
+        Fewer than ``k`` pairs are returned when fewer candidates have
+        non-zero probability.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        q = np.asarray(query, dtype=np.float64)
+
+        t0 = time.perf_counter()
+        ids = self.retriever.candidates(q)
+        t1 = time.perf_counter()
+
+        pruned = 0
+        survivors = list(ids)
+        if len(ids) > max(k, _EXACT_THRESHOLD):
+            bounds = probability_bounds(
+                self.dataset, ids, q, self.n_bins
+            )
+            # The k-th highest lower bound is a floor for the answer set;
+            # anything whose upper bound falls below it is out.
+            lowers = sorted(
+                (b.lower for b in bounds.values()), reverse=True
+            )
+            floor = lowers[k - 1] if len(lowers) >= k else 0.0
+            survivors = [
+                oid for oid in ids if bounds[oid].upper >= floor
+            ]
+            pruned = len(ids) - len(survivors)
+
+        # All candidates stay in the competitor set (their distance
+        # distributions shape every survival product); only survivors
+        # get the per-candidate evaluation loop.
+        probabilities = qualification_probabilities(
+            self.dataset, ids, q, evaluate_ids=survivors
+        )
+        ranking = sorted(
+            probabilities.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:k]
+        t2 = time.perf_counter()
+
+        self.times.object_retrieval += t1 - t0
+        self.times.probability_computation += t2 - t1
+        self.times.queries += 1
+        return TopKResult(
+            query=q,
+            k=k,
+            ranking=tuple(ranking),
+            pruned=pruned,
+        )

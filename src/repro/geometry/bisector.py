@@ -1,0 +1,142 @@
+"""Bisector surfaces between uncertain rectangles (Equation 1).
+
+The hyperplane ``H_{o',o} = { p : distmax(o', p) = distmin(o, p) }``
+separates the domain into the half-space where ``o'`` certainly beats
+``o`` (``dom(o', o)``) and the rest (``¬dom(o', o)``).  The paper never
+materializes these piecewise-curvilinear surfaces — that is exactly the
+expensive operation the SE algorithm avoids — but they are invaluable as
+*ground truth* for tests: membership of a point on either side is a
+trivial distance comparison, and the surface can be located to arbitrary
+precision along any ray by bisection because the margin function
+
+``f(p) = distmax(o', p) - distmin(o, p)``
+
+is continuous.
+
+This module provides those reference utilities.  Nothing here is used on
+the query or construction hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .distance import (
+    maxdist_point_rect,
+    maxdist_sq_points_rect,
+    mindist_point_rect,
+    mindist_sq_points_rect,
+)
+from .rect import Rect
+
+__all__ = [
+    "domination_margin",
+    "domination_margins",
+    "point_in_dom",
+    "point_in_nondom",
+    "locate_bisector_on_segment",
+    "sample_bisector",
+]
+
+
+def domination_margin(a: Rect, b: Rect, point: np.ndarray) -> float:
+    """``distmax(a, p) - distmin(b, p)``.
+
+    Negative inside ``dom(a, b)``, zero on ``H_{a,b}``, positive in
+    ``¬dom(a, b)``.
+    """
+    return maxdist_point_rect(point, a) - mindist_point_rect(point, b)
+
+
+def domination_margins(a: Rect, b: Rect, points: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`domination_margin` over an ``(n, d)`` array."""
+    return np.sqrt(maxdist_sq_points_rect(points, a)) - np.sqrt(
+        mindist_sq_points_rect(points, b)
+    )
+
+
+def point_in_dom(a: Rect, b: Rect, point: np.ndarray) -> bool:
+    """True iff ``point ∈ dom(a, b)`` (Definition 3, strict inequality)."""
+    return domination_margin(a, b, point) < 0.0
+
+
+def point_in_nondom(a: Rect, b: Rect, point: np.ndarray) -> bool:
+    """True iff ``point ∈ ¬dom(a, b)`` (Definition 4)."""
+    return not point_in_dom(a, b, point)
+
+
+def locate_bisector_on_segment(
+    a: Rect,
+    b: Rect,
+    inside: np.ndarray,
+    outside: np.ndarray,
+    tol: float = 1e-9,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Find a point of ``H_{a,b}`` on the segment ``inside -> outside``.
+
+    ``inside`` must lie in ``dom(a, b)`` and ``outside`` in ``¬dom(a, b)``
+    (or vice versa); the margin changes sign along the segment, so plain
+    bisection converges.
+
+    Raises
+    ------
+    ValueError
+        If both endpoints are on the same side of the bisector.
+    """
+    p_in = np.asarray(inside, dtype=np.float64)
+    p_out = np.asarray(outside, dtype=np.float64)
+    m_in = domination_margin(a, b, p_in)
+    m_out = domination_margin(a, b, p_out)
+    if m_in == 0.0:
+        return p_in.copy()
+    if m_out == 0.0:
+        return p_out.copy()
+    if (m_in < 0.0) == (m_out < 0.0):
+        raise ValueError("segment endpoints are on the same side of H_{a,b}")
+    lo, hi = p_in, p_out
+    for _ in range(max_iter):
+        mid = (lo + hi) / 2.0
+        m_mid = domination_margin(a, b, mid)
+        if abs(m_mid) <= tol:
+            return mid
+        if (m_mid < 0.0) == (m_in < 0.0):
+            lo = mid
+        else:
+            hi = mid
+        if float(np.linalg.norm(hi - lo)) <= tol:
+            break
+    return (lo + hi) / 2.0
+
+
+def sample_bisector(
+    a: Rect,
+    b: Rect,
+    domain: Rect,
+    n: int,
+    rng: np.random.Generator,
+    tol: float = 1e-9,
+) -> np.ndarray:
+    """Sample up to ``n`` points on ``H_{a,b}`` inside ``domain``.
+
+    Random segments are drawn in the domain; each segment whose endpoints
+    straddle the bisector contributes one located point.  Returns an
+    ``(m, d)`` array with ``m <= n`` (``m`` can fall short when the
+    bisector barely intersects the domain, e.g. overlapping regions where
+    ``dom(a, b)`` is empty by Lemma 2 — then the result is empty).
+    """
+    found: list[np.ndarray] = []
+    attempts = 0
+    max_attempts = 50 * max(n, 1)
+    while len(found) < n and attempts < max_attempts:
+        attempts += 1
+        seg = domain.sample_points(2, rng)
+        m0 = domination_margin(a, b, seg[0])
+        m1 = domination_margin(a, b, seg[1])
+        if (m0 < 0.0) != (m1 < 0.0):
+            found.append(
+                locate_bisector_on_segment(a, b, seg[0], seg[1], tol=tol)
+            )
+    if not found:
+        return np.empty((0, domain.dims))
+    return np.vstack(found)

@@ -1,0 +1,141 @@
+"""Minimum / maximum Euclidean distances between points and rectangles.
+
+The paper's machinery is built entirely on two distance functions
+(Section III-A):
+
+* ``distmin(o, p)`` — the smallest possible distance between a point ``p``
+  and any point of the uncertainty region ``u(o)``;
+* ``distmax(o, p)`` — the largest such distance.
+
+Both decompose per dimension for axis-parallel rectangles, which is what
+makes the exact domination test of :mod:`repro.geometry.domination`
+possible.  This module provides scalar versions, batched (vectorized)
+versions over many rectangles or many points, and the rectangle-rectangle
+min/max distances the R-tree and the domination test need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rect import Rect
+
+__all__ = [
+    "mindist_sq_point_rect",
+    "maxdist_sq_point_rect",
+    "mindist_point_rect",
+    "maxdist_point_rect",
+    "mindist_sq_points_rect",
+    "maxdist_sq_points_rect",
+    "mindist_sq_point_rects",
+    "maxdist_sq_point_rects",
+    "mindist_rect_rect",
+    "maxdist_rect_rect",
+    "mindist_sq_rect_rect",
+    "maxdist_sq_rect_rect",
+]
+
+
+# ----------------------------------------------------------------------
+# Scalar point <-> rect
+# ----------------------------------------------------------------------
+def mindist_sq_point_rect(point: np.ndarray, rect: Rect) -> float:
+    """Squared minimum distance from ``point`` to ``rect``.
+
+    Zero when the point lies inside the rectangle.
+    """
+    p = np.asarray(point, dtype=np.float64)
+    gap = np.maximum(np.maximum(rect.lo - p, p - rect.hi), 0.0)
+    return float(np.dot(gap, gap))
+
+
+def maxdist_sq_point_rect(point: np.ndarray, rect: Rect) -> float:
+    """Squared maximum distance from ``point`` to ``rect``.
+
+    Attained at the rectangle corner farthest from the point; computed
+    per dimension without enumerating corners.
+    """
+    p = np.asarray(point, dtype=np.float64)
+    far = np.maximum(np.abs(p - rect.lo), np.abs(rect.hi - p))
+    return float(np.dot(far, far))
+
+
+def mindist_point_rect(point: np.ndarray, rect: Rect) -> float:
+    """``distmin(rect, point)`` from Section III-A."""
+    return float(np.sqrt(mindist_sq_point_rect(point, rect)))
+
+
+def maxdist_point_rect(point: np.ndarray, rect: Rect) -> float:
+    """``distmax(rect, point)`` from Section III-A."""
+    return float(np.sqrt(maxdist_sq_point_rect(point, rect)))
+
+
+# ----------------------------------------------------------------------
+# Batched: many points against one rect
+# ----------------------------------------------------------------------
+def mindist_sq_points_rect(points: np.ndarray, rect: Rect) -> np.ndarray:
+    """Squared min distances from an ``(n, d)`` point array to one rect."""
+    pts = np.asarray(points, dtype=np.float64)
+    gap = np.maximum(np.maximum(rect.lo - pts, pts - rect.hi), 0.0)
+    return np.einsum("ij,ij->i", gap, gap)
+
+
+def maxdist_sq_points_rect(points: np.ndarray, rect: Rect) -> np.ndarray:
+    """Squared max distances from an ``(n, d)`` point array to one rect."""
+    pts = np.asarray(points, dtype=np.float64)
+    far = np.maximum(np.abs(pts - rect.lo), np.abs(rect.hi - pts))
+    return np.einsum("ij,ij->i", far, far)
+
+
+# ----------------------------------------------------------------------
+# Batched: one point against many rects (as (n, d) lo / hi arrays)
+# ----------------------------------------------------------------------
+def mindist_sq_point_rects(
+    point: np.ndarray, los: np.ndarray, his: np.ndarray
+) -> np.ndarray:
+    """Squared min distances from one point to ``n`` rectangles.
+
+    ``los`` and ``his`` are ``(n, d)`` arrays of rectangle corners — the
+    packed representation used throughout the hot paths (avoids creating
+    ``n`` :class:`Rect` objects).
+    """
+    p = np.asarray(point, dtype=np.float64)
+    gap = np.maximum(np.maximum(los - p, p - his), 0.0)
+    return np.einsum("ij,ij->i", gap, gap)
+
+
+def maxdist_sq_point_rects(
+    point: np.ndarray, los: np.ndarray, his: np.ndarray
+) -> np.ndarray:
+    """Squared max distances from one point to ``n`` rectangles."""
+    p = np.asarray(point, dtype=np.float64)
+    far = np.maximum(np.abs(p - los), np.abs(his - p))
+    return np.einsum("ij,ij->i", far, far)
+
+
+# ----------------------------------------------------------------------
+# Rect <-> rect
+# ----------------------------------------------------------------------
+def mindist_sq_rect_rect(a: Rect, b: Rect) -> float:
+    """Squared distance between the closest pair of points of ``a``, ``b``.
+
+    Zero iff the rectangles intersect.
+    """
+    gap = np.maximum(np.maximum(a.lo - b.hi, b.lo - a.hi), 0.0)
+    return float(np.dot(gap, gap))
+
+
+def maxdist_sq_rect_rect(a: Rect, b: Rect) -> float:
+    """Squared distance between the farthest pair of points of ``a``, ``b``."""
+    far = np.maximum(np.abs(a.hi - b.lo), np.abs(b.hi - a.lo))
+    return float(np.dot(far, far))
+
+
+def mindist_rect_rect(a: Rect, b: Rect) -> float:
+    """Distance between the closest pair of points of ``a`` and ``b``."""
+    return float(np.sqrt(mindist_sq_rect_rect(a, b)))
+
+
+def maxdist_rect_rect(a: Rect, b: Rect) -> float:
+    """Distance between the farthest pair of points of ``a`` and ``b``."""
+    return float(np.sqrt(maxdist_sq_rect_rect(a, b)))

@@ -1,0 +1,13 @@
+"""R*-tree substrate and the R-tree PNNQ Step-1 baseline."""
+
+from .node import Entry, Node
+from .pnnq import RTreePNNQ, build_region_rtree
+from .rstar import RStarTree
+
+__all__ = [
+    "Entry",
+    "Node",
+    "RStarTree",
+    "RTreePNNQ",
+    "build_region_rtree",
+]

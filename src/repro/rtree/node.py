@@ -1,0 +1,82 @@
+"""R*-tree node structure.
+
+Nodes hold either child nodes (inner level) or ``(key, rect)`` data
+entries (leaf level).  Leaf payloads are stored through the shared
+simulated pager so that query I/O of the R-tree baseline is measured in
+the same units as the PV-index (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..geometry import Rect
+
+__all__ = ["Entry", "Node"]
+
+
+class Entry:
+    """One data entry: a key, its bounding rectangle, optional payload."""
+
+    __slots__ = ("key", "rect", "payload")
+
+    def __init__(self, key: int, rect: Rect, payload: Any = None) -> None:
+        self.key = key
+        self.rect = rect
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"Entry(key={self.key}, rect={self.rect!r})"
+
+
+class Node:
+    """An R*-tree node.
+
+    ``level`` is 0 at the leaf level and grows toward the root; leaves
+    store :class:`Entry` objects in ``children``, inner nodes store
+    :class:`Node` objects.
+    """
+
+    __slots__ = ("level", "children", "mbr", "parent", "page_id")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.children: list[Any] = []
+        self.mbr: Rect | None = None
+        self.parent: "Node | None" = None
+        self.page_id: int | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True at the data level."""
+        return self.level == 0
+
+    def child_rect(self, child: Any) -> Rect:
+        """The bounding rectangle of a child (entry or node)."""
+        if isinstance(child, Node):
+            assert child.mbr is not None
+            return child.mbr
+        return child.rect
+
+    def recompute_mbr(self) -> None:
+        """Tighten this node's MBR to its children."""
+        if not self.children:
+            self.mbr = None
+            return
+        self.mbr = Rect.bounding(
+            [self.child_rect(c) for c in self.children]
+        )
+
+    def add(self, child: Any) -> None:
+        """Attach a child and grow the MBR."""
+        self.children.append(child)
+        if isinstance(child, Node):
+            child.parent = self
+        rect = self.child_rect(child)
+        self.mbr = rect.copy() if self.mbr is None else self.mbr.union(rect)
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(level={self.level}, fanout={len(self.children)}, "
+            f"mbr={self.mbr!r})"
+        )

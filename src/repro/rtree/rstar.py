@@ -1,0 +1,550 @@
+"""An R*-tree (Beckmann et al., SIGMOD 1990), implemented from scratch.
+
+The paper uses an R*-tree with fanout 100 both as the PNNQ Step-1
+baseline and as the NN-search backbone of the FS / IS C-set strategies
+(Section V-A).  This implementation provides:
+
+* insertion with *ChooseSubtree* (least overlap enlargement at the leaf
+  level, least area enlargement above), *forced reinsertion* (30% of the
+  farthest-from-center children, once per level per insert), and the
+  R*-topological split (choose split axis by minimum margin sum, choose
+  distribution by minimum overlap then minimum area);
+* deletion with condense-and-reinsert;
+* rectangle range queries, point-containment queries;
+* best-first incremental nearest-neighbor browsing (Hjaltason & Samet,
+  TODS 1999 — reference [39], used by the IS strategy).
+
+Leaf nodes are backed by pages of the shared simulated pager; queries
+charge one read per distinct visited leaf page (inner nodes are assumed
+memory-resident, as the paper assumes for all three indexes).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..geometry import (
+    Rect,
+    maxdist_sq_point_rect,
+    mindist_sq_point_rect,
+)
+from ..storage import Pager
+from .node import Entry, Node
+
+__all__ = ["RStarTree"]
+
+REINSERT_FRACTION = 0.3
+"""Share of children force-reinserted on first overflow (R* default p=30%)."""
+
+
+class RStarTree:
+    """An in-memory R*-tree with paged leaves.
+
+    Parameters
+    ----------
+    dims:
+        Dimensionality of the indexed rectangles.
+    max_entries:
+        Node capacity ``M`` (the paper uses fanout 100).
+    min_entries:
+        Minimum fill ``m``; defaults to ``max(2, M * 0.4)`` (R* default).
+    pager:
+        Optional shared simulated disk.  When provided, each leaf node
+        occupies ``ceil(M * entry_bytes / page_size)`` pages and queries
+        charge reads for every visited leaf.
+    entry_bytes:
+        Declared size of one leaf entry (id + rectangle by default).
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        max_entries: int = 100,
+        min_entries: int | None = None,
+        pager: Pager | None = None,
+        entry_bytes: int | None = None,
+    ) -> None:
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self.dims = dims
+        self.max_entries = max_entries
+        self.min_entries = (
+            min_entries
+            if min_entries is not None
+            else max(2, int(round(0.4 * max_entries)))
+        )
+        if not 2 <= self.min_entries <= max_entries // 2:
+            raise ValueError(
+                f"min_entries={self.min_entries} must be in "
+                f"[2, {max_entries // 2}]"
+            )
+        self.pager = pager
+        self.entry_bytes = (
+            entry_bytes if entry_bytes is not None else 8 + 16 * dims
+        )
+        self._root = Node(level=0)
+        self._register_leaf(self._root)
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Public metadata
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf root)."""
+        return self._height
+
+    @property
+    def root_mbr(self) -> Rect | None:
+        """Bounding rectangle of the whole tree (None when empty)."""
+        return self._root.mbr
+
+    # ------------------------------------------------------------------
+    # Pager integration
+    # ------------------------------------------------------------------
+    def _leaf_pages(self) -> int:
+        return max(
+            1,
+            -(-self.max_entries * self.entry_bytes // self.pager.page_size)
+            if self.pager
+            else 1,
+        )
+
+    def _register_leaf(self, node: Node) -> None:
+        if self.pager is not None and node.page_id is None:
+            node.page_id = self.pager.allocate()
+
+    def charge_leaf_read(self, node: Node) -> None:
+        """Charge the reads for visiting one leaf node."""
+        if self.pager is not None:
+            self.pager.stats.reads += self._leaf_pages()
+
+    def _charge_leaf_write(self, node: Node) -> None:
+        if self.pager is not None:
+            self.pager.stats.writes += 1
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int, rect: Rect, payload: Any = None) -> None:
+        """Insert an entry."""
+        if rect.dims != self.dims:
+            raise ValueError("rect dimensionality mismatch")
+        self._insert(Entry(key, rect, payload), level=0, first_pass=True)
+        self._size += 1
+
+    def _insert(self, item: Any, level: int, first_pass: bool) -> None:
+        node = self._choose_subtree(item, level)
+        node.add(item)
+        if node.is_leaf:
+            self._charge_leaf_write(node)
+        self._overflow_chain(node, {level: not first_pass})
+
+    def _overflow_chain(
+        self, node: Node | None, reinserted: dict[int, bool]
+    ) -> None:
+        """Walk up the tree fixing overflows; adjust MBRs on the way."""
+        while node is not None:
+            if len(node.children) > self.max_entries:
+                self._overflow_treatment(node, reinserted)
+            else:
+                node.recompute_mbr()
+            node = node.parent
+
+    def _choose_subtree(self, item: Any, level: int) -> Node:
+        """Descend to the node at ``level`` best suited for ``item``."""
+        rect = item.rect if isinstance(item, Entry) else item.mbr
+        node = self._root
+        while node.level > level:
+            children: list[Node] = node.children
+            if node.level == level + 1 and node.level == 1:
+                # Children are leaves: minimize overlap enlargement.
+                best = min(
+                    children,
+                    key=lambda c: (
+                        self._overlap_enlargement(children, c, rect),
+                        self._area_enlargement(c.mbr, rect),
+                        c.mbr.volume,
+                    ),
+                )
+            else:
+                best = min(
+                    children,
+                    key=lambda c: (
+                        self._area_enlargement(c.mbr, rect),
+                        c.mbr.volume,
+                    ),
+                )
+            node = best
+        return node
+
+    @staticmethod
+    def _area_enlargement(mbr: Rect, rect: Rect) -> float:
+        return mbr.union(rect).volume - mbr.volume
+
+    @staticmethod
+    def _overlap(a: Rect, b: Rect) -> float:
+        inter = a.intersection(b)
+        return 0.0 if inter is None else inter.volume
+
+    def _overlap_enlargement(
+        self, siblings: list[Node], candidate: Node, rect: Rect
+    ) -> float:
+        grown = candidate.mbr.union(rect)
+        before = after = 0.0
+        for sib in siblings:
+            if sib is candidate:
+                continue
+            before += self._overlap(candidate.mbr, sib.mbr)
+            after += self._overlap(grown, sib.mbr)
+        return after - before
+
+    # ------------------------------------------------------------------
+    # Overflow: forced reinsert, then split
+    # ------------------------------------------------------------------
+    def _overflow_treatment(
+        self, node: Node, reinserted: dict[int, bool]
+    ) -> None:
+        if node is not self._root and not reinserted.get(node.level, False):
+            reinserted[node.level] = True
+            self._forced_reinsert(node, reinserted)
+        else:
+            self._split_node(node, reinserted)
+
+    def _forced_reinsert(
+        self, node: Node, reinserted: dict[int, bool]
+    ) -> None:
+        """Evict the p% children farthest from the node center."""
+        node.recompute_mbr()
+        center = node.mbr.center
+        dist = [
+            float(
+                np.sum((node.child_rect(c).center - center) ** 2)
+            )
+            for c in node.children
+        ]
+        order = np.argsort(dist)  # close first; evict the tail
+        n_evict = max(1, int(round(REINSERT_FRACTION * len(node.children))))
+        keep_idx = set(order[: len(node.children) - n_evict].tolist())
+        evicted = [
+            c for i, c in enumerate(node.children) if i not in keep_idx
+        ]
+        node.children = [
+            c for i, c in enumerate(node.children) if i in keep_idx
+        ]
+        node.recompute_mbr()
+        ancestor = node.parent
+        while ancestor is not None:
+            ancestor.recompute_mbr()
+            ancestor = ancestor.parent
+        for item in evicted:  # close-reinsert order
+            target = self._choose_subtree(item, node.level)
+            target.add(item)
+            if target.is_leaf:
+                self._charge_leaf_write(target)
+            self._overflow_chain(target, reinserted)
+
+    def _split_node(self, node: Node, reinserted: dict[int, bool]) -> None:
+        """R*-topological split into two nodes."""
+        children = node.children
+        rects = [node.child_rect(c) for c in children]
+        m = self.min_entries
+        k_range = range(m, len(children) - m + 1)
+
+        # 1. Choose split axis: minimum total margin over distributions.
+        best_axis, best_margin = 0, float("inf")
+        sorted_per_axis: list[list[int]] = []
+        for axis in range(self.dims):
+            by_lo = sorted(
+                range(len(children)), key=lambda i: rects[i].lo[axis]
+            )
+            by_hi = sorted(
+                range(len(children)), key=lambda i: rects[i].hi[axis]
+            )
+            margin = 0.0
+            for order in (by_lo, by_hi):
+                for k in k_range:
+                    left = Rect.bounding([rects[i] for i in order[:k]])
+                    right = Rect.bounding([rects[i] for i in order[k:]])
+                    margin += left.margin() + right.margin()
+            if margin < best_margin:
+                best_margin = margin
+                best_axis = axis
+                sorted_per_axis = [by_lo, by_hi]
+
+        # 2. Choose distribution on that axis: min overlap, then min area.
+        best = None
+        for order in sorted_per_axis:
+            for k in k_range:
+                left = Rect.bounding([rects[i] for i in order[:k]])
+                right = Rect.bounding([rects[i] for i in order[k:]])
+                overlap = self._overlap(left, right)
+                area = left.volume + right.volume
+                cand = (overlap, area, order, k)
+                if best is None or cand[:2] < best[:2]:
+                    best = cand
+        assert best is not None
+        _, __, order, k = best
+
+        sibling = Node(level=node.level)
+        left_children = [children[i] for i in order[:k]]
+        right_children = [children[i] for i in order[k:]]
+        node.children = []
+        node.mbr = None
+        for c in left_children:
+            node.add(c)
+        for c in right_children:
+            sibling.add(c)
+        if node.is_leaf:
+            self._register_leaf(sibling)
+            self._charge_leaf_write(node)
+            self._charge_leaf_write(sibling)
+
+        if node is self._root:
+            new_root = Node(level=node.level + 1)
+            new_root.add(node)
+            new_root.add(sibling)
+            self._root = new_root
+            self._height += 1
+        else:
+            parent = node.parent
+            assert parent is not None
+            parent.add(sibling)
+            parent.recompute_mbr()
+            if len(parent.children) > self.max_entries:
+                self._overflow_treatment(parent, reinserted)
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, key: int, rect: Rect) -> bool:
+        """Remove one entry with the given key whose rect intersects.
+
+        Returns True when an entry was removed.
+        """
+        found = self._find_leaf(self._root, key, rect)
+        if found is None:
+            return False
+        leaf, idx = found
+        leaf.children.pop(idx)
+        self._charge_leaf_write(leaf)
+        self._size -= 1
+        self._condense(leaf)
+        return True
+
+    def _find_leaf(
+        self, node: Node, key: int, rect: Rect
+    ) -> tuple[Node, int] | None:
+        if node.mbr is None or not node.mbr.intersects(rect):
+            return None
+        if node.is_leaf:
+            for i, entry in enumerate(node.children):
+                if entry.key == key:
+                    return node, i
+            return None
+        for child in node.children:
+            hit = self._find_leaf(child, key, rect)
+            if hit is not None:
+                return hit
+        return None
+
+    def _condense(self, node: Node) -> None:
+        """Remove underfull nodes bottom-up and reinsert orphans."""
+        orphans: list[tuple[Any, int]] = []
+        while node is not self._root:
+            parent = node.parent
+            assert parent is not None
+            if len(node.children) < self.min_entries:
+                parent.children.remove(node)
+                orphans.extend((c, node.level) for c in node.children)
+            else:
+                node.recompute_mbr()
+            node = parent
+        self._root.recompute_mbr()
+        for item, level in orphans:
+            if isinstance(item, Entry):
+                self._insert(item, level=0, first_pass=False)
+            else:
+                self._insert(item, level=item.level + 1, first_pass=False)
+        # Shrink the root when it lost all but one child.
+        while (
+            not self._root.is_leaf and len(self._root.children) == 1
+        ):
+            self._root = self._root.children[0]
+            self._root.parent = None
+            self._height -= 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(self, rect: Rect) -> list[Entry]:
+        """All entries whose rectangles intersect ``rect``."""
+        out: list[Entry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(rect):
+                continue
+            if node.is_leaf:
+                self.charge_leaf_read(node)
+                out.extend(
+                    e for e in node.children if e.rect.intersects(rect)
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def point_query(self, point: np.ndarray) -> list[Entry]:
+        """All entries whose rectangles contain ``point``."""
+        p = np.asarray(point, dtype=np.float64)
+        out: list[Entry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.contains_point(p):
+                continue
+            if node.is_leaf:
+                self.charge_leaf_read(node)
+                out.extend(
+                    e for e in node.children if e.rect.contains_point(p)
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def iter_entries(self) -> Iterator[Entry]:
+        """All entries (no I/O charged; testing/maintenance helper)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.children
+            else:
+                stack.extend(node.children)
+
+    # ------------------------------------------------------------------
+    # Nearest-neighbor browsing (Hjaltason & Samet)
+    # ------------------------------------------------------------------
+    def nearest_iter(
+        self,
+        point: np.ndarray,
+        skip: Callable[[Entry], bool] | None = None,
+    ) -> Iterator[tuple[float, Entry]]:
+        """Entries in ascending order of mindist to ``point``.
+
+        The incremental 'distance browsing' algorithm: a priority queue
+        mixes nodes and entries keyed by squared mindist; an entry popped
+        before every node with smaller mindist is guaranteed to be the
+        next nearest.  Yields ``(mindist, entry)`` pairs lazily — exactly
+        what IS consumes ("examines the nearest neighbor of o one at a
+        time", Section V-A).
+
+        Parameters
+        ----------
+        point:
+            Query point.
+        skip:
+            Optional predicate; matching entries are silently skipped
+            (used to exclude the query object itself).
+        """
+        p = np.asarray(point, dtype=np.float64)
+        counter = itertools.count()
+        heap: list[tuple[float, int, bool, Any]] = []
+        if self._root.mbr is not None:
+            heapq.heappush(
+                heap,
+                (
+                    mindist_sq_point_rect(p, self._root.mbr),
+                    next(counter),
+                    False,
+                    self._root,
+                ),
+            )
+        while heap:
+            dist_sq, _, is_entry, item = heapq.heappop(heap)
+            if is_entry:
+                yield float(np.sqrt(dist_sq)), item
+                continue
+            node: Node = item
+            if node.is_leaf:
+                self.charge_leaf_read(node)
+                for entry in node.children:
+                    if skip is not None and skip(entry):
+                        continue
+                    heapq.heappush(
+                        heap,
+                        (
+                            mindist_sq_point_rect(p, entry.rect),
+                            next(counter),
+                            True,
+                            entry,
+                        ),
+                    )
+            else:
+                for child in node.children:
+                    heapq.heappush(
+                        heap,
+                        (
+                            mindist_sq_point_rect(p, child.mbr),
+                            next(counter),
+                            False,
+                            child,
+                        ),
+                    )
+
+    def knn(
+        self,
+        point: np.ndarray,
+        k: int,
+        skip: Callable[[Entry], bool] | None = None,
+    ) -> list[tuple[float, Entry]]:
+        """The ``k`` nearest entries by mindist (ties arbitrary)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return list(itertools.islice(self.nearest_iter(point, skip), k))
+
+    # ------------------------------------------------------------------
+    # Structural invariants (for tests)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError when any R-tree invariant is violated."""
+        def recurse(node: Node, is_root: bool) -> int:
+            assert len(node.children) <= self.max_entries, "overfull node"
+            if not is_root:
+                assert (
+                    len(node.children) >= self.min_entries
+                ), "underfull node"
+            if node.mbr is not None:
+                for c in node.children:
+                    assert node.mbr.contains_rect(
+                        node.child_rect(c)
+                    ), "MBR does not cover child"
+            if node.is_leaf:
+                return 1
+            depths = set()
+            for c in node.children:
+                assert c.parent is node, "broken parent pointer"
+                assert c.level == node.level - 1, "broken level"
+                depths.add(recurse(c, False))
+            assert len(depths) == 1, "leaves at different depths"
+            return depths.pop() + 1
+        n = sum(1 for _ in self.iter_entries())
+        assert n == self._size, f"size mismatch: {n} vs {self._size}"
+        if self._size:
+            recurse(self._root, True)
+
+    def __repr__(self) -> str:
+        return (
+            f"RStarTree(dims={self.dims}, size={self._size}, "
+            f"height={self._height}, M={self.max_entries})"
+        )

@@ -1,0 +1,17 @@
+"""Storage substrate: simulated disk pager, extensible hashing, octree."""
+
+from .exthash import ExtensibleHashTable
+from .octree import OctreeConfig, PagedOctree
+from .pager import DEFAULT_PAGE_SIZE, IOStats, Page, PageChain, PageFullError, Pager
+
+__all__ = [
+    "Pager",
+    "Page",
+    "PageChain",
+    "PageFullError",
+    "IOStats",
+    "DEFAULT_PAGE_SIZE",
+    "ExtensibleHashTable",
+    "PagedOctree",
+    "OctreeConfig",
+]

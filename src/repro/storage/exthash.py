@@ -1,0 +1,178 @@
+"""Extensible hashing — the PV-index's secondary index.
+
+Section VI-A of the paper stores, for every object id, its UBR and its
+discretized uncertainty pdf in "an extensible hash table" kept on disk.
+This is the classic Fagin-style extendible hashing scheme ([41] in the
+paper): a directory of ``2^g`` bucket pointers (``g`` = global depth),
+each bucket a disk page with a local depth; an overflowing bucket splits
+by one bit, doubling the directory only when its local depth already
+equals the global depth.
+
+The directory is main-memory metadata; buckets live on the simulated
+:class:`~repro.storage.pager.Pager`, so every probe costs exactly one
+page read — the property the paper relies on when charging Step 2 with
+one secondary-index access per answer object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .pager import Pager
+
+__all__ = ["ExtensibleHashTable"]
+
+
+class _Bucket:
+    """Directory-side metadata of one hash bucket."""
+
+    __slots__ = ("page_id", "local_depth", "keys")
+
+    def __init__(self, page_id: int, local_depth: int) -> None:
+        self.page_id = page_id
+        self.local_depth = local_depth
+        self.keys: set[int] = set()
+
+
+class ExtensibleHashTable:
+    """An int-keyed extendible hash table over simulated disk pages.
+
+    Parameters
+    ----------
+    pager:
+        The shared simulated disk.
+    record_size:
+        Declared size in bytes of each record; with the default 4 KB
+        pages a bucket holds ``4096 // record_size`` records.  Records
+        larger than a page are stored as a single oversized logical
+        record that costs ``ceil(record_size / page_size)`` reads to
+        fetch (object pdfs routinely exceed one page).
+    """
+
+    def __init__(self, pager: Pager, record_size: int = 64) -> None:
+        if record_size < 1:
+            raise ValueError("record_size must be positive")
+        self.pager = pager
+        self.record_size = record_size
+        self._bucket_capacity = max(1, pager.page_size // record_size)
+        # Oversized records span several pages; model the extra I/O.
+        self._pages_per_record = -(-record_size // pager.page_size)
+        bucket = _Bucket(page_id=pager.allocate(), local_depth=0)
+        self.global_depth = 0
+        self._directory: list[_Bucket] = [bucket]
+        self._store: dict[int, Any] = {}
+        self._n_records = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n_records
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._store
+
+    def keys(self) -> Iterator[int]:
+        """All stored keys."""
+        return iter(self._store.keys())
+
+    @property
+    def directory_size(self) -> int:
+        """Number of directory slots (``2^global_depth``)."""
+        return len(self._directory)
+
+    @property
+    def n_buckets(self) -> int:
+        """Number of distinct buckets (pages)."""
+        return len({id(b) for b in self._directory})
+
+    def disk_pages(self) -> int:
+        """Total pages attributable to the table's records."""
+        return self.n_buckets * self._pages_per_record
+
+    # ------------------------------------------------------------------
+    def _slot(self, key: int) -> int:
+        """Directory slot for ``key``: low ``global_depth`` hash bits."""
+        if self.global_depth == 0:
+            return 0
+        return hash(key) & ((1 << self.global_depth) - 1)
+
+    def _bucket(self, key: int) -> _Bucket:
+        return self._directory[self._slot(key)]
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or overwrite; splits buckets / doubles the directory.
+
+        Costs one page write (plus redistribution writes on splits).
+        """
+        bucket = self._bucket(key)
+        if key in self._store and key in bucket.keys:
+            self._store[key] = value
+            self.pager.stats.writes += self._pages_per_record
+            return
+        while len(bucket.keys) >= self._bucket_capacity:
+            self._split(bucket)
+            bucket = self._bucket(key)
+        bucket.keys.add(key)
+        self._store[key] = value
+        self._n_records += 1
+        self.pager.stats.writes += self._pages_per_record
+
+    def get(self, key: int) -> Any:
+        """Fetch the record (one probe = one read per record page).
+
+        Raises
+        ------
+        KeyError
+            If the key is absent (the probe read is still charged —
+            a real system must read the bucket to discover absence).
+        """
+        self.pager.stats.reads += self._pages_per_record
+        bucket = self._bucket(key)
+        if key not in bucket.keys:
+            raise KeyError(key)
+        return self._store[key]
+
+    def delete(self, key: int) -> Any:
+        """Remove and return the record (one read + one write)."""
+        self.pager.stats.reads += self._pages_per_record
+        bucket = self._bucket(key)
+        if key not in bucket.keys:
+            raise KeyError(key)
+        bucket.keys.discard(key)
+        self._n_records -= 1
+        self.pager.stats.writes += self._pages_per_record
+        return self._store.pop(key)
+
+    # ------------------------------------------------------------------
+    def _split(self, bucket: _Bucket) -> None:
+        """Split an overflowing bucket by one hash bit."""
+        if bucket.local_depth == self.global_depth:
+            # Double the directory: each new slot mirrors its low-bits twin.
+            self._directory = self._directory + self._directory
+            self.global_depth += 1
+
+        new_depth = bucket.local_depth + 1
+        sibling = _Bucket(
+            page_id=self.pager.allocate(), local_depth=new_depth
+        )
+        bucket.local_depth = new_depth
+
+        # Re-point directory slots: among the slots sharing the bucket's
+        # old prefix, those with the new distinguishing bit set move to
+        # the sibling.
+        bit = 1 << (new_depth - 1)
+        for slot in range(len(self._directory)):
+            if self._directory[slot] is bucket and (slot & bit):
+                self._directory[slot] = sibling
+
+        # Redistribute keys between the two buckets.
+        moved = {k for k in bucket.keys if hash(k) & bit}
+        bucket.keys -= moved
+        sibling.keys |= moved
+        # Redistribution rewrites both pages.
+        self.pager.stats.writes += 2 * self._pages_per_record
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtensibleHashTable(records={self._n_records}, "
+            f"global_depth={self.global_depth}, buckets={self.n_buckets})"
+        )

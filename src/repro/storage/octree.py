@@ -1,0 +1,381 @@
+"""The paged octree — the PV-index's primary index.
+
+Section VI-A: a multi-dimensional octree (quadtree when d = 2) whose root
+covers the whole domain.  Non-leaf nodes hold ``2^d`` child pointers and
+live in a bounded amount of main memory; leaf nodes live on disk as
+linked lists of pages and store ``(object id, u(o))`` entries for every
+object whose UBR overlaps the leaf's region.  A leaf that fills its first
+page either chains another page (when the main-memory budget for non-leaf
+nodes is exhausted) or splits into ``2^d`` children.
+
+The octree is deliberately generic: it stores ``(key, rect, payload)``
+entries by rectangle overlap and answers point lookups.  The PV-index
+stores UBR-keyed entries; the UV-index reuses the same structure for its
+candidate grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..geometry import Rect
+from .pager import PageChain, Pager
+
+__all__ = ["OctreeConfig", "PagedOctree"]
+
+
+@dataclass(frozen=True)
+class OctreeConfig:
+    """Tuning knobs of the paged octree.
+
+    Parameters
+    ----------
+    memory_budget:
+        Bytes of main memory available for non-leaf nodes (the paper's
+        ``M``; 5 MB in the evaluation).  A split is allowed only while
+        allocating ``2^d`` children stays within budget.
+    nonleaf_node_bytes:
+        Accounted size of one non-leaf node (``2^d`` child pointers plus
+        bookkeeping); the paper's formula ``floor(M / 2^(d+2))`` nodes
+        corresponds to 8-byte pointers.
+    max_depth:
+        Hard recursion limit (guards degenerate inputs where many equal
+        rectangles can never be separated).
+    entry_bytes:
+        Declared on-page size of one leaf entry; defaults to
+        ``8 + 16 d`` (id + uncertainty region) via :meth:`entry_size`.
+    """
+
+    memory_budget: int = 5 * 1024 * 1024
+    nonleaf_node_bytes: int | None = None
+    max_depth: int = 24
+
+    def node_bytes(self, dims: int) -> int:
+        """Accounted main-memory size of one non-leaf node."""
+        if self.nonleaf_node_bytes is not None:
+            return self.nonleaf_node_bytes
+        return 8 * (1 << dims) + 32  # 2^d pointers + header
+
+    @staticmethod
+    def entry_size(dims: int) -> int:
+        """On-page size of one (id, rect) leaf entry."""
+        return 8 + 16 * dims
+
+
+class _Node:
+    """Internal octree node: either a leaf (page chain) or 2^d children."""
+
+    __slots__ = ("region", "children", "chain", "entries")
+
+    def __init__(self, region: Rect, pager: Pager) -> None:
+        self.region = region
+        self.children: list["_Node"] | None = None
+        self.chain: PageChain | None = PageChain(pager)
+        # In-memory mirror of the entries, used only to re-insert on
+        # split; reads for queries go through the pager for accounting.
+        self.entries: list[tuple[int, Rect, Any]] | None = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class PagedOctree:
+    """A space-partitioning octree with paged leaves.
+
+    Entries are ``(key, rect, payload)`` triples; an entry is replicated
+    into every leaf whose region its rectangle overlaps (clipping
+    replication, as in the paper's PV-index).
+
+    Parameters
+    ----------
+    domain:
+        Root region (the domain ``D``).
+    pager:
+        The shared simulated disk.
+    config:
+        Octree tuning; see :class:`OctreeConfig`.
+    entry_bytes:
+        Size charged per leaf entry; defaults to the (id, rect) layout.
+    """
+
+    def __init__(
+        self,
+        domain: Rect,
+        pager: Pager,
+        config: OctreeConfig | None = None,
+        entry_bytes: int | None = None,
+    ) -> None:
+        self.config = config or OctreeConfig()
+        self.pager = pager
+        self.entry_bytes = (
+            entry_bytes
+            if entry_bytes is not None
+            else OctreeConfig.entry_size(domain.dims)
+        )
+        self._root = _Node(domain, pager)
+        self._memory_used = self.config.node_bytes(domain.dims)
+        self._n_entries = 0
+        self._n_nodes = 1
+        self._n_leaves = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> Rect:
+        """The root region."""
+        return self._root.region
+
+    @property
+    def n_entries(self) -> int:
+        """Total stored entries (with replication)."""
+        return self._n_entries
+
+    @property
+    def n_nodes(self) -> int:
+        """Total nodes (leaves + non-leaves)."""
+        return self._n_nodes
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaf count."""
+        return self._n_leaves
+
+    @property
+    def memory_used(self) -> int:
+        """Accounted main-memory bytes used by non-leaf structure."""
+        return self._memory_used
+
+    def _can_split(self, dims: int) -> bool:
+        extra = (1 << dims) * self.config.node_bytes(dims)
+        return self._memory_used + extra <= self.config.memory_budget
+
+    # ------------------------------------------------------------------
+    # Insertion (index-construction algorithm of Section VI-A)
+    # ------------------------------------------------------------------
+    def insert(self, key: int, rect: Rect, payload: Any = None) -> None:
+        """Insert an entry into every leaf overlapping ``rect``."""
+        if not self._root.region.intersects(rect):
+            raise ValueError(
+                f"rect {rect!r} lies outside the octree domain"
+            )
+        self._insert_into(self._root, key, rect, payload, depth=0)
+        self._n_entries += 1
+
+    def _insert_into(
+        self, node: _Node, key: int, rect: Rect, payload: Any, depth: int
+    ) -> None:
+        if not node.is_leaf:
+            for child in node.children:  # type: ignore[union-attr]
+                if child.region.intersects(rect):
+                    self._insert_into(child, key, rect, payload, depth + 1)
+            return
+
+        assert node.chain is not None and node.entries is not None
+        head_free = self.pager.free_space(node.chain.head)
+        fits_head = head_free >= self.entry_bytes
+        if (
+            not fits_head
+            and depth < self.config.max_depth
+            and self._can_split(node.region.dims)
+            and self._split_helps(node, rect)
+        ):
+            self._split(node, depth)
+            self._insert_into(node, key, rect, payload, depth)
+            return
+        # Either the head page has room, or we chain a page (budget
+        # exhausted / too deep) — PageChain handles the chaining.
+        node.chain.append_record(self.entry_bytes, (key, rect, payload))
+        node.entries.append((key, rect, payload))
+
+    @staticmethod
+    def _split_helps(node: _Node, incoming: Rect) -> bool:
+        """Would a split meaningfully separate this leaf's entries?
+
+        Entries replicate into every child they overlap, so when the
+        stored rectangles are large relative to the node, a split leaves
+        every child almost as loaded as the parent while multiplying
+        pages — recursing can then cascade to the depth limit (a real
+        failure mode for clustered data whose PV-cells span much of the
+        domain).  The split is performed only when the fullest would-be
+        child receives at most 80% of the entries; otherwise the leaf
+        chains another page, exactly what the paper's construction does
+        once main memory runs out.
+        """
+        assert node.entries is not None
+        rects = [rect for _key, rect, _payload in node.entries]
+        rects.append(incoming)
+        total = len(rects)
+        worst = 0
+        for child_region in node.region.quadrants():
+            load = sum(
+                1 for rect in rects if child_region.intersects(rect)
+            )
+            worst = max(worst, load)
+        return worst <= 0.8 * total
+
+    def _split(self, node: _Node, depth: int) -> None:
+        """Turn a leaf into a non-leaf with 2^d children; re-insert."""
+        assert node.chain is not None and node.entries is not None
+        old_entries = node.entries
+        node.chain.free_all()
+        node.chain = None
+        node.entries = None
+        node.children = [
+            _Node(region, self.pager) for region in node.region.quadrants()
+        ]
+        n_children = len(node.children)
+        self._memory_used += n_children * self.config.node_bytes(
+            node.region.dims
+        )
+        self._n_nodes += n_children
+        self._n_leaves += n_children - 1
+        for key, rect, payload in old_entries:
+            for child in node.children:
+                if child.region.intersects(rect):
+                    self._insert_into(child, key, rect, payload, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def point_query(self, point: np.ndarray) -> list[tuple[int, Rect, Any]]:
+        """Entries of the single leaf whose region contains ``point``.
+
+        Traversal of non-leaf nodes is free (they are in memory); reading
+        the leaf costs one page read per chained page.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        if not self._root.region.contains_point(p):
+            raise ValueError("query point outside the domain")
+        node = self._root
+        while not node.is_leaf:
+            node = self._child_containing(node, p)
+        assert node.chain is not None
+        return node.chain.read_all()
+
+    def _child_containing(self, node: _Node, p: np.ndarray) -> _Node:
+        """The child whose half-open region owns ``p``.
+
+        Children share boundaries; ties resolve toward the high half so
+        every point belongs to exactly one child.
+        """
+        mid = node.region.center
+        index = 0
+        for j in range(node.region.dims):
+            if p[j] >= mid[j]:
+                index |= 1 << j
+        return node.children[index]  # type: ignore[index]
+
+    def range_query_leaves(self, rect: Rect) -> list["_LeafView"]:
+        """All leaves whose regions overlap ``rect`` (no I/O charged).
+
+        Used by construction/maintenance (which subsequently reads or
+        rewrites the leaves through the returned views, charging I/O at
+        that point).
+        """
+        out: list[_LeafView] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.region.intersects(rect):
+                continue
+            if node.is_leaf:
+                out.append(_LeafView(self, node))
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return out
+
+    def range_query(self, rect: Rect) -> list[tuple[int, Rect, Any]]:
+        """Entries of every leaf overlapping ``rect`` (reads charged)."""
+        out: list[tuple[int, Rect, Any]] = []
+        for leaf in self.range_query_leaves(rect):
+            out.extend(leaf.read())
+        return out
+
+    def iter_leaves(self) -> Iterator["_LeafView"]:
+        """Every leaf of the tree (no I/O charged)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield _LeafView(self, node)
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedOctree(nodes={self._n_nodes}, leaves={self._n_leaves}, "
+            f"entries={self._n_entries}, memory={self._memory_used}B)"
+        )
+
+
+class _LeafView:
+    """Handle to one octree leaf, used by maintenance operations."""
+
+    __slots__ = ("_tree", "_node")
+
+    def __init__(self, tree: PagedOctree, node: _Node) -> None:
+        self._tree = tree
+        self._node = node
+
+    @property
+    def region(self) -> Rect:
+        """The leaf's region."""
+        return self._node.region
+
+    def read(self) -> list[tuple[int, Rect, Any]]:
+        """All entries (one read per chained page)."""
+        assert self._node.chain is not None
+        return self._node.chain.read_all()
+
+    def peek(self) -> list[tuple[int, Rect, Any]]:
+        """All entries without charging I/O (test/debug use only)."""
+        assert self._node.entries is not None
+        return list(self._node.entries)
+
+    def remove_key(self, key: int) -> int:
+        """Delete all entries with ``key``; returns how many were removed.
+
+        Rewrites the page chain (one write per surviving page).
+        """
+        assert self._node.chain is not None and self._node.entries is not None
+        keep = [e for e in self._node.entries if e[0] != key]
+        removed = len(self._node.entries) - len(keep)
+        if removed:
+            delta = len(keep) - len(self._node.entries)
+            self._node.entries = keep
+            self._node.chain.rewrite_all(
+                [(self._tree.entry_bytes, e) for e in keep]
+            )
+            self._tree._n_entries += delta
+        return removed
+
+    def add_entry(self, key: int, rect: Rect, payload: Any = None) -> None:
+        """Append an entry directly to this leaf (append-page I/O)."""
+        assert self._node.chain is not None and self._node.entries is not None
+        self._node.chain.append_record(
+            self._tree.entry_bytes, (key, rect, payload)
+        )
+        self._node.entries.append((key, rect, payload))
+        self._tree._n_entries += 1
+
+    def contains_key(self, key: int) -> bool:
+        """Metadata check (no I/O) whether the leaf holds ``key``."""
+        assert self._node.entries is not None
+        return any(e[0] == key for e in self._node.entries)
+
+    def compact(self) -> int:
+        """Rewrite the page chain to its minimal length; returns pages freed.
+
+        Construction and maintenance leave partially-filled pages behind
+        (splits, deletions, head-chaining); compaction repacks the
+        surviving entries densely, charging one write per resulting page.
+        """
+        assert self._node.chain is not None and self._node.entries is not None
+        before = len(self._node.chain)
+        self._node.chain.rewrite_all(
+            [(self._tree.entry_bytes, e) for e in self._node.entries]
+        )
+        return before - len(self._node.chain)

@@ -1,0 +1,245 @@
+"""A simulated disk: fixed-size pages with read/write accounting.
+
+The paper evaluates indexes on 4 KB disk pages and reports I/O counts
+(Figures 9(c) and 9(g)).  Reproducing that on modern hardware — much less
+from Python — is meaningless in absolute terms, so this module simulates
+the disk: every index in the library (PV-index octree leaves, R-tree
+leaves, UV-index leaves, the extensible hash table) stores its payloads
+through one :class:`Pager`, and the benchmarks report *page accesses*,
+which is exactly the quantity the paper's I/O figures measure up to a
+hardware constant.
+
+Pages hold opaque Python payloads, but admission is governed by declared
+byte sizes, so capacity behaves like a real 4 KB page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["PageFullError", "IOStats", "Page", "Pager"]
+
+DEFAULT_PAGE_SIZE = 4096
+"""Page capacity in bytes (the paper's 4 KB disk pages)."""
+
+
+class PageFullError(Exception):
+    """Raised when a record does not fit in the remaining page capacity."""
+
+
+@dataclass
+class IOStats:
+    """Counters of simulated disk traffic."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Reads plus writes."""
+        return self.reads + self.writes
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def snapshot(self) -> "IOStats":
+        """An independent copy of the current counters."""
+        return IOStats(reads=self.reads, writes=self.writes)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """Traffic accumulated since ``earlier`` (a prior snapshot)."""
+        return IOStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+        )
+
+
+@dataclass
+class Page:
+    """One disk page: a list of (size, payload) records."""
+
+    page_id: int
+    capacity: int
+    used: int = 0
+    records: list[tuple[int, Any]] = field(default_factory=list)
+
+    @property
+    def free(self) -> int:
+        """Remaining capacity in bytes."""
+        return self.capacity - self.used
+
+    def fits(self, nbytes: int) -> bool:
+        """True iff a record of ``nbytes`` bytes fits."""
+        return nbytes <= self.free
+
+
+class Pager:
+    """Allocates pages and mediates every (simulated) disk access.
+
+    All mutating/reading access must go through :meth:`read` /
+    :meth:`append` / :meth:`rewrite` so the I/O counters stay truthful.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size < 64:
+            raise ValueError("page_size must be at least 64 bytes")
+        self.page_size = page_size
+        self.stats = IOStats()
+        self._pages: dict[int, Page] = {}
+        self._next_id = 0
+        self._freed: list[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pages(self) -> int:
+        """Number of live pages."""
+        return len(self._pages)
+
+    def allocate(self) -> int:
+        """Create an empty page and return its id (one write)."""
+        if self._freed:
+            pid = self._freed.pop()
+        else:
+            pid = self._next_id
+            self._next_id += 1
+        self._pages[pid] = Page(page_id=pid, capacity=self.page_size)
+        self.stats.writes += 1
+        return pid
+
+    def free(self, page_id: int) -> None:
+        """Release a page (no I/O is charged; deallocation is metadata)."""
+        if page_id not in self._pages:
+            raise KeyError(f"no page {page_id}")
+        del self._pages[page_id]
+        self._freed.append(page_id)
+
+    def read(self, page_id: int) -> list[Any]:
+        """All payloads on the page (one read)."""
+        page = self._page(page_id)
+        self.stats.reads += 1
+        return [payload for _, payload in page.records]
+
+    def append(self, page_id: int, nbytes: int, payload: Any) -> None:
+        """Add a record to the page (one write).
+
+        Raises
+        ------
+        PageFullError
+            If the record does not fit; the caller is responsible for
+            chaining a new page (linked lists of pages, Section VI-A).
+        """
+        page = self._page(page_id)
+        if nbytes > self.page_size:
+            raise ValueError(
+                f"record of {nbytes} bytes exceeds page size "
+                f"{self.page_size}"
+            )
+        if not page.fits(nbytes):
+            raise PageFullError(
+                f"page {page_id}: {nbytes} bytes requested, "
+                f"{page.free} free"
+            )
+        page.records.append((nbytes, payload))
+        page.used += nbytes
+        self.stats.writes += 1
+
+    def rewrite(self, page_id: int, records: list[tuple[int, Any]]) -> None:
+        """Replace the whole page content (one write)."""
+        page = self._page(page_id)
+        used = sum(nbytes for nbytes, _ in records)
+        if used > self.page_size:
+            raise ValueError(
+                f"{used} bytes exceed page size {self.page_size}"
+            )
+        page.records = list(records)
+        page.used = used
+        self.stats.writes += 1
+
+    def free_space(self, page_id: int) -> int:
+        """Remaining bytes on a page (metadata; no I/O charged)."""
+        return self._page(page_id).free
+
+    def record_count(self, page_id: int) -> int:
+        """Number of records on a page (metadata; no I/O charged)."""
+        return len(self._page(page_id).records)
+
+    # ------------------------------------------------------------------
+    def _page(self, page_id: int) -> Page:
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"no page {page_id}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"Pager(pages={self.n_pages}, page_size={self.page_size}, "
+            f"reads={self.stats.reads}, writes={self.stats.writes})"
+        )
+
+
+class PageChain:
+    """A linked list of pages, newest first (the paper's leaf layout).
+
+    Section VI-A stores each octree leaf as "a linked list of disk
+    pages", appending a fresh page at the head when the current head
+    fills up.  The chain tracks its page ids in order so a full scan
+    reads every page exactly once.
+    """
+
+    __slots__ = ("pager", "pages")
+
+    def __init__(self, pager: Pager) -> None:
+        self.pager = pager
+        self.pages: list[int] = [pager.allocate()]
+
+    @property
+    def head(self) -> int:
+        """Page id of the head (most recently attached) page."""
+        return self.pages[0]
+
+    def append_record(self, nbytes: int, payload: Any) -> None:
+        """Append to the head page, chaining a new page when full."""
+        try:
+            self.pager.append(self.head, nbytes, payload)
+        except PageFullError:
+            self.pages.insert(0, self.pager.allocate())
+            self.pager.append(self.head, nbytes, payload)
+
+    def read_all(self) -> list[Any]:
+        """All records in the chain (one read per page)."""
+        out: list[Any] = []
+        for pid in self.pages:
+            out.extend(self.pager.read(pid))
+        return out
+
+    def rewrite_all(self, records: list[tuple[int, Any]]) -> None:
+        """Replace the chain content, compacting to as few pages as fit."""
+        # Pack greedily into existing pages, allocating/freeing as needed.
+        packed: list[list[tuple[int, Any]]] = [[]]
+        used = 0
+        for nbytes, payload in records:
+            if used + nbytes > self.pager.page_size:
+                packed.append([])
+                used = 0
+            packed[-1].append((nbytes, payload))
+            used += nbytes
+        while len(self.pages) < len(packed):
+            self.pages.insert(0, self.pager.allocate())
+        while len(self.pages) > len(packed) and len(self.pages) > 1:
+            self.pager.free(self.pages.pop(0))
+        for pid, recs in zip(self.pages, packed):
+            self.pager.rewrite(pid, recs)
+
+    def free_all(self) -> None:
+        """Release every page of the chain."""
+        for pid in self.pages:
+            self.pager.free(pid)
+        self.pages = []
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+
+__all__.append("PageChain")

@@ -1,0 +1,25 @@
+"""Uncertain-data model: objects, discrete pdfs, datasets, generators."""
+
+from .dataset import UncertainDataset
+from .generators import (
+    clustered_dataset,
+    simulate_airports,
+    simulate_roads,
+    simulate_rrlines,
+    synthetic_dataset,
+)
+from .objects import UncertainObject
+from .pdfs import gaussian_pdf, point_pdf, uniform_pdf
+
+__all__ = [
+    "UncertainObject",
+    "UncertainDataset",
+    "uniform_pdf",
+    "gaussian_pdf",
+    "point_pdf",
+    "synthetic_dataset",
+    "clustered_dataset",
+    "simulate_roads",
+    "simulate_rrlines",
+    "simulate_airports",
+]

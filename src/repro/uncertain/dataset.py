@@ -1,0 +1,154 @@
+"""The uncertain database ``S``: a container of uncertain objects.
+
+Provides identity lookup, packed corner arrays for vectorized geometry,
+and copy-on-write style insert/delete used by the incremental-maintenance
+experiments (Section VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from ..geometry import Rect
+from .objects import UncertainObject
+
+__all__ = ["UncertainDataset"]
+
+
+class UncertainDataset:
+    """A set of uncertain objects sharing one domain.
+
+    Parameters
+    ----------
+    objects:
+        The uncertain objects; ids must be unique and dimensionalities
+        must agree with the domain.
+    domain:
+        The domain rectangle ``D``.  When omitted, a tight bound around
+        all uncertainty regions is used.
+    """
+
+    def __init__(
+        self,
+        objects: Iterable[UncertainObject],
+        domain: Rect | None = None,
+    ) -> None:
+        objs = list(objects)
+        if not objs:
+            raise ValueError("dataset must contain at least one object")
+        dims = objs[0].dims
+        if any(o.dims != dims for o in objs):
+            raise ValueError("all objects must share one dimensionality")
+        ids = [o.oid for o in objs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("object ids must be unique")
+        if domain is None:
+            domain = Rect.bounding([o.region for o in objs])
+        elif domain.dims != dims:
+            raise ValueError("domain dimensionality mismatch")
+        else:
+            for o in objs:
+                if not domain.contains_rect(o.region):
+                    raise ValueError(
+                        f"object {o.oid} lies outside the domain"
+                    )
+        self.domain = domain
+        self._objects: dict[int, UncertainObject] = {o.oid: o for o in objs}
+        self._packed_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None
+        self._packed_cache = None
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[UncertainObject]:
+        return iter(self._objects.values())
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._objects
+
+    def __getitem__(self, oid: int) -> UncertainObject:
+        return self._objects[oid]
+
+    def get(self, oid: int) -> UncertainObject | None:
+        """The object with id ``oid``, or ``None``."""
+        return self._objects.get(oid)
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the attribute space."""
+        return self.domain.dims
+
+    @property
+    def ids(self) -> list[int]:
+        """All object ids (insertion order)."""
+        return list(self._objects.keys())
+
+    @property
+    def objects(self) -> Mapping[int, UncertainObject]:
+        """Read-only id -> object view."""
+        return dict(self._objects)
+
+    # ------------------------------------------------------------------
+    # Vectorization support
+    # ------------------------------------------------------------------
+    def packed_regions(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(ids, los, his)`` packed corner arrays for all objects.
+
+        The result is cached and invalidated by :meth:`insert` /
+        :meth:`delete`; hot paths (C-set selection, PV-cell ground truth)
+        use it instead of iterating :class:`Rect` objects.
+        """
+        if self._packed_cache is None:
+            ids = np.fromiter(
+                self._objects.keys(), dtype=np.int64, count=len(self)
+            )
+            los = np.array([o.region.lo for o in self._objects.values()])
+            his = np.array([o.region.hi for o in self._objects.values()])
+            self._packed_cache = (ids, los, his)
+        return self._packed_cache
+
+    def means(self) -> np.ndarray:
+        """``(n, d)`` array of object mean positions (dataset order)."""
+        __, los, his = self.packed_regions()
+        return (los + his) / 2.0
+
+    # ------------------------------------------------------------------
+    # Mutation (used by the update experiments)
+    # ------------------------------------------------------------------
+    def insert(self, obj: UncertainObject) -> None:
+        """Add ``obj``; its id must be fresh and region inside the domain."""
+        if obj.oid in self._objects:
+            raise ValueError(f"duplicate object id {obj.oid}")
+        if obj.dims != self.dims:
+            raise ValueError("object dimensionality mismatch")
+        if not self.domain.contains_rect(obj.region):
+            raise ValueError(f"object {obj.oid} lies outside the domain")
+        self._objects[obj.oid] = obj
+        self._packed_cache = None
+
+    def delete(self, oid: int) -> UncertainObject:
+        """Remove and return the object with id ``oid``."""
+        try:
+            obj = self._objects.pop(oid)
+        except KeyError:
+            raise KeyError(f"no object with id {oid}") from None
+        if not self._objects:
+            self._objects[obj.oid] = obj
+            raise ValueError("cannot delete the last object of a dataset")
+        self._packed_cache = None
+        return obj
+
+    def copy(self) -> "UncertainDataset":
+        """A shallow copy (objects are immutable and safely shared)."""
+        return UncertainDataset(self._objects.values(), domain=self.domain)
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainDataset(n={len(self)}, dims={self.dims}, "
+            f"domain={self.domain!r})"
+        )

@@ -1,0 +1,139 @@
+"""Uncertain objects under the attribute-uncertainty model.
+
+Following Section I and III of the paper, an uncertain object ``o`` has:
+
+* an **uncertainty region** ``u(o)`` — an axis-parallel rectangle that
+  minimally bounds all possible attribute values, and
+* an **uncertainty pdf** — here the *discrete model* of [13], [14]: a set
+  of d-dimensional instances, each carrying the probability of being the
+  exact value of ``o``.
+
+The uncertainty region is what every pruning structure (PV-index, R-tree,
+UV-index) operates on; the instances are only touched in PNNQ Step 2
+(probability computation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry import Rect
+
+__all__ = ["UncertainObject"]
+
+
+@dataclass(frozen=True)
+class UncertainObject:
+    """One uncertain object: identity, region, and discrete pdf.
+
+    Parameters
+    ----------
+    oid:
+        Integer identity, unique within a dataset.
+    region:
+        The uncertainty region ``u(o)``; must contain every instance.
+    instances:
+        ``(m, d)`` array of possible attribute values.
+    weights:
+        ``(m,)`` array of instance probabilities, summing to one.  When
+        omitted, instances are equally likely (the paper's default:
+        "each of which exists with a probability of 1/500").
+    """
+
+    oid: int
+    region: Rect
+    instances: np.ndarray
+    weights: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        instances = np.asarray(self.instances, dtype=np.float64)
+        if instances.ndim != 2 or instances.shape[0] == 0:
+            raise ValueError("instances must be a non-empty (m, d) array")
+        if instances.shape[1] != self.region.dims:
+            raise ValueError(
+                f"instance dimensionality {instances.shape[1]} does not "
+                f"match region dimensionality {self.region.dims}"
+            )
+        object.__setattr__(self, "instances", instances)
+
+        if self.weights is None:
+            weights = np.full(len(instances), 1.0 / len(instances))
+        else:
+            weights = np.asarray(self.weights, dtype=np.float64)
+            if weights.shape != (len(instances),):
+                raise ValueError(
+                    "weights must be a 1-d array matching the instance count"
+                )
+            if np.any(weights < 0):
+                raise ValueError("weights must be non-negative")
+            total = float(weights.sum())
+            if total <= 0:
+                raise ValueError("weights must sum to a positive value")
+            if not np.isclose(total, 1.0, atol=1e-6):
+                raise ValueError(f"weights must sum to 1, got {total}")
+        object.__setattr__(self, "weights", weights)
+
+        lo_ok = np.all(instances >= self.region.lo - 1e-9)
+        hi_ok = np.all(instances <= self.region.hi + 1e-9)
+        if not (lo_ok and hi_ok):
+            raise ValueError(
+                f"object {self.oid}: instances fall outside u(o)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the attribute space."""
+        return self.region.dims
+
+    @property
+    def n_instances(self) -> int:
+        """Number of pdf sample points."""
+        return len(self.instances)
+
+    @property
+    def mean(self) -> np.ndarray:
+        """The mean position used by the FS / IS C-set strategies.
+
+        The paper orders objects by the distance between the *mean
+        positions* of their uncertainty regions; we use the region center,
+        which coincides with the distribution mean for the symmetric pdfs
+        used throughout the evaluation.
+        """
+        return self.region.center
+
+    def distance_samples(self, query: np.ndarray) -> np.ndarray:
+        """Distances from each instance to ``query`` (for PNNQ Step 2)."""
+        q = np.asarray(query, dtype=np.float64)
+        diff = self.instances - q
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def nbytes(self) -> int:
+        """Approximate serialized size for the simulated pager.
+
+        8 bytes of id + the region + ``m`` instances of ``d`` float64
+        coordinates + ``m`` float64 weights.
+        """
+        return (
+            8
+            + self.region.nbytes()
+            + self.instances.size * 8
+            + self.weights.size * 8
+        )
+
+    def with_id(self, oid: int) -> "UncertainObject":
+        """A copy of this object under a different identity."""
+        return UncertainObject(
+            oid=oid,
+            region=self.region,
+            instances=self.instances,
+            weights=self.weights,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"UncertainObject(oid={self.oid}, dims={self.dims}, "
+            f"m={self.n_instances})"
+        )

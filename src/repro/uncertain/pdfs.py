@@ -1,0 +1,85 @@
+"""Discrete uncertainty-pdf factories.
+
+The paper represents every uncertainty pdf by a fixed number of sampled
+instances (500 in the evaluation) with equal weights.  These factories
+produce `(instances, weights)` pairs for the pdf families used in the
+paper's setup:
+
+* uniform within the uncertainty region (synthetic datasets),
+* truncated Gaussian around the reported location (real datasets,
+  "normal distribution with mean equal to the object's reported location
+  and variance equal to 1"),
+* a single certain point (the degenerate case where the PV-cell reduces
+  to an ordinary Voronoi cell, Figure 1(a)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry import Rect
+
+__all__ = ["uniform_pdf", "gaussian_pdf", "point_pdf"]
+
+
+def uniform_pdf(
+    region: Rect, n_samples: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """``n_samples`` equally weighted instances uniform in ``region``."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    instances = region.sample_points(n_samples, rng)
+    weights = np.full(n_samples, 1.0 / n_samples)
+    return instances, weights
+
+
+def gaussian_pdf(
+    region: Rect,
+    n_samples: int,
+    rng: np.random.Generator,
+    sigma: float = 1.0,
+    mean: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Truncated-Gaussian instances inside ``region``.
+
+    Samples are drawn from an isotropic normal centred at ``mean`` (the
+    region center by default) with standard deviation ``sigma`` and
+    rejected until they fall inside ``region``; a clipping fallback
+    guarantees termination even when ``sigma`` dwarfs the region.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    mu = region.center if mean is None else np.asarray(mean, np.float64)
+    if not region.contains_point(mu):
+        raise ValueError("mean must lie inside the uncertainty region")
+
+    collected: list[np.ndarray] = []
+    needed = n_samples
+    for _ in range(100):  # rejection rounds
+        draw = rng.normal(mu, sigma, size=(2 * needed + 16, region.dims))
+        inside = np.all(
+            (draw >= region.lo) & (draw <= region.hi), axis=1
+        )
+        good = draw[inside]
+        if len(good):
+            collected.append(good[:needed])
+            needed -= len(collected[-1])
+        if needed == 0:
+            break
+    if needed > 0:
+        # Pathological acceptance rate: clip the remainder to the region.
+        draw = rng.normal(mu, sigma, size=(needed, region.dims))
+        collected.append(np.clip(draw, region.lo, region.hi))
+    instances = np.vstack(collected)
+    weights = np.full(n_samples, 1.0 / n_samples)
+    return instances, weights
+
+
+def point_pdf(point: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The certain case: a single instance with probability one."""
+    p = np.asarray(point, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError("point must be a 1-d coordinate array")
+    return p[None, :].copy(), np.array([1.0])

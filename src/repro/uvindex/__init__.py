@@ -1,0 +1,17 @@
+"""UV-index baseline ([9]) for 2D circular uncertainty regions."""
+
+from .circles import (
+    CircleSet,
+    circle_maxdist,
+    circle_mindist,
+    circumscribed_circle,
+)
+from .uvindex import UVIndex
+
+__all__ = [
+    "CircleSet",
+    "circumscribed_circle",
+    "circle_mindist",
+    "circle_maxdist",
+    "UVIndex",
+]

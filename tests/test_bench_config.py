@@ -1,0 +1,78 @@
+"""Tests for the benchmark configuration (repro.bench.config)."""
+
+from repro.bench.config import PAPER, SCALE, BenchScale, PaperDefaults
+
+
+class TestPaperDefaults:
+    def test_table1_values(self):
+        """The constants must match Table I of the paper exactly."""
+        assert PAPER.sizes == (20_000, 40_000, 60_000, 80_000, 100_000)
+        assert PAPER.default_size == 60_000
+        assert PAPER.dims == (2, 3, 4, 5)
+        assert PAPER.default_dims == 3
+        assert PAPER.u_maxes == (20.0, 40.0, 60.0, 80.0, 100.0)
+        assert PAPER.default_u_max == 60.0
+        assert PAPER.default_delta == 1.0
+        assert PAPER.default_m_max == 10
+        assert PAPER.default_k == 200
+        assert PAPER.default_kpartition == 10
+        assert PAPER.default_kglobal == 200
+        assert PAPER.n_samples == 500
+        assert PAPER.domain_size == 10_000.0
+
+    def test_real_dataset_sizes(self):
+        assert PAPER.real_sizes == {
+            "roads": 30_000,
+            "rrlines": 36_000,
+            "airports": 20_000,
+        }
+
+    def test_evaluation_constants(self):
+        assert PAPER.rtree_fanout == 100
+        assert PAPER.memory_budget == 5 * 1024 * 1024
+        assert PAPER.page_size == 4096
+
+
+class TestBenchScale:
+    def test_shape_defining_parameters_match_paper(self):
+        """Everything that shapes the curves is unchanged from Table I."""
+        assert SCALE.dims == PAPER.dims
+        assert SCALE.u_maxes == PAPER.u_maxes
+        assert SCALE.deltas == PAPER.deltas
+        assert SCALE.m_maxes == PAPER.m_maxes
+        assert SCALE.ks == PAPER.ks
+        assert SCALE.kpartitions == PAPER.kpartitions
+        assert SCALE.default_kglobal == PAPER.default_kglobal
+        assert SCALE.domain_size == PAPER.domain_size
+        assert SCALE.page_size == PAPER.page_size
+        assert SCALE.rtree_fanout == PAPER.rtree_fanout
+
+    def test_sizes_scaled_down(self):
+        assert max(SCALE.sizes) < min(PAPER.sizes)
+        assert SCALE.n_samples < PAPER.n_samples
+        assert all(
+            SCALE.real_sizes[k] < PAPER.real_sizes[k]
+            for k in PAPER.real_sizes
+        )
+
+    def test_defaults_are_members_of_sweeps(self):
+        for cfg in (PAPER, SCALE):
+            assert cfg.default_size in cfg.sizes
+            assert cfg.default_dims in cfg.dims
+            assert cfg.default_u_max in cfg.u_maxes
+            assert cfg.default_delta in cfg.deltas
+            assert cfg.default_m_max in cfg.m_maxes
+            assert cfg.default_k in cfg.ks
+            assert cfg.default_kpartition in cfg.kpartitions
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            SCALE.default_size = 1  # type: ignore[misc]
+
+    def test_instances_independent(self):
+        a, b = BenchScale(), PaperDefaults()
+        assert a.real_sizes is not b.real_sizes

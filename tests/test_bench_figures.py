@@ -1,0 +1,161 @@
+"""Tests for the figure drivers (repro.bench.figures) at tiny scale.
+
+Each driver is exercised once with minimal sweeps — enough to validate
+row structure, column contracts, and the qualitative relations the
+benchmarks assert at larger scale.
+"""
+
+import pytest
+
+from repro.bench import figures
+
+
+class TestTable1:
+    def test_rows_and_registry(self):
+        result = figures.table1_defaults()
+        assert len(result.rows) == 8
+        assert result.figure == "Table I"
+        assert "table1" in figures.ALL_FIGURES
+
+    def test_each_parameter_listed_once(self):
+        result = figures.table1_defaults()
+        params = result.series("parameter")
+        assert len(params) == len(set(params))
+
+
+class TestQuerySweeps:
+    def test_fig9a_structure(self):
+        result = figures.fig9a_query_vs_size(
+            sizes=[40, 80], n_queries=3
+        )
+        assert len(result.rows) == 4  # 2 sizes x 2 indexes
+        assert set(result.series("index")) == {"R-tree", "PV-index"}
+        for row in result.rows:
+            assert row["tq_ms"] >= 0
+            assert row["tq_ms"] == pytest.approx(
+                row["t_or_ms"] + row["t_pc_ms"], rel=1e-6
+            )
+
+    def test_fig9b_fractions(self):
+        result = figures.fig9b_or_pc_split(size=50, n_queries=3)
+        for row in result.rows:
+            assert 0.0 <= row["or_fraction"] <= 1.0
+
+    def test_fig9c_io_nonnegative(self):
+        result = figures.fig9c_query_io_vs_size(
+            sizes=[40], n_queries=3
+        )
+        assert all(row["io_pages"] >= 0 for row in result.rows)
+
+    def test_fig9e_uv_only_2d(self):
+        result = figures.fig9e_query_vs_dims(
+            dims=[2, 3], size=40, n_queries=3
+        )
+        uv_rows = [
+            r for r in result.rows if r["index"] == "UV-index"
+        ]
+        assert uv_rows and all(r["dims"] == 2 for r in uv_rows)
+
+    def test_fig9h_datasets(self):
+        result = figures.fig9h_real_datasets(
+            names=["airports"], size=40, n_queries=2
+        )
+        assert {r["dataset"] for r in result.rows} == {"airports"}
+        # airports is 3D: no UV-index rows.
+        assert all(r["index"] != "UV-index" for r in result.rows)
+
+
+class TestConstructionSweeps:
+    def test_fig10a_iterations_decrease_with_delta(self):
+        result = figures.fig10a_construction_vs_delta(
+            deltas=[1.0, 1000.0], size=40
+        )
+        iters = result.series("se_iterations")
+        assert iters[0] >= iters[1]
+
+    def test_fig10b_includes_all_three_strategies(self):
+        result = figures.fig10b_cset_all_fs_is(sizes=[25])
+        assert {r["strategy"] for r in result.rows} == {
+            "ALL", "FS", "IS",
+        }
+
+    def test_fig10c_reports_cset_sizes(self):
+        result = figures.fig10c_construction_vs_size(sizes=[40])
+        for row in result.rows:
+            assert row["mean_cset"] > 0
+
+    def test_fig10e_split_components(self):
+        result = figures.fig10e_se_time_split(size=40)
+        for row in result.rows:
+            assert row["choose_cset_s"] >= 0
+            assert row["ubr_s"] > 0
+
+    def test_fig10g_speedup_positive(self):
+        result = figures.fig10g_uv_speedup(
+            names=["roads"], size=60
+        )
+        assert result.rows[0]["speedup"] > 0
+
+
+class TestUpdateSweeps:
+    def test_fig10h_insertion_methods(self):
+        result = figures.fig10h_insertion(
+            sizes=[40], update_fraction=0.1
+        )
+        assert {r["method"] for r in result.rows} == {"Inc", "Rebuild"}
+        assert all(r["tu_seconds"] > 0 for r in result.rows)
+
+    def test_fig10i_deletion_methods(self):
+        result = figures.fig10i_deletion(
+            sizes=[40], update_fraction=0.1
+        )
+        assert {r["method"] for r in result.rows} == {"Inc", "Rebuild"}
+
+    def test_invalid_operation_rejected(self):
+        with pytest.raises(ValueError, match="operation"):
+            figures._update_sweep("f", "t", "upsert", [10], 0.1)
+
+
+class TestAblations:
+    def test_mmax_volumes_monotone(self):
+        result = figures.ablation_mmax(m_maxes=[2, 20], size=30)
+        vols = result.series("mean_ubr_volume")
+        assert vols[1] <= vols[0] * 1.0000001
+
+    def test_tightness_no_violations(self):
+        result = figures.ablation_ubr_tightness(
+            deltas=[10.0], size=25, n_probe=256
+        )
+        assert result.rows[0]["containment_violations"] == 0
+
+    def test_verifier_fraction_in_unit_interval(self):
+        result = figures.ablation_verifier(size=40, n_queries=3)
+        assert 0.0 <= result.rows[0]["avoided_frac"] <= 1.0
+
+    def test_cset_parameters_rows(self):
+        result = figures.ablation_cset_parameters(
+            ks=[20], kpartitions=[5], size=30, n_queries=2
+        )
+        assert {r["strategy"] for r in result.rows} == {"FS", "IS"}
+
+
+class TestRegistry:
+    def test_all_figures_complete(self):
+        expected = {
+            "table1", "fig9a", "fig9b", "fig9c", "fig9d", "fig9e",
+            "fig9f", "fig9g", "fig9h", "fig10a", "fig10b", "fig10c",
+            "fig10d", "fig10e", "fig10f", "fig10g", "fig10h", "fig10i",
+            "ablation_mmax", "ablation_cset", "ablation_tightness",
+            "ablation_verifier", "ablation_bulkload", "ablation_topk",
+            "ablation_knn",
+        }
+        assert set(figures.ALL_FIGURES) == expected
+
+    def test_cli_lists_figures(self, capsys):
+        with pytest.raises(SystemExit):
+            figures.main(["not-a-figure"])
+
+    def test_cli_runs_table1(self, capsys):
+        assert figures.main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out

@@ -1,0 +1,99 @@
+"""Tests for benchmark instrumentation (repro.bench.instruments)."""
+
+import time
+
+import pytest
+
+from repro.bench.instruments import RunningMean, Stopwatch, measure_io
+from repro.storage import Pager
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        assert watch.seconds >= 0.009
+
+    def test_accumulates_over_reentry(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.005)
+        first = watch.seconds
+        with watch:
+            time.sleep(0.005)
+        assert watch.seconds > first
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.seconds == 0.0
+
+    def test_millis(self):
+        watch = Stopwatch()
+        watch.seconds = 0.5
+        assert watch.millis == pytest.approx(500.0)
+
+    def test_exception_still_accumulates(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            with watch:
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        assert watch.seconds >= 0.004
+
+
+class TestMeasureIO:
+    def test_captures_page_traffic(self):
+        pager = Pager()
+        pid = pager.allocate()
+        pager.append(pid, 16, "x")
+        with measure_io(pager) as io:
+            pager.read(pid)
+            pager.append(pid, 16, "y")
+        assert io.reads == 1
+        assert io.writes == 1
+        assert io.total == 2
+
+    def test_ignores_traffic_outside_block(self):
+        pager = Pager()
+        pid = pager.allocate()
+        pager.read(pid)  # before
+        with measure_io(pager) as io:
+            pass
+        pager.read(pid)  # after
+        assert io.total == 0
+
+    def test_nested_blocks(self):
+        pager = Pager()
+        pid = pager.allocate()
+        with measure_io(pager) as outer:
+            pager.read(pid)
+            with measure_io(pager) as inner:
+                pager.read(pid)
+        assert inner.reads == 1
+        assert outer.reads == 2
+
+    def test_filled_even_on_exception(self):
+        pager = Pager()
+        pid = pager.allocate()
+        with pytest.raises(ValueError):
+            with measure_io(pager) as io:
+                pager.read(pid)
+                raise ValueError
+        assert io.reads == 1
+
+
+class TestRunningMean:
+    def test_empty_mean_is_zero(self):
+        assert RunningMean().mean == 0.0
+
+    def test_mean(self):
+        m = RunningMean()
+        for v in (1.0, 2.0, 3.0):
+            m.add(v)
+        assert m.mean == pytest.approx(2.0)
+        assert m.count == 3
+        assert m.values == [1.0, 2.0, 3.0]

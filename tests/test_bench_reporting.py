@@ -1,0 +1,72 @@
+"""Tests for figure formatting (repro.bench.reporting)."""
+
+import pytest
+
+from repro.bench.figures import FigureResult
+from repro.bench.reporting import format_figure, format_rows
+
+
+@pytest.fixture()
+def result():
+    r = FigureResult(
+        figure="Fig X",
+        title="Example figure",
+        columns=("size", "index", "tq_ms"),
+        notes="a note",
+    )
+    r.add(size=100, index="R-tree", tq_ms=1.23456)
+    r.add(size=100, index="PV-index", tq_ms=0.000123)
+    return r
+
+
+class TestFormatRows:
+    def test_header_and_rule(self, result):
+        text = format_rows(result.columns, result.rows)
+        lines = text.splitlines()
+        assert "size" in lines[0] and "tq_ms" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 2 + len(result.rows)
+
+    def test_small_floats_use_scientific(self, result):
+        text = format_rows(result.columns, result.rows)
+        assert "1.230e-04" in text
+
+    def test_columns_aligned(self, result):
+        lines = format_rows(result.columns, result.rows).splitlines()
+        pipes = [
+            [i for i, c in enumerate(line) if c == "|"]
+            for line in lines
+            if "|" in line
+        ]
+        assert all(p == pipes[0] for p in pipes)
+
+    def test_empty_rows(self):
+        text = format_rows(("a", "b"), [])
+        assert "a" in text and "b" in text
+
+    def test_tuple_values(self):
+        text = format_rows(("vals",), [{"vals": (1, 2, 3)}])
+        assert "(1, 2, 3)" in text
+
+
+class TestFormatFigure:
+    def test_contains_heading_and_note(self, result):
+        text = format_figure(result)
+        assert text.startswith("Fig X: Example figure")
+        assert "note: a note" in text
+
+    def test_no_note_line_when_empty(self, result):
+        bare = FigureResult(
+            figure="Fig Y", title="t", columns=("a",)
+        )
+        bare.add(a=1)
+        assert "note:" not in format_figure(bare)
+
+
+class TestFigureResult:
+    def test_add_validates_columns(self, result):
+        with pytest.raises(ValueError, match="missing columns"):
+            result.add(size=1)
+
+    def test_series(self, result):
+        assert result.series("index") == ["R-tree", "PV-index"]

@@ -1,0 +1,117 @@
+"""Tests for benchmark workload construction (repro.bench.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.config import SCALE
+from repro.bench.workloads import (
+    build_pv_bundle,
+    build_rtree_bundle,
+    build_uv_bundle,
+    make_dataset,
+    query_points,
+    real_dataset,
+    strategy_by_name,
+)
+from repro.core import AllCSet, FixedSelection, IncrementalSelection
+from repro.core.pvcell import possible_nn_ids
+
+
+class TestMakeDataset:
+    def test_defaults_follow_scale(self):
+        dataset = make_dataset(n=30)
+        assert len(dataset) == 30
+        assert dataset.dims == SCALE.default_dims
+        sample = next(iter(dataset))
+        assert len(sample.instances) == SCALE.n_samples
+
+    def test_overrides(self):
+        dataset = make_dataset(n=10, dims=2, u_max=20.0, n_samples=15)
+        assert dataset.dims == 2
+        sample = next(iter(dataset))
+        assert len(sample.instances) == 15
+        assert np.all(sample.region.side_lengths <= 20.0)
+
+    def test_seed_reproducibility(self):
+        a = make_dataset(n=12, seed=5)
+        b = make_dataset(n=12, seed=5)
+        for oid in a.ids:
+            assert np.allclose(a[oid].region.lo, b[oid].region.lo)
+
+
+class TestRealDataset:
+    @pytest.mark.parametrize("name", ["roads", "rrlines", "airports"])
+    def test_builders(self, name):
+        dataset = real_dataset(name, n=40)
+        assert len(dataset) == 40
+        assert dataset.dims == (3 if name == "airports" else 2)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown real dataset"):
+            real_dataset("cities")
+
+
+class TestQueryPoints:
+    def test_within_domain(self):
+        dataset = make_dataset(n=10)
+        points = query_points(dataset, n=50)
+        assert points.shape == (50, dataset.dims)
+        assert np.all(points >= dataset.domain.lo)
+        assert np.all(points <= dataset.domain.hi)
+
+    def test_default_count_follows_scale(self):
+        dataset = make_dataset(n=10)
+        assert len(query_points(dataset)) == SCALE.n_queries
+
+
+class TestStrategyFactory:
+    def test_names(self):
+        assert isinstance(strategy_by_name("FS"), FixedSelection)
+        assert isinstance(strategy_by_name("IS"), IncrementalSelection)
+        assert isinstance(strategy_by_name("ALL"), AllCSet)
+
+    def test_parameters_forwarded(self):
+        fs = strategy_by_name("FS", k=33)
+        assert fs.k == 33
+        is_ = strategy_by_name("IS", kpartition=7, kglobal=99)
+        assert is_.kpartition == 7
+        assert is_.kglobal == 99
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            strategy_by_name("RANDOM")
+
+
+class TestBundles:
+    @pytest.fixture(scope="class")
+    def dataset2d(self):
+        return make_dataset(n=40, dims=2, seed=1)
+
+    def test_all_bundles_agree_with_ground_truth(self, dataset2d):
+        exact = [
+            build_pv_bundle(dataset2d.copy()),
+            build_rtree_bundle(dataset2d.copy()),
+        ]
+        # UV bounds rectangles by circumscribed circles: superset only.
+        uv = build_uv_bundle(dataset2d.copy())
+        for q in query_points(dataset2d, n=10, seed=3):
+            truth = possible_nn_ids(dataset2d, q)
+            for bundle in exact:
+                assert set(bundle.candidates(q)) == truth, bundle.name
+            assert set(uv.candidates(q)) >= truth
+
+    def test_bundle_names(self, dataset2d):
+        assert build_pv_bundle(dataset2d.copy()).name == "PV-index"
+        assert build_rtree_bundle(dataset2d.copy()).name == "R-tree"
+        assert build_uv_bundle(dataset2d.copy()).name == "UV-index"
+
+    def test_build_seconds_recorded(self, dataset2d):
+        bundle = build_pv_bundle(dataset2d.copy())
+        assert bundle.build_seconds > 0
+
+    def test_engine_shares_pager(self, dataset2d):
+        """Engine queries must charge I/O to the bundle's pager."""
+        bundle = build_pv_bundle(dataset2d.copy())
+        before = bundle.pager.stats.total
+        bundle.engine.query(np.array([5000.0, 5000.0]))
+        assert bundle.pager.stats.total > before

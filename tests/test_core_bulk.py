@@ -1,0 +1,119 @@
+"""Tests for bulkloading and compression (repro.core.bulk)."""
+
+import numpy as np
+import pytest
+
+from repro import PVIndex, synthetic_dataset
+from repro.core import bulk_build, compact, z_order
+from repro.core.bulk import _morton_key
+from repro.geometry import Rect
+from repro.storage import Pager
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset(
+        n=70, dims=2, u_max=300.0, n_samples=30, seed=4
+    )
+
+
+class TestMortonOrder:
+    def test_morton_key_interleaves_bits(self):
+        # 2D: x=0b01, y=0b10 -> interleaved (y1 x1 y0 x0) = 0b1001.
+        assert _morton_key(np.array([1, 2]), bits=2) == 0b1001
+
+    def test_morton_key_monotone_on_diagonal(self):
+        keys = [
+            _morton_key(np.array([v, v]), bits=8) for v in (0, 1, 7, 255)
+        ]
+        assert keys == sorted(keys)
+
+    def test_z_order_is_permutation(self, dataset):
+        order = z_order(dataset)
+        assert sorted(order) == sorted(dataset.ids)
+
+    def test_z_order_groups_nearby_objects(self, dataset):
+        """Z-order keeps objects of the same quadrant contiguous-ish:
+        consecutive pairs are closer on average than random pairs."""
+        order = z_order(dataset)
+        centers = {o.oid: o.region.center for o in dataset}
+        consecutive = np.mean(
+            [
+                np.linalg.norm(centers[a] - centers[b])
+                for a, b in zip(order, order[1:])
+            ]
+        )
+        rng = np.random.default_rng(0)
+        shuffled = list(order)
+        rng.shuffle(shuffled)
+        random_pairs = np.mean(
+            [
+                np.linalg.norm(centers[a] - centers[b])
+                for a, b in zip(shuffled, shuffled[1:])
+            ]
+        )
+        assert consecutive < random_pairs
+
+
+class TestBulkBuild:
+    def test_same_answers_as_sequential(self, dataset):
+        sequential = PVIndex.build(dataset.copy())
+        report = bulk_build(dataset.copy())
+        rng = np.random.default_rng(1)
+        for q in rng.uniform(0, 10_000, size=(25, 2)):
+            assert set(report.index.candidates(q)) == set(
+                sequential.candidates(q)
+            ), f"bulk/sequential mismatch at {q}"
+
+    def test_same_ubrs_as_sequential(self, dataset):
+        sequential = PVIndex.build(dataset.copy())
+        report = bulk_build(dataset.copy())
+        for oid in dataset.ids:
+            a, b = report.index.ubr_of(oid), sequential.ubr_of(oid)
+            assert np.allclose(a.lo, b.lo) and np.allclose(a.hi, b.hi)
+
+    def test_report_accounting(self, dataset):
+        report = bulk_build(dataset.copy())
+        assert report.build_seconds > 0
+        assert report.write_pages > 0
+        assert len(report.index) == len(dataset)
+
+    def test_custom_pager_is_used(self, dataset):
+        pager = Pager(page_size=4096)
+        report = bulk_build(dataset.copy(), pager=pager)
+        assert report.index.pager is pager
+        assert pager.stats.writes > 0
+
+
+class TestCompaction:
+    def test_compact_preserves_answers(self, dataset):
+        index = PVIndex.build(dataset.copy())
+        rng = np.random.default_rng(2)
+        queries = rng.uniform(0, 10_000, size=(20, 2))
+        before = [set(index.candidates(q)) for q in queries]
+        compact(index)
+        after = [set(index.candidates(q)) for q in queries]
+        assert before == after
+
+    def test_compact_reclaims_after_deletions(self, dataset):
+        index = PVIndex.build(dataset.copy())
+        # Deleting objects leaves sparse page chains behind.
+        for oid in list(index.dataset.ids)[:30]:
+            index.delete(oid)
+        report = compact(index)
+        assert report.pages_after <= report.pages_before
+        assert report.pages_reclaimed >= 0
+        # Queries still correct for the surviving objects.
+        from repro.core.pvcell import possible_nn_ids
+
+        rng = np.random.default_rng(3)
+        for q in rng.uniform(0, 10_000, size=(10, 2)):
+            assert set(index.candidates(q)) == possible_nn_ids(
+                index.dataset, q
+            )
+
+    def test_compact_idempotent(self, dataset):
+        index = PVIndex.build(dataset.copy())
+        compact(index)
+        second = compact(index)
+        assert second.pages_reclaimed == 0

@@ -1,0 +1,165 @@
+"""Tests for the chooseCSet strategies (ALL / FS / IS)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AllCSet,
+    FixedSelection,
+    IncrementalSelection,
+    Rect,
+    UncertainDataset,
+    UncertainObject,
+    synthetic_dataset,
+)
+from repro.core.cset import CSet
+from repro.uncertain import uniform_pdf
+
+
+def make_obj(oid, center, half=2.0, seed=0):
+    region = Rect.from_center(center, half)
+    inst, w = uniform_pdf(region, 2, np.random.default_rng(seed))
+    return UncertainObject(oid, region, inst, w)
+
+
+class TestCSetContainer:
+    def test_from_objects(self):
+        objs = [make_obj(3, [5, 5]), make_obj(7, [9, 9])]
+        cset = CSet.from_objects(objs)
+        assert len(cset) == 2
+        assert cset.ids.tolist() == [3, 7]
+        assert cset.los.shape == (2, 2)
+
+    def test_empty(self):
+        cset = CSet.from_objects([])
+        assert len(cset) == 0
+
+
+class TestAllCSet:
+    def test_returns_everything_but_self(self):
+        ds = synthetic_dataset(n=30, dims=2, n_samples=2, seed=0)
+        strategy = AllCSet()
+        obj = ds[ds.ids[5]]
+        cset = strategy.choose(obj, ds)
+        assert len(cset) == 29
+        assert obj.oid not in cset.ids
+
+
+class TestFixedSelection:
+    def test_returns_k_nearest_means(self):
+        ds = synthetic_dataset(n=60, dims=2, n_samples=2, seed=1)
+        strategy = FixedSelection(k=10)
+        strategy.bind(ds)
+        obj = ds[ds.ids[0]]
+        cset = strategy.choose(obj, ds)
+        assert len(cset) == 10
+        assert obj.oid not in cset.ids
+        # Matches brute-force mean distances.
+        means = {o.oid: o.mean for o in ds}
+        brute = sorted(
+            (oid for oid in ds.ids if oid != obj.oid),
+            key=lambda oid: float(
+                np.linalg.norm(means[oid] - obj.mean)
+            ),
+        )[:10]
+        got_d = sorted(
+            float(np.linalg.norm(means[oid] - obj.mean))
+            for oid in cset.ids
+        )
+        want_d = sorted(
+            float(np.linalg.norm(means[oid] - obj.mean)) for oid in brute
+        )
+        assert np.allclose(got_d, want_d)
+
+    def test_k_capped_by_database(self):
+        ds = synthetic_dataset(n=5, dims=2, n_samples=2, seed=2)
+        cset = FixedSelection(k=50).choose(ds[ds.ids[0]], ds)
+        assert len(cset) == 4
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            FixedSelection(k=0)
+
+
+class TestIncrementalSelection:
+    def test_skips_overlapping_regions(self):
+        # o overlaps o1; o1 must not appear in the C-set (Lemma 2).
+        o = make_obj(0, [50, 50], half=5)
+        o1 = make_obj(1, [52, 52], half=5)   # overlaps o
+        o2 = make_obj(2, [70, 50], half=2)
+        o3 = make_obj(3, [30, 50], half=2)
+        ds = UncertainDataset(
+            [o, o1, o2, o3], domain=Rect.cube(0, 100, 2)
+        )
+        cset = IncrementalSelection(kpartition=1, kglobal=10).choose(o, ds)
+        assert 1 not in cset.ids
+        assert len(cset) >= 1
+
+    def test_quadrant_balance(self):
+        # Four objects, one per quadrant, plus a distant cluster in one
+        # quadrant; IS must pick at least one object in every quadrant.
+        objs = [make_obj(0, [50, 50], half=1)]
+        positions = [(30, 30), (70, 30), (30, 70), (70, 70)]
+        for i, pos in enumerate(positions, start=1):
+            objs.append(make_obj(i, list(pos), half=1))
+        # A near cluster in the lower-left quadrant that would saturate
+        # a pure k-NN selection.
+        for j in range(5, 10):
+            objs.append(make_obj(j, [45 - j, 45 - j], half=0.5))
+        ds = UncertainDataset(objs, domain=Rect.cube(0, 100, 2))
+        cset = IncrementalSelection(kpartition=1, kglobal=50).choose(
+            objs[0], ds
+        )
+        chosen = set(cset.ids.tolist())
+        assert {2, 3, 4} <= chosen  # one object in each other quadrant
+
+    def test_kglobal_caps_examination(self):
+        ds = synthetic_dataset(n=200, dims=2, n_samples=2, seed=3)
+        cset = IncrementalSelection(kpartition=50, kglobal=20).choose(
+            ds[ds.ids[0]], ds
+        )
+        assert len(cset) <= 20
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalSelection(kpartition=0)
+        with pytest.raises(ValueError):
+            IncrementalSelection(kglobal=0)
+
+    def test_touched_partitions_straddling(self):
+        mean = np.array([50.0, 50.0])
+        cand = make_obj(1, [50, 70], half=5)  # straddles x-split plane
+        parts = IncrementalSelection._touched_partitions(cand, mean, 2)
+        # Above the y plane (bit 1 set), both sides of x plane.
+        assert sorted(parts) == [2, 3]
+
+    def test_touched_partitions_single(self):
+        mean = np.array([50.0, 50.0])
+        cand = make_obj(1, [70, 70], half=1)
+        parts = IncrementalSelection._touched_partitions(cand, mean, 2)
+        assert parts == [3]
+
+    def test_notify_insert_delete_maintain_tree(self):
+        ds = synthetic_dataset(n=40, dims=2, n_samples=2, seed=4)
+        strategy = IncrementalSelection(kpartition=2, kglobal=30)
+        strategy.bind(ds)
+        new = make_obj(999, [5000, 5000], half=10)
+        ds.insert(new)
+        strategy.notify_insert(new)
+        cset = strategy.choose(ds[ds.ids[0]], ds)
+        assert len(cset) > 0
+        ds.delete(999)
+        strategy.notify_delete(new)
+        cset2 = strategy.choose(ds[ds.ids[0]], ds)
+        assert 999 not in cset2.ids
+
+
+class TestStrategyRebinding:
+    def test_rebinds_on_new_dataset(self):
+        ds1 = synthetic_dataset(n=20, dims=2, n_samples=2, seed=5)
+        ds2 = synthetic_dataset(n=25, dims=2, n_samples=2, seed=6)
+        strategy = FixedSelection(k=5)
+        c1 = strategy.choose(ds1[ds1.ids[0]], ds1)
+        c2 = strategy.choose(ds2[ds2.ids[0]], ds2)
+        assert len(c1) == 5 and len(c2) == 5
+        assert set(c2.ids.tolist()) <= set(ds2.ids)

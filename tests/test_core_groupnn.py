@@ -1,0 +1,142 @@
+"""Tests for probabilistic group NN queries (repro.core.groupnn)."""
+
+import numpy as np
+import pytest
+
+from repro import PVIndex, UncertainObject, synthetic_dataset
+from repro.core import GroupNNEngine, qualification_probabilities
+from repro.geometry import Rect
+from repro.uncertain import UncertainDataset
+
+
+@pytest.fixture(scope="module")
+def dense():
+    return synthetic_dataset(
+        n=50, dims=2, u_max=2000.0, n_samples=50, seed=21
+    )
+
+
+def point_object(oid, coords):
+    p = np.asarray(coords, dtype=np.float64)
+    return UncertainObject(
+        oid=oid,
+        region=Rect.from_point(p),
+        instances=p[None, :],
+        weights=np.array([1.0]),
+    )
+
+
+class TestGroupNNCandidates:
+    @pytest.mark.parametrize("aggregate", ["sum", "max", "min"])
+    def test_filter_keeps_all_possible_winners(self, dense, aggregate):
+        """Any instance-level winner must survive the Step-1 filter."""
+        engine = GroupNNEngine(dense)
+        rng = np.random.default_rng(3)
+        queries = rng.uniform(2000, 8000, size=(3, 2))
+        ids = engine.candidates(queries, aggregate)
+        # Monte-Carlo over instance combinations: sample one instance
+        # per object, find the aggregate-distance winner, and confirm
+        # it is among the candidates.
+        agg = {"sum": np.sum, "max": np.max, "min": np.min}[aggregate]
+        for trial in range(30):
+            sample_rng = np.random.default_rng(trial)
+            best_oid, best_val = None, np.inf
+            for obj in dense:
+                i = sample_rng.integers(len(obj.instances))
+                inst = obj.instances[i]
+                val = agg(
+                    np.sqrt(((inst[None, :] - queries) ** 2).sum(axis=1))
+                )
+                if val < best_val:
+                    best_oid, best_val = obj.oid, val
+            assert best_oid in ids, (
+                f"winner {best_oid} filtered out for {aggregate}"
+            )
+
+    def test_single_query_point_equals_pnnq_step1(self, dense):
+        from repro.core.pvcell import possible_nn_ids
+
+        engine = GroupNNEngine(dense)
+        query = np.array([4500.0, 5500.0])
+        ids = set(engine.candidates(query[None, :], "sum"))
+        assert ids == possible_nn_ids(dense, query)
+
+    def test_min_aggregate_with_retriever_matches_without(self, dense):
+        index = PVIndex.build(dense.copy())
+        with_idx = GroupNNEngine(dense, retriever=index)
+        without = GroupNNEngine(dense)
+        queries = np.array([[3000.0, 3000.0], [7000.0, 7000.0]])
+        assert set(with_idx.candidates(queries, "min")) == set(
+            without.candidates(queries, "min")
+        )
+
+
+class TestGroupNNProbabilities:
+    @pytest.mark.parametrize("aggregate", ["sum", "max", "min"])
+    def test_probabilities_sum_to_one(self, dense, aggregate):
+        engine = GroupNNEngine(dense)
+        queries = np.array([[4000.0, 4000.0], [6000.0, 5000.0]])
+        result = engine.query(queries, aggregate)
+        assert sum(result.probabilities.values()) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_single_point_group_equals_pnnq_step2(self, dense):
+        engine = GroupNNEngine(dense)
+        query = np.array([5200.0, 4800.0])
+        result = engine.query(query[None, :], "sum")
+        expected = qualification_probabilities(
+            dense, result.candidate_ids, query
+        )
+        for oid, p in result.probabilities.items():
+            assert p == pytest.approx(expected[oid], abs=1e-9)
+
+    def test_certain_objects_deterministic_winner(self):
+        """With point pdfs the group NN is deterministic."""
+        domain = Rect.cube(0.0, 100.0, 2)
+        objects = [
+            point_object(0, [10.0, 10.0]),
+            point_object(1, [50.0, 50.0]),
+            point_object(2, [90.0, 90.0]),
+        ]
+        dataset = UncertainDataset(objects, domain=domain)
+        engine = GroupNNEngine(dataset)
+        queries = np.array([[40.0, 40.0], [60.0, 60.0]])
+        result = engine.query(queries, "sum")
+        assert result.best == 1
+        assert result.probabilities[1] == pytest.approx(1.0)
+
+    def test_min_aggregate_favors_either_extreme(self):
+        """min-aggregate: nearest to ANY query point wins."""
+        domain = Rect.cube(0.0, 100.0, 2)
+        objects = [
+            point_object(0, [10.0, 10.0]),
+            point_object(1, [90.0, 90.0]),
+            point_object(2, [50.0, 10.0]),
+        ]
+        dataset = UncertainDataset(objects, domain=domain)
+        engine = GroupNNEngine(dataset)
+        queries = np.array([[10.0, 12.0], [90.0, 88.0]])
+        result = engine.query(queries, "min")
+        # Objects 0 and 1 are each within 2 units of a query point;
+        # object 2 is 40+ away from both.  A tie between 0 and 1.
+        assert set(result.probabilities) == {0, 1}
+        assert result.probabilities[0] == pytest.approx(0.5, abs=1e-9)
+        assert result.probabilities[1] == pytest.approx(0.5, abs=1e-9)
+
+
+class TestGroupNNValidation:
+    def test_empty_queries_rejected(self, dense):
+        engine = GroupNNEngine(dense)
+        with pytest.raises(ValueError, match="non-empty"):
+            engine.query(np.empty((0, 2)))
+
+    def test_wrong_dims_rejected(self, dense):
+        engine = GroupNNEngine(dense)
+        with pytest.raises(ValueError, match="dimensionality"):
+            engine.query(np.array([[1.0, 2.0, 3.0]]))
+
+    def test_unknown_aggregate_rejected(self, dense):
+        engine = GroupNNEngine(dense)
+        with pytest.raises(KeyError):
+            engine.candidates(np.array([[1.0, 2.0]]), "median")

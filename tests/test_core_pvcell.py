@@ -1,0 +1,136 @@
+"""Tests of PV-cell semantics against the paper's lemmas (Section III/IV).
+
+Ground truth for everything here is the Lemma 4 membership predicate,
+which is exact for the rectangle model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect, UncertainDataset, UncertainObject, synthetic_dataset
+from repro.core import (
+    monte_carlo_mbr,
+    monte_carlo_volume,
+    possible_nn_ids,
+    pv_cell_contains,
+    pv_cell_contains_many,
+)
+from repro.geometry import maxdist_point_rect, mindist_point_rect
+from repro.uncertain import uniform_pdf
+
+
+def make_obj(oid, lo, hi, seed=0):
+    region = Rect(lo, hi)
+    inst, w = uniform_pdf(region, 3, np.random.default_rng(seed))
+    return UncertainObject(oid, region, inst, w)
+
+
+def two_object_db():
+    a = make_obj(0, [10, 40], [30, 60])
+    b = make_obj(1, [70, 40], [90, 60])
+    return UncertainDataset([a, b], domain=Rect.cube(0, 100, 2))
+
+
+class TestMembership:
+    def test_certain_points_reduce_to_voronoi(self):
+        # Two certain points: PV-cells are classic Voronoi half-planes.
+        a = UncertainObject(0, Rect([20, 50], [20, 50]), np.array([[20.0, 50.0]]))
+        b = UncertainObject(1, Rect([80, 50], [80, 50]), np.array([[80.0, 50.0]]))
+        ds = UncertainDataset([a, b], domain=Rect.cube(0, 100, 2))
+        assert pv_cell_contains(ds, 0, np.array([30.0, 50.0]))
+        assert not pv_cell_contains(ds, 0, np.array([70.0, 50.0]))
+        # The bisector (x = 50) belongs to both cells (non-strict).
+        assert pv_cell_contains(ds, 0, np.array([50.0, 50.0]))
+        assert pv_cell_contains(ds, 1, np.array([50.0, 50.0]))
+
+    def test_lemma5_region_inside_cell(self):
+        ds = two_object_db()
+        rng = np.random.default_rng(0)
+        for oid in (0, 1):
+            pts = ds[oid].region.sample_points(200, rng)
+            assert pv_cell_contains_many(ds, oid, pts).all()
+
+    def test_membership_matches_distance_definition(self):
+        ds = two_object_db()
+        rng = np.random.default_rng(1)
+        pts = ds.domain.sample_points(300, rng)
+        for p in pts[:40]:
+            expected = maxdist_point_rect(p, ds[1].region) >= (
+                mindist_point_rect(p, ds[0].region)
+            )
+            assert pv_cell_contains(ds, 0, p) == expected
+
+    def test_vectorized_matches_scalar(self):
+        ds = synthetic_dataset(n=40, dims=2, u_max=500, n_samples=2, seed=3)
+        rng = np.random.default_rng(4)
+        pts = ds.domain.sample_points(60, rng)
+        vec = pv_cell_contains_many(ds, ds.ids[0], pts)
+        for i, p in enumerate(pts):
+            assert vec[i] == pv_cell_contains(ds, ds.ids[0], p)
+
+    def test_singleton_database(self):
+        ds = UncertainDataset([make_obj(0, [1, 1], [2, 2])])
+        assert pv_cell_contains(ds, 0, np.array([1000.0, -1000.0]))
+
+    def test_cells_cover_domain(self):
+        # Every point belongs to at least one PV-cell.
+        ds = synthetic_dataset(n=30, dims=2, u_max=300, n_samples=2, seed=5)
+        rng = np.random.default_rng(6)
+        pts = ds.domain.sample_points(100, rng)
+        for p in pts:
+            assert possible_nn_ids(ds, p)
+
+
+class TestPossibleNNIds:
+    def test_agrees_with_membership(self):
+        ds = synthetic_dataset(n=50, dims=2, u_max=400, n_samples=2, seed=7)
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            q = ds.domain.sample_points(1, rng)[0]
+            ids = possible_nn_ids(ds, q)
+            for oid in ds.ids:
+                assert (oid in ids) == pv_cell_contains(ds, oid, q)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=10, deadline=None)
+    def test_agreement_property(self, seed):
+        ds = synthetic_dataset(n=25, dims=3, u_max=800, n_samples=2, seed=seed)
+        rng = np.random.default_rng(seed)
+        q = ds.domain.sample_points(1, rng)[0]
+        ids = possible_nn_ids(ds, q)
+        assert ids
+        for oid in list(ids)[:5]:
+            assert pv_cell_contains(ds, oid, q)
+
+
+class TestMonteCarloReferences:
+    def test_mbr_contains_region(self):
+        ds = two_object_db()
+        mbr = monte_carlo_mbr(ds, 0, n_samples=4000)
+        assert mbr.contains_rect(ds[0].region)
+
+    def test_mbr_halfplane_shape(self):
+        # Object 0's PV-cell extends to the domain borders on its side
+        # and stops near the bisector.
+        ds = two_object_db()
+        mbr = monte_carlo_mbr(ds, 0, n_samples=8000)
+        assert mbr.lo[0] == pytest.approx(0.0, abs=2.0)
+        assert mbr.lo[1] == pytest.approx(0.0, abs=2.0)
+        assert mbr.hi[1] == pytest.approx(100.0, abs=2.0)
+        assert mbr.hi[0] < 80.0  # does not reach the rival's region
+
+    def test_volume_between_zero_and_domain(self):
+        ds = two_object_db()
+        v = monte_carlo_volume(ds, 0, n_samples=4000)
+        assert 0 < v < ds.domain.volume
+        # Symmetric database: each cell covers roughly half the domain
+        # plus the overlap band around the bisector.
+        assert v > 0.3 * ds.domain.volume
+
+    def test_volume_within_box(self):
+        ds = two_object_db()
+        box = Rect([0, 0], [20, 20])
+        v = monte_carlo_volume(ds, 0, within=box, n_samples=2000)
+        assert v == pytest.approx(box.volume, rel=0.1)

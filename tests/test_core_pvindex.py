@@ -1,0 +1,177 @@
+"""Integration tests for the PV-index: construction, queries, updates."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AllCSet,
+    FixedSelection,
+    IncrementalSelection,
+    PVIndex,
+    Rect,
+    SEConfig,
+    UncertainDataset,
+    UncertainObject,
+    synthetic_dataset,
+)
+from repro.core import possible_nn_ids
+from repro.storage import OctreeConfig, Pager
+from repro.uncertain import uniform_pdf
+
+
+def make_obj(oid, center, half=20.0, seed=0, dims=2):
+    region = Rect.from_center(center, half)
+    inst, w = uniform_pdf(region, 3, np.random.default_rng(seed))
+    return UncertainObject(oid, region, inst, w)
+
+
+def check_queries(index, ds, n=25, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        q = ds.domain.sample_points(1, rng)[0]
+        assert set(index.candidates(q)) == possible_nn_ids(ds, q)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "strategy",
+        [AllCSet(), FixedSelection(k=30), IncrementalSelection()],
+        ids=["ALL", "FS", "IS"],
+    )
+    def test_query_correctness_2d(self, strategy):
+        ds = synthetic_dataset(n=80, dims=2, u_max=300, n_samples=3, seed=1)
+        index = PVIndex.build(ds, strategy=strategy)
+        check_queries(index, ds, n=25, seed=2)
+
+    def test_query_correctness_3d(self):
+        ds = synthetic_dataset(n=60, dims=3, u_max=400, n_samples=3, seed=3)
+        index = PVIndex.build(ds)
+        check_queries(index, ds, n=15, seed=4)
+
+    def test_secondary_index_complete(self):
+        ds = synthetic_dataset(n=50, dims=2, n_samples=3, seed=5)
+        index = PVIndex.build(ds)
+        assert len(index) == 50
+        for oid in ds.ids:
+            assert index.ubr_of(oid).contains_rect(ds[oid].region)
+
+    def test_build_stats(self):
+        ds = synthetic_dataset(n=30, dims=2, n_samples=3, seed=6)
+        index = PVIndex.build(ds)
+        assert index.stats.build_seconds > 0
+        assert index.stats.se_seconds > 0
+        assert index.se.stats.runs == 30
+
+    def test_query_io_charged(self):
+        ds = synthetic_dataset(n=60, dims=2, n_samples=3, seed=7)
+        pager = Pager()
+        index = PVIndex.build(ds, pager=pager)
+        before = pager.stats.reads
+        index.candidates(ds.domain.center)
+        assert pager.stats.reads > before
+
+    def test_memory_budget_respected(self):
+        ds = synthetic_dataset(n=80, dims=2, n_samples=3, seed=8)
+        config = OctreeConfig(memory_budget=4096)
+        index = PVIndex.build(ds, octree_config=config)
+        assert index.primary.memory_used <= 4096
+        check_queries(index, ds, n=10, seed=9)
+
+
+class TestDeletion:
+    def test_delete_then_query_correct(self):
+        ds = synthetic_dataset(n=70, dims=2, u_max=300, n_samples=3, seed=10)
+        index = PVIndex.build(ds, strategy=AllCSet())
+        victims = ds.ids[:8]
+        for v in victims:
+            index.delete(v)
+            assert v not in ds
+        assert len(index) == 62
+        check_queries(index, ds, n=25, seed=11)
+
+    def test_delete_removes_secondary_entry(self):
+        ds = synthetic_dataset(n=30, dims=2, n_samples=3, seed=12)
+        index = PVIndex.build(ds)
+        victim = ds.ids[0]
+        index.delete(victim)
+        with pytest.raises(KeyError):
+            index.ubr_of(victim)
+
+    def test_delete_missing_raises(self):
+        ds = synthetic_dataset(n=10, dims=2, n_samples=3, seed=13)
+        index = PVIndex.build(ds)
+        with pytest.raises(KeyError):
+            index.delete(424242)
+
+    def test_update_stats_track_affected(self):
+        ds = synthetic_dataset(n=60, dims=2, n_samples=3, seed=14)
+        index = PVIndex.build(ds)
+        index.delete(ds.ids[0])
+        assert index.stats.update_examined >= index.stats.update_affected
+
+
+class TestInsertion:
+    def test_insert_then_query_correct(self):
+        ds = synthetic_dataset(n=60, dims=2, u_max=300, n_samples=3, seed=15)
+        index = PVIndex.build(ds, strategy=AllCSet())
+        rng = np.random.default_rng(16)
+        for i in range(6):
+            center = rng.uniform(500, 9500, 2)
+            index.insert(make_obj(10_000 + i, center, half=30, seed=i))
+        assert len(index) == 66
+        check_queries(index, ds, n=25, seed=17)
+
+    def test_insert_duplicate_raises(self):
+        ds = synthetic_dataset(n=20, dims=2, n_samples=3, seed=18)
+        index = PVIndex.build(ds)
+        with pytest.raises(ValueError):
+            index.insert(make_obj(ds.ids[0], [5000, 5000]))
+
+    def test_insert_near_existing_objects(self):
+        # The inserted object lands in a dense area: many affected
+        # objects whose UBRs must shrink.
+        ds = synthetic_dataset(n=50, dims=2, u_max=200, n_samples=3, seed=19)
+        index = PVIndex.build(ds, strategy=AllCSet())
+        target = ds[ds.ids[0]]
+        near = target.mean + 150.0
+        index.insert(make_obj(5555, near.tolist(), half=10))
+        check_queries(index, ds, n=25, seed=20)
+
+    def test_mixed_workload(self):
+        ds = synthetic_dataset(n=50, dims=2, u_max=250, n_samples=3, seed=21)
+        index = PVIndex.build(ds)
+        rng = np.random.default_rng(22)
+        next_id = 10_000
+        for step in range(10):
+            if step % 2 == 0:
+                center = rng.uniform(1000, 9000, 2)
+                index.insert(make_obj(next_id, center, half=25))
+                next_id += 1
+            else:
+                index.delete(int(rng.choice(ds.ids)))
+        check_queries(index, ds, n=20, seed=23)
+
+
+class TestIncrementalMatchesRebuild:
+    def test_same_answers_after_deletion(self):
+        ds = synthetic_dataset(n=60, dims=2, u_max=300, n_samples=3, seed=24)
+        index = PVIndex.build(ds, strategy=AllCSet())
+        for v in ds.ids[:5]:
+            index.delete(v)
+        rebuilt = PVIndex.build(ds.copy(), strategy=AllCSet())
+        rng = np.random.default_rng(25)
+        for _ in range(25):
+            q = ds.domain.sample_points(1, rng)[0]
+            assert set(index.candidates(q)) == set(rebuilt.candidates(q))
+
+    def test_same_answers_after_insertion(self):
+        ds = synthetic_dataset(n=50, dims=2, u_max=300, n_samples=3, seed=26)
+        index = PVIndex.build(ds, strategy=AllCSet())
+        rng = np.random.default_rng(27)
+        for i in range(5):
+            center = rng.uniform(500, 9500, 2)
+            index.insert(make_obj(7000 + i, center, half=40, seed=i))
+        rebuilt = PVIndex.build(ds.copy(), strategy=AllCSet())
+        for _ in range(25):
+            q = ds.domain.sample_points(1, rng)[0]
+            assert set(index.candidates(q)) == set(rebuilt.candidates(q))

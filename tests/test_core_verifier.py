@@ -1,0 +1,122 @@
+"""Tests for the probabilistic-verifier bounds and VerifierEngine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PVIndex, RTreePNNQ, synthetic_dataset
+from repro.core import (
+    ProbabilityBounds,
+    VerifierEngine,
+    possible_nn_ids,
+    probability_bounds,
+    qualification_probabilities,
+)
+
+
+class TestProbabilityBounds:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilityBounds(0.7, 0.3)
+        with pytest.raises(ValueError):
+            ProbabilityBounds(-0.5, 0.5)
+        with pytest.raises(ValueError):
+            ProbabilityBounds(0.5, 1.5)
+
+    def test_contains(self):
+        b = ProbabilityBounds(0.2, 0.8)
+        assert b.contains(0.5)
+        assert not b.contains(0.9)
+
+    def test_empty_and_singleton(self):
+        ds = synthetic_dataset(n=5, dims=2, n_samples=5, seed=0)
+        assert probability_bounds(ds, [], np.zeros(2)) == {}
+        single = probability_bounds(ds, [ds.ids[0]], np.zeros(2))
+        assert single[ds.ids[0]].lower == 1.0
+
+    def test_n_bins_validation(self):
+        ds = synthetic_dataset(n=5, dims=2, n_samples=5, seed=0)
+        with pytest.raises(ValueError):
+            probability_bounds(
+                ds, ds.ids[:2], np.zeros(2), n_bins=0
+            )
+
+    def test_bounds_bracket_exact(self):
+        ds = synthetic_dataset(n=40, dims=2, u_max=500, n_samples=30, seed=1)
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            q = ds.domain.sample_points(1, rng)[0]
+            ids = sorted(possible_nn_ids(ds, q))
+            exact = qualification_probabilities(ds, ids, q)
+            bounds = probability_bounds(ds, ids, q, n_bins=8)
+            for oid in ids:
+                assert bounds[oid].contains(exact[oid]), (
+                    oid,
+                    bounds[oid],
+                    exact[oid],
+                )
+
+    def test_more_bins_tighter(self):
+        ds = synthetic_dataset(n=30, dims=2, u_max=500, n_samples=40, seed=3)
+        q = ds.domain.center
+        ids = sorted(possible_nn_ids(ds, q))
+        if len(ids) < 2:
+            pytest.skip("degenerate query")
+        coarse = probability_bounds(ds, ids, q, n_bins=2)
+        fine = probability_bounds(ds, ids, q, n_bins=16)
+        width_coarse = sum(b.upper - b.lower for b in coarse.values())
+        width_fine = sum(b.upper - b.lower for b in fine.values())
+        assert width_fine <= width_coarse + 1e-9
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=8, deadline=None)
+    def test_bracket_property(self, seed):
+        ds = synthetic_dataset(
+            n=20, dims=2, u_max=700, n_samples=20, seed=seed
+        )
+        rng = np.random.default_rng(seed)
+        q = ds.domain.sample_points(1, rng)[0]
+        ids = sorted(possible_nn_ids(ds, q))
+        exact = qualification_probabilities(ds, ids, q)
+        bounds = probability_bounds(ds, ids, q, n_bins=6)
+        for oid in ids:
+            assert bounds[oid].contains(exact[oid])
+
+
+class TestVerifierEngine:
+    def test_decisions_match_exact(self):
+        ds = synthetic_dataset(n=60, dims=2, u_max=400, n_samples=25, seed=4)
+        retriever = RTreePNNQ.build(ds)
+        engine = VerifierEngine(retriever, ds)
+        rng = np.random.default_rng(5)
+        tau = 0.2
+        for _ in range(10):
+            q = ds.domain.sample_points(1, rng)[0]
+            decisions = engine.query(q, tau=tau)
+            ids = sorted(decisions)
+            exact = qualification_probabilities(ds, ids, q)
+            for oid, verdict in decisions.items():
+                assert verdict == (exact[oid] >= tau)
+
+    def test_tau_validation(self):
+        ds = synthetic_dataset(n=10, dims=2, n_samples=5, seed=6)
+        engine = VerifierEngine(RTreePNNQ.build(ds), ds)
+        with pytest.raises(ValueError):
+            engine.query(ds.domain.center, tau=1.5)
+
+    def test_verifier_avoids_some_exact_work(self):
+        ds = synthetic_dataset(n=80, dims=2, u_max=400, n_samples=25, seed=7)
+        engine = VerifierEngine(RTreePNNQ.build(ds), ds)
+        rng = np.random.default_rng(8)
+        for _ in range(15):
+            q = ds.domain.sample_points(1, rng)[0]
+            engine.query(q, tau=0.05)
+        # At least some candidates should be classified by bounds alone.
+        assert engine.verified_only > 0
+
+    def test_works_with_pv_index(self):
+        ds = synthetic_dataset(n=50, dims=2, u_max=300, n_samples=20, seed=9)
+        engine = VerifierEngine(PVIndex.build(ds), ds)
+        decisions = engine.query(ds.domain.center, tau=0.1)
+        assert decisions  # some candidate is always retrieved

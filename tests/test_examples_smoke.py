@@ -1,0 +1,85 @@
+"""Integration smoke tests: every example runs end-to-end (downscaled).
+
+The examples are the library's public-facing walkthroughs; each embeds
+its own assertions (ground-truth cross-checks, probability sanity), so
+running them at reduced size is a meaningful end-to-end test of the
+public API.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesSmoke:
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.main(n=60)
+        out = capsys.readouterr().out
+        assert "Step-1 verified against brute force" in out
+        assert "after inserting object" in out
+
+    def test_vehicle_tracking(self, capsys, monkeypatch):
+        module = load_example("vehicle_tracking")
+        monkeypatch.setattr(module, "N_VEHICLES", 40)
+        monkeypatch.setattr(module, "N_MOVERS", 2)
+        monkeypatch.setattr(module, "N_EPOCHS", 1)
+        module.main()
+        out = capsys.readouterr().out
+        assert "epoch 1" in out
+        assert "full rebuild" in out
+
+    def test_sensor_monitoring(self, capsys, monkeypatch):
+        module = load_example("sensor_monitoring")
+        monkeypatch.setattr(module, "N_SENSORS", 30)
+        module.main()
+        out = capsys.readouterr().out
+        assert "verifier decisions match exact Step-2" in out
+
+    def test_privacy_aware_poi(self, capsys, monkeypatch):
+        module = load_example("privacy_aware_poi")
+        monkeypatch.setattr(module, "N_POI", 40)
+        monkeypatch.setattr(module, "N_QUERIES", 5)
+        module.main()
+        out = capsys.readouterr().out
+        assert "PV-index and R-tree exact" in out
+
+    def test_advanced_queries(self, capsys, monkeypatch):
+        module = load_example("advanced_queries")
+        monkeypatch.setattr(module, "N_DRIVERS", 35)
+        module.main()
+        out = capsys.readouterr().out
+        assert "top-3 drivers" in out
+        assert "group pickup" in out
+        assert "beacon at domain center" in out
+
+
+class TestExamplesHygiene:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "vehicle_tracking",
+            "sensor_monitoring",
+            "privacy_aware_poi",
+            "advanced_queries",
+        ],
+    )
+    def test_has_module_docstring_and_main(self, name):
+        module = load_example(name)
+        assert module.__doc__, f"{name} missing docstring"
+        assert callable(getattr(module, "main", None))

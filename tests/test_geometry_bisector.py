@@ -1,0 +1,93 @@
+"""Tests for the bisector ground-truth utilities."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Rect,
+    domination_margin,
+    domination_margins,
+    locate_bisector_on_segment,
+    point_in_dom,
+    point_in_nondom,
+    sample_bisector,
+)
+
+
+class TestMargins:
+    def test_point_bisector_midpoint(self):
+        a = Rect.from_point([0.0, 0.0])
+        b = Rect.from_point([2.0, 0.0])
+        assert domination_margin(a, b, np.array([1.0, 0.0])) == pytest.approx(
+            0.0
+        )
+
+    def test_sign_convention(self):
+        a = Rect.from_point([0.0, 0.0])
+        b = Rect.from_point([10.0, 0.0])
+        assert point_in_dom(a, b, np.array([0.0, 0.0]))
+        assert point_in_nondom(a, b, np.array([10.0, 0.0]))
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = Rect([0, 0], [1, 2])
+        b = Rect([4, 4], [5, 6])
+        pts = rng.uniform(-3, 8, size=(25, 2))
+        vec = domination_margins(a, b, pts)
+        for i, p in enumerate(pts):
+            assert vec[i] == pytest.approx(domination_margin(a, b, p))
+
+
+class TestLocate:
+    def test_locates_zero_crossing(self):
+        a = Rect.from_point([0.0, 0.0])
+        b = Rect.from_point([2.0, 0.0])
+        p = locate_bisector_on_segment(
+            a, b, np.array([0.0, 0.0]), np.array([2.0, 0.0])
+        )
+        assert p[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_rect_bisector_is_on_margin_zero(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([5, 0], [6, 1])
+        p = locate_bisector_on_segment(
+            a, b, np.array([0.5, 0.5]), np.array([10.0, 0.5])
+        )
+        assert abs(domination_margin(a, b, p)) < 1e-6
+
+    def test_same_side_raises(self):
+        a = Rect.from_point([0.0, 0.0])
+        b = Rect.from_point([100.0, 0.0])
+        with pytest.raises(ValueError):
+            locate_bisector_on_segment(
+                a, b, np.array([0.0, 0.0]), np.array([1.0, 0.0])
+            )
+
+    def test_endpoint_exactly_on_bisector(self):
+        a = Rect.from_point([0.0, 0.0])
+        b = Rect.from_point([2.0, 0.0])
+        p = locate_bisector_on_segment(
+            a, b, np.array([1.0, 0.0]), np.array([5.0, 0.0])
+        )
+        assert p[0] == pytest.approx(1.0)
+
+
+class TestSample:
+    def test_samples_lie_on_bisector(self):
+        rng = np.random.default_rng(42)
+        a = Rect([2, 2], [3, 3])
+        b = Rect([7, 7], [8, 8])
+        domain = Rect.cube(0, 10, 2)
+        pts = sample_bisector(a, b, domain, 20, rng)
+        assert len(pts) > 0
+        for p in pts:
+            assert abs(domination_margin(a, b, p)) < 1e-6
+
+    def test_overlapping_regions_yield_no_bisector(self):
+        # Lemma 2: dom(a, b) empty => margin never negative => no crossing.
+        rng = np.random.default_rng(1)
+        a = Rect([0, 0], [5, 5])
+        b = Rect([2, 2], [7, 7])
+        domain = Rect.cube(0, 10, 2)
+        pts = sample_bisector(a, b, domain, 10, rng)
+        assert pts.shape == (0, 2)

@@ -1,0 +1,271 @@
+"""Tests for the exact spatial domination test and domination-count
+estimation.
+
+Ground truth comes from dense point sampling: ``region ⊆ dom(a, b)`` iff
+``distmax(a, r) < distmin(b, r)`` for every sampled ``r`` — with margins
+checked so sampling cannot miss a thin violation near the decision
+boundary (the exact test is also validated at analytically constructed
+corner cases).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    DominationTester,
+    Rect,
+    dominates,
+    dominates_batch,
+    domination_margins,
+    max_domination_margin,
+    region_fully_dominated,
+)
+
+coord = st.floats(-50, 50, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def rects(draw, dims=2, max_span=20):
+    lo = np.array([draw(coord) for _ in range(dims)])
+    span = np.array(
+        [draw(st.floats(0, max_span, allow_nan=False)) for _ in range(dims)]
+    )
+    return Rect(lo, lo + span)
+
+
+def sampled_max_margin(a, b, region, n=4000, seed=3):
+    """Monte-Carlo lower bound on max_{r in region} f(r)."""
+    rng = np.random.default_rng(seed)
+    pts = region.sample_points(n, rng)
+    pts = np.vstack([pts, region.corners(), region.center[None, :]])
+    margins = domination_margins(a, b, pts)
+    return float(np.max(margins))
+
+
+class TestDominates:
+    def test_clear_domination(self):
+        # a hugs the region, b is far away.
+        a = Rect([0, 0], [1, 1])
+        b = Rect([100, 100], [101, 101])
+        region = Rect([0, 0], [2, 2])
+        assert dominates(a, b, region)
+
+    def test_clear_non_domination(self):
+        a = Rect([100, 100], [101, 101])
+        b = Rect([0, 0], [1, 1])
+        region = Rect([0, 0], [2, 2])
+        assert not dominates(a, b, region)
+
+    def test_overlap_never_dominates(self):
+        # Lemma 2: dom(a, b) is empty when u(a) intersects u(b).
+        a = Rect([0, 0], [2, 2])
+        b = Rect([1, 1], [3, 3])
+        region = Rect([0, 0], [0.5, 0.5])
+        assert not dominates(a, b, region)
+
+    def test_boundary_is_strict(self):
+        # Point a at origin, point b at (2, 0): bisector is x = 1.
+        a = Rect.from_point([0.0, 0.0])
+        b = Rect.from_point([2.0, 0.0])
+        # A region reaching exactly the bisector: margin == 0, not < 0.
+        region = Rect([0.0, -1.0], [1.0, 1.0])
+        assert not dominates(a, b, region)
+        # Strictly inside the half-space: dominated.
+        region2 = Rect([0.0, -1.0], [0.99, 1.0])
+        assert dominates(a, b, region2)
+
+    def test_margin_sign_on_points(self):
+        a = Rect.from_point([0.0, 0.0])
+        b = Rect.from_point([4.0, 0.0])
+        region = Rect.from_point([1.0, 0.0])  # 1 vs 3 away
+        m = max_domination_margin(a, b, region)
+        assert m == pytest.approx(1.0 - 9.0)
+
+    @given(rects(), rects(), rects(max_span=10))
+    @settings(max_examples=200, deadline=None)
+    def test_exactness_vs_sampling_2d(self, a, b, region):
+        analytic = max_domination_margin(a, b, region)
+        sampled = sampled_max_margin(a, b, region)
+        # Sampling evaluates sqrt-margins; convert the analytic squared
+        # margin only through its sign, which is the decision SE uses.
+        if analytic < -1e-9:
+            # Provably dominated: no sampled point may violate.
+            assert sampled < 1e-9
+        if sampled > 1e-6:
+            # A sampled point strictly outside dom => test must agree.
+            assert analytic > 0
+
+    @given(rects(dims=3, max_span=8), rects(dims=3, max_span=8),
+           rects(dims=3, max_span=5))
+    @settings(max_examples=100, deadline=None)
+    def test_exactness_vs_sampling_3d(self, a, b, region):
+        analytic = max_domination_margin(a, b, region)
+        sampled = sampled_max_margin(a, b, region, n=2000)
+        if analytic < -1e-9:
+            assert sampled < 1e-9
+        if sampled > 1e-6:
+            assert analytic > 0
+
+    def test_max_margin_attained_at_interior_candidate(self):
+        # Construct a case where the max over the region is at B's bound,
+        # strictly inside the region: B inside region, A far left.
+        a = Rect([-10.0, 0.0], [-9.0, 1.0])
+        b = Rect([2.0, 0.0], [3.0, 1.0])
+        region = Rect([0.0, 0.0], [5.0, 1.0])
+        analytic = max_domination_margin(a, b, region)
+        sampled = sampled_max_margin(a, b, region, n=20000)
+        assert analytic >= 0  # clearly not dominated
+        # The analytic squared-margin must upper-bound any sampled point's
+        # squared margin.
+        rng = np.random.default_rng(0)
+        pts = region.sample_points(5000, rng)
+        from repro.geometry import (
+            maxdist_sq_points_rect,
+            mindist_sq_points_rect,
+        )
+        sq_margins = maxdist_sq_points_rect(pts, a) - mindist_sq_points_rect(
+            pts, b
+        )
+        assert analytic >= np.max(sq_margins) - 1e-9
+
+
+class TestDominatesBatch:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        los = rng.uniform(-20, 10, size=(50, 3))
+        his = los + rng.uniform(0, 5, size=(50, 3))
+        b = Rect([0, 0, 0], [2, 2, 2])
+        region = Rect([5, 5, 5], [8, 8, 8])
+        out = dominates_batch(los, his, b, region)
+        for i in range(50):
+            assert out[i] == dominates(Rect(los[i], his[i]), b, region)
+
+    def test_empty_batch(self):
+        b = Rect([0, 0], [1, 1])
+        region = Rect([2, 2], [3, 3])
+        out = dominates_batch(np.empty((0, 2)), np.empty((0, 2)), b, region)
+        assert out.shape == (0,)
+
+
+class TestDominationTester:
+    def test_union_coverage_needs_partitioning(self):
+        # Figure 6(b) analogue: neither a1 nor a2 dominates all of R
+        # (each fails at the far top corner, where its distance ties
+        # b's), but their dominated regions jointly cover R: a1 covers
+        # the left half, a2 the right half.
+        b = Rect.from_point([0.0, 3.0])
+        a1 = Rect.from_point([-1.0, 0.0])
+        a2 = Rect.from_point([1.0, 0.0])
+        region = Rect([-1.0, -1.0], [1.0, 1.0])
+        assert not dominates(a1, b, region)
+        assert not dominates(a2, b, region)
+        los = np.array([a1.lo, a2.lo])
+        his = np.array([a1.hi, a2.hi])
+        tester = DominationTester(m_max=8)
+        assert not tester.region_intersects_nondominated(
+            region, los, his, b
+        )
+
+    def test_single_partition_insufficient(self):
+        b = Rect.from_point([0.0, 3.0])
+        a1 = Rect.from_point([-1.0, 0.0])
+        a2 = Rect.from_point([1.0, 0.0])
+        region = Rect([-1.0, -1.0], [1.0, 1.0])
+        los = np.array([a1.lo, a2.lo])
+        his = np.array([a1.hi, a2.hi])
+        tester = DominationTester(m_max=1)
+        # With no splitting allowed the union coverage cannot be proven.
+        assert tester.region_intersects_nondominated(region, los, his, b)
+
+    def test_conservative_when_truly_intersecting(self):
+        # The region contains b itself, so it certainly intersects
+        # I(Cset, b) (b's own region is never dominated, Lemma 5).
+        b = Rect([0, 0], [1, 1])
+        region = Rect([-1, -1], [2, 2])
+        a = Rect([10, 10], [11, 11])
+        tester = DominationTester(m_max=40)
+        assert tester.region_intersects_nondominated(
+            region, np.array([a.lo]), np.array([a.hi]), b
+        )
+
+    def test_empty_cset_always_intersects(self):
+        b = Rect([0, 0], [1, 1])
+        region = Rect([5, 5], [6, 6])
+        tester = DominationTester(m_max=4)
+        assert tester.region_intersects_nondominated(
+            region, np.empty((0, 2)), np.empty((0, 2)), b
+        )
+
+    def test_m_max_validation(self):
+        with pytest.raises(ValueError):
+            DominationTester(m_max=0)
+
+    def test_stats_counting(self):
+        b = Rect.from_point([0.0, 10.0])
+        a = Rect.from_point([0.0, 0.0])
+        region = Rect([-1, -1], [1, 1])
+        tester = DominationTester(m_max=4)
+        tester.region_intersects_nondominated(
+            region, np.array([a.lo]), np.array([a.hi]), b
+        )
+        assert tester.stats.tests == 1
+        # The single candidate dominates the whole region: fast path.
+        assert tester.stats.fast_empty == 1
+        tester.stats.reset()
+        assert tester.stats.tests == 0
+
+    def test_stats_partition_counting(self):
+        # Figure 6(b) geometry again: forces the partitioned fallback.
+        b = Rect.from_point([0.0, 3.0])
+        a1 = Rect.from_point([-1.0, 0.0])
+        a2 = Rect.from_point([1.0, 0.0])
+        region = Rect([-1.0, -1.0], [1.0, 1.0])
+        los = np.array([a1.lo, a2.lo])
+        his = np.array([a1.hi, a2.hi])
+        tester = DominationTester(m_max=8)
+        assert not tester.region_intersects_nondominated(
+            region, los, his, b
+        )
+        assert tester.stats.partitions_examined == 8
+
+    def test_degenerate_region(self):
+        # A zero-volume region dominated by a: proven empty intersection.
+        b = Rect.from_point([0.0, 10.0])
+        a = Rect.from_point([0.0, 0.0])
+        region = Rect.from_point([0.0, 0.5])
+        assert region_fully_dominated(
+            region, np.array([a.lo]), np.array([a.hi]), b, m_max=2
+        )
+
+    def test_degenerate_region_not_dominated(self):
+        b = Rect.from_point([0.0, 1.0])
+        a = Rect.from_point([0.0, 100.0])
+        region = Rect.from_point([0.0, 0.5])
+        assert not region_fully_dominated(
+            region, np.array([a.lo]), np.array([a.hi]), b, m_max=2
+        )
+
+    @given(st.integers(2, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_false_only_when_truly_empty(self, m_max):
+        """Safety direction: 'empty' verdicts are never wrong."""
+        rng = np.random.default_rng(m_max)
+        b = Rect.from_center(rng.uniform(0, 10, 2), 1.0)
+        los = rng.uniform(0, 10, size=(6, 2))
+        his = los + rng.uniform(0.1, 2, size=(6, 2))
+        region = Rect.from_center(rng.uniform(0, 10, 2), 2.0)
+        empty = region_fully_dominated(region, los, his, b, m_max=m_max)
+        if empty:
+            pts = region.sample_points(2000, rng)
+            from repro.geometry import (
+                maxdist_sq_points_rect,
+                mindist_sq_points_rect,
+            )
+            min_b = mindist_sq_points_rect(pts, b)
+            covered = np.zeros(len(pts), dtype=bool)
+            for i in range(6):
+                a = Rect(los[i], his[i])
+                covered |= maxdist_sq_points_rect(pts, a) < min_b
+            assert covered.all()

@@ -1,0 +1,199 @@
+"""Unit tests for repro.geometry.rect."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect([0, 0], [1, 2])
+        assert r.dims == 2
+        assert r.volume == 2.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Rect([1, 0], [0, 1])
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            Rect([0, 0], [1, 1, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Rect([], [])
+
+    def test_rejects_2d_corner_arrays(self):
+        with pytest.raises(ValueError):
+            Rect([[0, 0]], [[1, 1]])
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point([3, 4, 5])
+        assert r.volume == 0.0
+        assert r.contains_point([3, 4, 5])
+
+    def test_from_center_scalar_half_width(self):
+        r = Rect.from_center([5, 5], 2)
+        assert np.allclose(r.lo, [3, 3])
+        assert np.allclose(r.hi, [7, 7])
+
+    def test_from_center_vector_half_width(self):
+        r = Rect.from_center([0, 0], [1, 2])
+        assert np.allclose(r.side_lengths, [2, 4])
+
+    def test_from_center_negative_half_width(self):
+        with pytest.raises(ValueError):
+            Rect.from_center([0, 0], -1)
+
+    def test_cube(self):
+        r = Rect.cube(0, 10, 4)
+        assert r.dims == 4
+        assert r.volume == 10**4
+
+    def test_cube_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            Rect.cube(0, 1, 0)
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect([0, 0], [1, 1]), Rect([2, -1], [3, 0.5])])
+        assert np.allclose(r.lo, [0, -1])
+        assert np.allclose(r.hi, [3, 1])
+
+    def test_bounding_empty(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_bounding_points(self):
+        pts = np.array([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]])
+        r = Rect.bounding_points(pts)
+        assert np.allclose(r.lo, [0, 1])
+        assert np.allclose(r.hi, [2, 5])
+
+    def test_bounding_points_empty(self):
+        with pytest.raises(ValueError):
+            Rect.bounding_points(np.empty((0, 2)))
+
+
+class TestProperties:
+    def test_center(self):
+        assert np.allclose(Rect([0, 0], [4, 2]).center, [2, 1])
+
+    def test_margin(self):
+        assert Rect([0, 0], [4, 2]).margin() == 6.0
+
+    def test_max_side(self):
+        assert Rect([0, 0, 0], [1, 5, 2]).max_side == 5.0
+
+    def test_nbytes_scales_with_dims(self):
+        assert Rect.cube(0, 1, 3).nbytes() == 48
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.contains_point([0, 0])
+        assert r.contains_point([1, 1])
+        assert not r.contains_point([1.0001, 0.5])
+
+    def test_contains_rect(self):
+        outer = Rect([0, 0], [10, 10])
+        assert outer.contains_rect(Rect([1, 1], [9, 9]))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect([1, 1], [11, 9]))
+
+    def test_intersects_touching(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([1, 0], [2, 1])  # shares an edge
+        assert a.intersects(b)
+
+    def test_intersects_disjoint(self):
+        assert not Rect([0, 0], [1, 1]).intersects(Rect([2, 2], [3, 3]))
+
+    def test_intersection(self):
+        inter = Rect([0, 0], [2, 2]).intersection(Rect([1, 1], [3, 3]))
+        assert inter == Rect([1, 1], [2, 2])
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect([0, 0], [1, 1]).intersection(Rect([5, 5], [6, 6])) is None
+
+    def test_union(self):
+        u = Rect([0, 0], [1, 1]).union(Rect([2, -1], [3, 0]))
+        assert u == Rect([0, -1], [3, 1])
+
+
+class TestGeometryHelpers:
+    def test_clip_point_inside(self):
+        r = Rect([0, 0], [1, 1])
+        assert np.allclose(r.clip_point(np.array([0.5, 0.5])), [0.5, 0.5])
+
+    def test_clip_point_outside(self):
+        r = Rect([0, 0], [1, 1])
+        assert np.allclose(r.clip_point(np.array([5, -3])), [1, 0])
+
+    def test_corners_count(self):
+        assert Rect.cube(0, 1, 3).corners().shape == (8, 3)
+
+    def test_corners_values_2d(self):
+        corners = Rect([0, 0], [1, 2]).corners()
+        expected = {(0, 0), (1, 0), (0, 2), (1, 2)}
+        assert {tuple(c) for c in corners} == expected
+
+    def test_split_at(self):
+        low, high = Rect([0, 0], [4, 4]).split_at(0, 1.0)
+        assert low == Rect([0, 0], [1, 4])
+        assert high == Rect([1, 0], [4, 4])
+
+    def test_split_at_outside_raises(self):
+        with pytest.raises(ValueError):
+            Rect([0, 0], [4, 4]).split_at(0, 5.0)
+
+    def test_quadrants_partition_volume(self):
+        r = Rect([0, 0, 0], [2, 4, 6])
+        quads = list(r.quadrants())
+        assert len(quads) == 8
+        assert np.isclose(sum(q.volume for q in quads), r.volume)
+
+    def test_quadrant_index_bits(self):
+        r = Rect([0, 0], [2, 2])
+        q3 = r.quadrant(3)  # high in both dims
+        assert q3 == Rect([1, 1], [2, 2])
+
+    def test_quadrant_out_of_range(self):
+        with pytest.raises(ValueError):
+            Rect([0, 0], [1, 1]).quadrant(4)
+
+    def test_sample_points_inside(self):
+        rng = np.random.default_rng(0)
+        r = Rect([1, 2], [3, 4])
+        pts = r.sample_points(100, rng)
+        assert pts.shape == (100, 2)
+        assert all(r.contains_point(p) for p in pts)
+
+    def test_expanded(self):
+        r = Rect([0, 0], [1, 1]).expanded(0.5)
+        assert r == Rect([-0.5, -0.5], [1.5, 1.5])
+
+    def test_expanded_collapse_raises(self):
+        with pytest.raises(ValueError):
+            Rect([0, 0], [1, 1]).expanded(-1.0)
+
+
+class TestDunder:
+    def test_eq_and_hash(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([0.0, 0.0], [1.0, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_neq_other_type(self):
+        assert Rect([0], [1]) != "rect"
+
+    def test_copy_is_independent(self):
+        a = Rect([0, 0], [1, 1])
+        b = a.copy()
+        b.lo[0] = -5
+        assert a.lo[0] == 0
+
+    def test_repr_roundtrip_info(self):
+        assert "Rect" in repr(Rect([0], [1]))

@@ -1,0 +1,224 @@
+"""Cross-module property-based tests (hypothesis).
+
+These tests exercise whole pipelines on randomized inputs and assert
+the paper's structural invariants:
+
+* every Step-1 retriever (PV-index, R-tree, UV-index) returns exactly
+  the ground-truth candidate set (Lemma 4 formulation);
+* UBRs are conservative: no sampled PV-cell point falls outside its UBR;
+* incremental maintenance is equivalent to rebuilding from scratch;
+* Step-2 probabilities form a distribution and are retriever-agnostic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import PVIndex, RTreePNNQ, UncertainObject, UVIndex, uniform_pdf
+from repro.core import PNNQEngine, qualification_probabilities
+from repro.core.pvcell import pv_cell_contains_many, possible_nn_ids
+from repro.geometry import Rect
+from repro.uncertain import UncertainDataset
+
+DOMAIN_SIDE = 1000.0
+
+relaxed = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_datasets(draw, dims=2, min_objects=4, max_objects=14):
+    """Random uncertain datasets with moderately overlapping regions."""
+    n = draw(st.integers(min_objects, max_objects))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    domain = Rect.cube(0.0, DOMAIN_SIDE, dims)
+    objects = []
+    for oid in range(n):
+        half = rng.uniform(5.0, 120.0, size=dims)
+        center = rng.uniform(half, DOMAIN_SIDE - half)
+        region = Rect(center - half, center + half)
+        instances, weights = uniform_pdf(region, 25, rng)
+        objects.append(
+            UncertainObject(
+                oid=oid, region=region, instances=instances,
+                weights=weights,
+            )
+        )
+    return UncertainDataset(objects, domain=domain)
+
+
+@relaxed
+@given(dataset=small_datasets(), seed=st.integers(0, 1000))
+def test_all_retrievers_match_ground_truth(dataset, seed):
+    rng = np.random.default_rng(seed)
+    queries = rng.uniform(0.0, DOMAIN_SIDE, size=(5, 2))
+    exact = [
+        PVIndex.build(dataset.copy()),
+        RTreePNNQ.build(dataset.copy()),
+    ]
+    # The UV-index bounds each rectangle by its circumscribed circle
+    # ([9]'s native model), so its candidate set is a conservative
+    # superset of the rectangle-model ground truth.
+    uv = UVIndex.build(dataset.copy())
+    for q in queries:
+        truth = possible_nn_ids(dataset, q)
+        for retriever in exact:
+            got = set(retriever.candidates(q))
+            assert got == truth, (
+                f"{type(retriever).__name__} returned {got}, "
+                f"expected {truth} at {q}"
+            )
+        assert set(uv.candidates(q)) >= truth
+
+
+@relaxed
+@given(dataset=small_datasets(), seed=st.integers(0, 1000))
+def test_ubrs_conservative_over_sampled_cells(dataset, seed):
+    index = PVIndex.build(dataset.copy())
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, DOMAIN_SIDE, size=(256, 2))
+    for oid in dataset.ids:
+        inside = pv_cell_contains_many(dataset, oid, points)
+        if not inside.any():
+            continue
+        ubr = index.ubr_of(oid)
+        for p in points[inside]:
+            assert ubr.contains_point(p), (
+                f"PV-cell point {p} of object {oid} outside UBR {ubr}"
+            )
+
+
+@relaxed
+@given(
+    dataset=small_datasets(min_objects=6, max_objects=12),
+    seed=st.integers(0, 1000),
+)
+def test_incremental_maintenance_equals_rebuild(dataset, seed):
+    """Random delete+insert sequences preserve query correctness."""
+    rng = np.random.default_rng(seed)
+    index = PVIndex.build(dataset)
+
+    # Delete two objects, insert one fresh object, delete another.
+    victims = rng.choice(dataset.ids, size=3, replace=False)
+    index.delete(int(victims[0]))
+    index.delete(int(victims[1]))
+
+    half = rng.uniform(10.0, 80.0, size=2)
+    center = rng.uniform(half, DOMAIN_SIDE - half)
+    region = Rect(center - half, center + half)
+    instances, weights = uniform_pdf(region, 25, rng)
+    fresh = UncertainObject(
+        oid=max(dataset.ids) + 1000, region=region,
+        instances=instances, weights=weights,
+    )
+    index.insert(fresh)
+    index.delete(int(victims[2]))
+
+    queries = rng.uniform(0.0, DOMAIN_SIDE, size=(6, 2))
+    for q in queries:
+        truth = possible_nn_ids(index.dataset, q)
+        assert set(index.candidates(q)) == truth
+
+
+@relaxed
+@given(dataset=small_datasets(), seed=st.integers(0, 1000))
+def test_probabilities_form_distribution(dataset, seed):
+    rng = np.random.default_rng(seed)
+    q = rng.uniform(100.0, DOMAIN_SIDE - 100.0, size=2)
+    ids = sorted(possible_nn_ids(dataset, q))
+    probs = qualification_probabilities(dataset, ids, q)
+    assert set(probs) == set(ids)
+    for p in probs.values():
+        assert 0.0 <= p <= 1.0
+    assert sum(probs.values()) == pytest.approx(1.0, abs=1e-9)
+
+
+@relaxed
+@given(dataset=small_datasets(), seed=st.integers(0, 1000))
+def test_step2_retriever_agnostic(dataset, seed):
+    """PNNQ probabilities are identical whichever index ran Step 1."""
+    rng = np.random.default_rng(seed)
+    q = rng.uniform(0.0, DOMAIN_SIDE, size=2)
+    pv = PNNQEngine(PVIndex.build(dataset.copy()), dataset)
+    rt = PNNQEngine(RTreePNNQ.build(dataset.copy()), dataset)
+    p1 = pv.query(q).probabilities
+    p2 = rt.query(q).probabilities
+    assert set(p1) == set(p2)
+    for oid in p1:
+        assert p1[oid] == pytest.approx(p2[oid], abs=1e-12)
+
+
+@relaxed
+@given(dataset=small_datasets(dims=3, max_objects=10),
+       seed=st.integers(0, 1000))
+def test_three_dimensional_pipeline(dataset, seed):
+    """The full pipeline holds in 3D (the paper's default d)."""
+    rng = np.random.default_rng(seed)
+    index = PVIndex.build(dataset.copy())
+    for q in rng.uniform(0.0, DOMAIN_SIDE, size=(4, 3)):
+        assert set(index.candidates(q)) == possible_nn_ids(dataset, q)
+
+
+class TestFailureModes:
+    """Error paths a downstream user will eventually hit."""
+
+    @pytest.fixture(scope="class")
+    def built(self):
+        rng = np.random.default_rng(0)
+        domain = Rect.cube(0.0, DOMAIN_SIDE, 2)
+        objects = []
+        for oid in range(8):
+            center = rng.uniform(100, 900, size=2)
+            region = Rect.from_center(center, [30.0, 30.0])
+            instances, weights = uniform_pdf(region, 20, rng)
+            objects.append(
+                UncertainObject(
+                    oid=oid, region=region, instances=instances,
+                    weights=weights,
+                )
+            )
+        dataset = UncertainDataset(objects, domain=domain)
+        return PVIndex.build(dataset)
+
+    def test_duplicate_insert_rejected(self, built):
+        existing = built.dataset[built.dataset.ids[0]]
+        with pytest.raises(ValueError, match="duplicate"):
+            built.insert(existing)
+
+    def test_delete_unknown_id_rejected(self, built):
+        with pytest.raises(KeyError):
+            built.delete(99_999)
+
+    def test_query_outside_domain_rejected(self, built):
+        with pytest.raises(ValueError):
+            built.candidates(np.array([-50.0, 50.0]))
+
+    def test_insert_outside_domain_rejected(self, built):
+        region = Rect([-10.0, 0.0], [10.0, 20.0])
+        instances, weights = uniform_pdf(
+            region, 10, np.random.default_rng(1)
+        )
+        bad = UncertainObject(
+            oid=777, region=region, instances=instances, weights=weights
+        )
+        with pytest.raises(ValueError, match="outside the domain"):
+            built.insert(bad)
+
+    def test_cannot_delete_last_object(self):
+        rng = np.random.default_rng(2)
+        domain = Rect.cube(0.0, 100.0, 2)
+        region = Rect.from_center([50.0, 50.0], [5.0, 5.0])
+        instances, weights = uniform_pdf(region, 10, rng)
+        dataset = UncertainDataset(
+            [UncertainObject(oid=0, region=region,
+                             instances=instances, weights=weights)],
+            domain=domain,
+        )
+        index = PVIndex.build(dataset)
+        with pytest.raises(ValueError, match="last object"):
+            index.delete(0)

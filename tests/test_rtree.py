@@ -1,0 +1,200 @@
+"""Tests for the R*-tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect, mindist_point_rect
+from repro.rtree import RStarTree
+from repro.storage import Pager
+
+
+def random_rects(n, dims=2, seed=0, extent=100.0, size=3.0):
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(size, extent - size, size=(n, dims))
+    halves = rng.uniform(0.1, size, size=(n, dims))
+    return [Rect(c - h, c + h) for c, h in zip(centers, halves)]
+
+
+def build_tree(rects, max_entries=8, pager=None):
+    tree = RStarTree(
+        dims=rects[0].dims, max_entries=max_entries, pager=pager
+    )
+    for i, r in enumerate(rects):
+        tree.insert(i, r)
+    return tree
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RStarTree(dims=0)
+        with pytest.raises(ValueError):
+            RStarTree(dims=2, max_entries=3)
+        with pytest.raises(ValueError):
+            RStarTree(dims=2, max_entries=8, min_entries=1)
+        with pytest.raises(ValueError):
+            RStarTree(dims=2, max_entries=8, min_entries=7)
+
+    def test_insert_dim_mismatch(self):
+        tree = RStarTree(dims=2, max_entries=8)
+        with pytest.raises(ValueError):
+            tree.insert(0, Rect.cube(0, 1, 3))
+
+    def test_invariants_small(self):
+        tree = build_tree(random_rects(30, seed=1))
+        tree.check_invariants()
+        assert len(tree) == 30
+
+    def test_invariants_large(self):
+        tree = build_tree(random_rects(500, seed=2), max_entries=8)
+        tree.check_invariants()
+        assert tree.height >= 3
+
+    def test_invariants_3d(self):
+        tree = build_tree(random_rects(200, dims=3, seed=3))
+        tree.check_invariants()
+
+    def test_root_mbr_covers_everything(self):
+        rects = random_rects(100, seed=4)
+        tree = build_tree(rects)
+        for r in rects:
+            assert tree.root_mbr.contains_rect(r)
+
+    @given(st.integers(10, 120), st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_invariants_property(self, n, seed):
+        tree = build_tree(random_rects(n, seed=seed))
+        tree.check_invariants()
+
+
+class TestQueries:
+    def test_range_query_exact(self):
+        rects = random_rects(200, seed=5)
+        tree = build_tree(rects)
+        window = Rect([20, 20], [50, 60])
+        expected = {i for i, r in enumerate(rects) if r.intersects(window)}
+        got = {e.key for e in tree.range_query(window)}
+        assert got == expected
+
+    def test_point_query_exact(self):
+        rects = random_rects(200, seed=6)
+        tree = build_tree(rects)
+        p = np.array([42.0, 57.0])
+        expected = {i for i, r in enumerate(rects) if r.contains_point(p)}
+        got = {e.key for e in tree.point_query(p)}
+        assert got == expected
+
+    def test_iter_entries_complete(self):
+        rects = random_rects(77, seed=7)
+        tree = build_tree(rects)
+        assert {e.key for e in tree.iter_entries()} == set(range(77))
+
+
+class TestNearestNeighbor:
+    def test_nearest_order(self):
+        rects = random_rects(150, seed=8)
+        tree = build_tree(rects)
+        q = np.array([50.0, 50.0])
+        seq = [d for d, _ in tree.nearest_iter(q)]
+        assert seq == sorted(seq)
+
+    def test_nearest_matches_brute_force(self):
+        rects = random_rects(150, seed=9)
+        tree = build_tree(rects)
+        q = np.array([31.0, 74.0])
+        brute = sorted(
+            range(len(rects)), key=lambda i: mindist_point_rect(q, rects[i])
+        )
+        got = [e.key for _, e in tree.knn(q, 10)]
+        brute_d = [mindist_point_rect(q, rects[i]) for i in brute[:10]]
+        got_d = [mindist_point_rect(q, rects[k]) for k in got]
+        assert np.allclose(got_d, brute_d)
+
+    def test_knn_with_skip(self):
+        rects = random_rects(50, seed=10)
+        tree = build_tree(rects)
+        q = rects[7].center
+        got = [e.key for _, e in tree.knn(q, 5, skip=lambda e: e.key == 7)]
+        assert 7 not in got
+
+    def test_knn_k_validation(self):
+        tree = build_tree(random_rects(10, seed=0))
+        with pytest.raises(ValueError):
+            tree.knn(np.zeros(2), 0)
+
+    def test_knn_more_than_size(self):
+        tree = build_tree(random_rects(5, seed=0))
+        got = tree.knn(np.zeros(2), 50)
+        assert len(got) == 5
+
+
+class TestDeletion:
+    def test_delete_existing(self):
+        rects = random_rects(100, seed=11)
+        tree = build_tree(rects)
+        assert tree.delete(13, rects[13])
+        assert len(tree) == 99
+        tree.check_invariants()
+        assert 13 not in {e.key for e in tree.iter_entries()}
+
+    def test_delete_missing(self):
+        rects = random_rects(20, seed=12)
+        tree = build_tree(rects)
+        assert not tree.delete(999, rects[0])
+        assert len(tree) == 20
+
+    def test_delete_many_keeps_invariants(self):
+        rects = random_rects(300, seed=13)
+        tree = build_tree(rects)
+        rng = np.random.default_rng(0)
+        victims = rng.choice(300, size=200, replace=False)
+        for v in victims:
+            assert tree.delete(int(v), rects[v])
+        tree.check_invariants()
+        survivors = {e.key for e in tree.iter_entries()}
+        assert survivors == set(range(300)) - {int(v) for v in victims}
+
+    def test_delete_then_query(self):
+        rects = random_rects(120, seed=14)
+        tree = build_tree(rects)
+        for v in range(0, 120, 3):
+            tree.delete(v, rects[v])
+        window = Rect([10, 10], [90, 90])
+        expected = {
+            i
+            for i, r in enumerate(rects)
+            if i % 3 != 0 and r.intersects(window)
+        }
+        assert {e.key for e in tree.range_query(window)} == expected
+
+    def test_delete_down_to_empty_root(self):
+        rects = random_rects(50, seed=15)
+        tree = build_tree(rects)
+        for i in range(49):
+            tree.delete(i, rects[i])
+        assert len(tree) == 1
+        tree.check_invariants()
+
+
+class TestPagedIO:
+    def test_leaf_reads_charged(self):
+        pager = Pager()
+        tree = build_tree(random_rects(200, seed=16), pager=pager)
+        before = pager.stats.reads
+        tree.range_query(Rect([0, 0], [100, 100]))
+        assert pager.stats.reads > before
+
+    def test_point_query_cheaper_than_full_scan(self):
+        pager = Pager()
+        tree = build_tree(
+            random_rects(400, seed=17), max_entries=16, pager=pager
+        )
+        before = pager.stats.reads
+        tree.point_query(np.array([10.0, 10.0]))
+        point_cost = pager.stats.reads - before
+        before = pager.stats.reads
+        tree.range_query(Rect([0, 0], [100, 100]))
+        scan_cost = pager.stats.reads - before
+        assert point_cost < scan_cost

@@ -1,0 +1,64 @@
+"""Tests for the R-tree branch-and-prune PNNQ Step-1 baseline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import RTreePNNQ, synthetic_dataset
+from repro.core import possible_nn_ids
+from repro.storage import Pager
+
+
+class TestRTreePNNQ:
+    def test_matches_ground_truth_2d(self):
+        ds = synthetic_dataset(n=150, dims=2, u_max=300, n_samples=3, seed=0)
+        baseline = RTreePNNQ.build(ds)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            q = ds.domain.sample_points(1, rng)[0]
+            assert set(baseline.candidates(q)) == possible_nn_ids(ds, q)
+
+    def test_matches_ground_truth_3d(self):
+        ds = synthetic_dataset(n=120, dims=3, u_max=500, n_samples=3, seed=2)
+        baseline = RTreePNNQ.build(ds)
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            q = ds.domain.sample_points(1, rng)[0]
+            assert set(baseline.candidates(q)) == possible_nn_ids(ds, q)
+
+    def test_result_nonempty(self):
+        ds = synthetic_dataset(n=50, dims=2, n_samples=3, seed=4)
+        baseline = RTreePNNQ.build(ds)
+        # Some object always has non-zero probability of being the NN.
+        assert baseline.candidates(ds.domain.center)
+
+    def test_single_object(self):
+        ds = synthetic_dataset(n=1, dims=2, n_samples=3, seed=5)
+        baseline = RTreePNNQ.build(ds)
+        assert baseline.candidates(ds.domain.center) == [0]
+
+    def test_query_on_object_center(self):
+        ds = synthetic_dataset(n=80, dims=2, n_samples=3, seed=6)
+        baseline = RTreePNNQ.build(ds)
+        obj = ds[17]
+        ids = baseline.candidates(obj.mean)
+        assert 17 in ids  # q inside u(o) => o can always be its own NN
+
+    def test_io_charged(self):
+        pager = Pager()
+        ds = synthetic_dataset(n=200, dims=2, n_samples=3, seed=7)
+        baseline = RTreePNNQ.build(ds, pager=pager)
+        before = pager.stats.reads
+        baseline.candidates(ds.domain.center)
+        assert pager.stats.reads > before
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_ground_truth_property(self, seed):
+        ds = synthetic_dataset(
+            n=60, dims=2, u_max=400, n_samples=2, seed=seed
+        )
+        baseline = RTreePNNQ.build(ds)
+        rng = np.random.default_rng(seed + 1)
+        q = ds.domain.sample_points(1, rng)[0]
+        assert set(baseline.candidates(q)) == possible_nn_ids(ds, q)

@@ -1,0 +1,113 @@
+"""Tests for the extensible hash table (secondary index)."""
+
+import pytest
+
+from repro.storage import ExtensibleHashTable, Pager
+
+
+def small_table(record_size=64, page_size=256):
+    """A table whose buckets hold page_size // record_size records."""
+    return ExtensibleHashTable(Pager(page_size=page_size), record_size)
+
+
+class TestBasicOps:
+    def test_put_get(self):
+        t = small_table()
+        t.put(1, "a")
+        assert t.get(1) == "a"
+        assert len(t) == 1
+        assert 1 in t
+
+    def test_get_missing_raises_but_charges_read(self):
+        t = small_table()
+        reads = t.pager.stats.reads
+        with pytest.raises(KeyError):
+            t.get(42)
+        assert t.pager.stats.reads == reads + 1
+
+    def test_overwrite(self):
+        t = small_table()
+        t.put(1, "a")
+        t.put(1, "b")
+        assert t.get(1) == "b"
+        assert len(t) == 1
+
+    def test_delete(self):
+        t = small_table()
+        t.put(1, "a")
+        assert t.delete(1) == "a"
+        assert len(t) == 0
+        with pytest.raises(KeyError):
+            t.delete(1)
+
+    def test_rejects_bad_record_size(self):
+        with pytest.raises(ValueError):
+            ExtensibleHashTable(Pager(), record_size=0)
+
+    def test_keys_iteration(self):
+        t = small_table()
+        for k in range(10):
+            t.put(k, k * 10)
+        assert sorted(t.keys()) == list(range(10))
+
+
+class TestSplitting:
+    def test_directory_grows_under_load(self):
+        t = small_table(record_size=64, page_size=128)  # 2 per bucket
+        for k in range(64):
+            t.put(k, k)
+        assert len(t) == 64
+        assert t.global_depth >= 4
+        assert t.directory_size == 2**t.global_depth
+        for k in range(64):
+            assert t.get(k) == k
+
+    def test_local_depth_invariant(self):
+        t = small_table(record_size=64, page_size=128)
+        for k in range(128):
+            t.put(k, -k)
+        # Every key is in the bucket matching its hash prefix.
+        for k in range(128):
+            bucket = t._bucket(k)
+            assert k in bucket.keys
+            assert bucket.local_depth <= t.global_depth
+
+    def test_bucket_count_le_directory(self):
+        t = small_table(record_size=64, page_size=128)
+        for k in range(100):
+            t.put(k, k)
+        assert t.n_buckets <= t.directory_size
+
+    def test_capacity_respected(self):
+        t = small_table(record_size=64, page_size=256)  # 4 per bucket
+        for k in range(200):
+            t.put(k, k)
+        for b in {id(x): x for x in t._directory}.values():
+            assert len(b.keys) <= 4
+
+    def test_delete_under_splits(self):
+        t = small_table(record_size=64, page_size=128)
+        for k in range(50):
+            t.put(k, str(k))
+        for k in range(0, 50, 2):
+            t.delete(k)
+        assert len(t) == 25
+        for k in range(1, 50, 2):
+            assert t.get(k) == str(k)
+
+
+class TestOversizedRecords:
+    def test_multi_page_record_io(self):
+        # Records of 10 KB on 4 KB pages: 3 pages per probe.
+        pager = Pager(page_size=4096)
+        t = ExtensibleHashTable(pager, record_size=10_000)
+        t.put(1, "blob")
+        reads = pager.stats.reads
+        t.get(1)
+        assert pager.stats.reads - reads == 3
+
+    def test_disk_pages_accounting(self):
+        pager = Pager(page_size=4096)
+        t = ExtensibleHashTable(pager, record_size=10_000)
+        t.put(1, "blob")
+        assert t.disk_pages() >= 3

@@ -1,0 +1,176 @@
+"""Tests for the paged octree (primary index)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.storage import OctreeConfig, PagedOctree, Pager
+
+
+def tree_2d(page_size=256, memory=1 << 20, max_depth=24):
+    pager = Pager(page_size=page_size)
+    config = OctreeConfig(memory_budget=memory, max_depth=max_depth)
+    return (
+        PagedOctree(Rect.cube(0, 100, 2), pager, config, entry_bytes=40),
+        pager,
+    )
+
+
+class TestInsertAndQuery:
+    def test_single_entry_point_query(self):
+        tree, _ = tree_2d()
+        tree.insert(1, Rect([10, 10], [20, 20]))
+        hits = tree.point_query(np.array([15.0, 15.0]))
+        assert [k for k, _, __ in hits] == [1]
+
+    def test_point_outside_entry(self):
+        tree, _ = tree_2d()
+        tree.insert(1, Rect([10, 10], [20, 20]))
+        # Same leaf (root is a single leaf), so the entry is returned
+        # even for points outside its rect — leaf membership is by
+        # region overlap, filtering is the caller's job (paper VI-A).
+        hits = tree.point_query(np.array([90.0, 90.0]))
+        assert len(hits) == 1
+
+    def test_point_query_outside_domain(self):
+        tree, _ = tree_2d()
+        with pytest.raises(ValueError):
+            tree.point_query(np.array([500.0, 0.0]))
+
+    def test_insert_outside_domain(self):
+        tree, _ = tree_2d()
+        with pytest.raises(ValueError):
+            tree.insert(1, Rect([200, 200], [300, 300]))
+
+    def test_colocated_entries_chain_instead_of_splitting(self):
+        tree, _ = tree_2d(page_size=256)  # 6 entries of 40B per page
+        center_rect = Rect([45, 45], [55, 55])  # straddles all quadrants
+        for k in range(30):
+            tree.insert(k, center_rect)
+        # Splitting cannot separate co-located rectangles (each contains
+        # the node center), so the leaf chains pages instead of
+        # recursing to max_depth.
+        assert tree.n_leaves == 1
+        ids = {k for k, _, __ in tree.point_query(np.array([50.0, 50.0]))}
+        assert ids == set(range(30))
+
+    def test_split_replicates_straddling_entries(self):
+        tree, _ = tree_2d(page_size=256)
+        # A mix: separable corner rects force a split; one straddling
+        # rect must replicate into all children it overlaps.
+        straddler = Rect([40, 40], [60, 60])
+        tree.insert(99, straddler)
+        k = 0
+        for cx, cy in [(10, 10), (90, 10), (10, 90), (90, 90)]:
+            for _ in range(8):
+                tree.insert(k, Rect.from_center([cx, cy], 3.0))
+                k += 1
+        assert tree.n_leaves > 1
+        # The straddler is found from any point inside it.
+        for p in ([45.0, 45.0], [55.0, 45.0], [45.0, 55.0], [55.0, 55.0]):
+            ids = {kk for kk, _, __ in tree.point_query(np.array(p))}
+            assert 99 in ids
+
+    def test_disjoint_entries_partition(self):
+        tree, _ = tree_2d(page_size=256)
+        rng = np.random.default_rng(0)
+        rects = {}
+        for k in range(120):
+            c = rng.uniform(5, 95, 2)
+            rects[k] = Rect.from_center(c, 2.0)
+            tree.insert(k, rects[k])
+        # Point queries return exactly the entries overlapping the leaf;
+        # all entries containing the point must be present.
+        for _ in range(50):
+            p = rng.uniform(0, 100, 2)
+            found = {k for k, _, __ in tree.point_query(p)}
+            expected = {
+                k for k, r in rects.items() if r.contains_point(p)
+            }
+            assert expected <= found
+
+    def test_range_query(self):
+        tree, _ = tree_2d(page_size=256)
+        tree.insert(1, Rect([10, 10], [20, 20]))
+        tree.insert(2, Rect([80, 80], [90, 90]))
+        hits = {k for k, _, __ in tree.range_query(Rect([0, 0], [30, 30]))}
+        assert 1 in hits
+
+    def test_memory_budget_forces_chaining(self):
+        # Budget for the root only: no splits, pages chain instead.
+        config = OctreeConfig(memory_budget=100, max_depth=24)
+        pager = Pager(page_size=256)
+        tree = PagedOctree(
+            Rect.cube(0, 100, 2), pager, config, entry_bytes=40
+        )
+        for k in range(40):
+            tree.insert(k, Rect.from_center([50, 50], 1.0))
+        assert tree.n_leaves == 1
+        assert tree.n_nodes == 1
+        hits = tree.point_query(np.array([50.0, 50.0]))
+        assert len(hits) == 40
+
+    def test_max_depth_limits_splitting(self):
+        tree_shallow_pager = Pager(page_size=256)
+        config = OctreeConfig(memory_budget=1 << 20, max_depth=1)
+        tree = PagedOctree(
+            Rect.cube(0, 100, 2), tree_shallow_pager, config, entry_bytes=40
+        )
+        for k in range(100):
+            tree.insert(k, Rect.from_center([50, 50], 0.5))
+        assert tree.n_nodes <= 1 + 4  # root + one level
+
+    def test_entry_count(self):
+        tree, _ = tree_2d()
+        tree.insert(1, Rect([0, 0], [10, 10]))
+        tree.insert(2, Rect([0, 0], [10, 10]))
+        assert tree.n_entries == 2
+
+    def test_io_charged_on_point_query(self):
+        tree, pager = tree_2d()
+        tree.insert(1, Rect([10, 10], [20, 20]))
+        before = pager.stats.reads
+        tree.point_query(np.array([15.0, 15.0]))
+        assert pager.stats.reads > before
+
+
+class TestLeafViews:
+    def test_remove_key(self):
+        tree, _ = tree_2d()
+        tree.insert(1, Rect([10, 10], [20, 20]))
+        tree.insert(2, Rect([10, 10], [20, 20]))
+        removed = 0
+        for leaf in tree.range_query_leaves(Rect([0, 0], [100, 100])):
+            removed += leaf.remove_key(1)
+        assert removed == 1
+        ids = {k for k, _, __ in tree.point_query(np.array([15.0, 15.0]))}
+        assert ids == {2}
+        assert tree.n_entries == 1
+
+    def test_add_entry(self):
+        tree, _ = tree_2d()
+        tree.insert(1, Rect([10, 10], [20, 20]))
+        for leaf in tree.range_query_leaves(Rect([10, 10], [20, 20])):
+            leaf.add_entry(5, Rect([12, 12], [13, 13]))
+        ids = {k for k, _, __ in tree.point_query(np.array([15.0, 15.0]))}
+        assert 5 in ids
+
+    def test_contains_key_metadata(self):
+        tree, pager = tree_2d()
+        tree.insert(1, Rect([10, 10], [20, 20]))
+        reads = pager.stats.reads
+        leaves = tree.range_query_leaves(Rect([0, 0], [100, 100]))
+        assert any(leaf.contains_key(1) for leaf in leaves)
+        assert pager.stats.reads == reads  # metadata path is free
+
+    def test_iter_leaves_cover_domain(self):
+        tree, _ = tree_2d(page_size=256)
+        for k in range(60):
+            tree.insert(
+                k,
+                Rect.from_center(
+                    np.random.default_rng(k).uniform(10, 90, 2), 2.0
+                ),
+            )
+        total = sum(leaf.region.volume for leaf in tree.iter_leaves())
+        assert total == pytest.approx(tree.domain.volume)

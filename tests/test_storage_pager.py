@@ -1,0 +1,156 @@
+"""Tests for the simulated disk pager and page chains."""
+
+import pytest
+
+from repro.storage import PageChain, PageFullError, Pager
+
+
+class TestPager:
+    def test_allocate_counts_write(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        assert pager.stats.writes == 1
+        assert pager.n_pages == 1
+        assert pager.free_space(pid) == 128
+
+    def test_rejects_tiny_page_size(self):
+        with pytest.raises(ValueError):
+            Pager(page_size=16)
+
+    def test_append_and_read(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        pager.append(pid, 40, "a")
+        pager.append(pid, 40, "b")
+        assert pager.read(pid) == ["a", "b"]
+        assert pager.stats.reads == 1
+        assert pager.stats.writes == 3  # allocate + 2 appends
+
+    def test_append_overflow_raises(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        pager.append(pid, 100, "a")
+        with pytest.raises(PageFullError):
+            pager.append(pid, 100, "b")
+
+    def test_record_larger_than_page_rejected(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        with pytest.raises(ValueError):
+            pager.append(pid, 256, "too big")
+
+    def test_rewrite(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        pager.append(pid, 100, "a")
+        pager.rewrite(pid, [(30, "x"), (30, "y")])
+        assert pager.read(pid) == ["x", "y"]
+        assert pager.free_space(pid) == 68
+
+    def test_rewrite_overflow_rejected(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        with pytest.raises(ValueError):
+            pager.rewrite(pid, [(100, "x"), (100, "y")])
+
+    def test_free_and_id_reuse(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        pager.free(pid)
+        assert pager.n_pages == 0
+        pid2 = pager.allocate()
+        assert pid2 == pid  # freed ids are recycled
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Pager().free(123)
+
+    def test_read_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Pager().read(7)
+
+    def test_stats_snapshot_delta(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        before = pager.stats.snapshot()
+        pager.append(pid, 10, "a")
+        pager.read(pid)
+        delta = pager.stats.delta(before)
+        assert delta.reads == 1
+        assert delta.writes == 1
+        assert delta.total == 2
+
+    def test_stats_reset(self):
+        pager = Pager()
+        pager.allocate()
+        pager.stats.reset()
+        assert pager.stats.total == 0
+
+    def test_record_count_metadata(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        pager.append(pid, 10, "a")
+        reads_before = pager.stats.reads
+        assert pager.record_count(pid) == 1
+        assert pager.stats.reads == reads_before  # metadata is free
+
+
+class TestPageChain:
+    def test_single_page_roundtrip(self):
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        chain.append_record(40, 1)
+        chain.append_record(40, 2)
+        assert chain.read_all() == [1, 2]
+        assert len(chain) == 1
+
+    def test_chains_new_page_when_full(self):
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        for i in range(5):
+            chain.append_record(60, i)
+        assert len(chain) == 3  # 2 records per 128-byte page
+        assert sorted(chain.read_all()) == [0, 1, 2, 3, 4]
+
+    def test_read_all_charges_one_read_per_page(self):
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        for i in range(5):
+            chain.append_record(60, i)
+        before = pager.stats.reads
+        chain.read_all()
+        assert pager.stats.reads - before == len(chain)
+
+    def test_rewrite_all_compacts(self):
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        for i in range(6):
+            chain.append_record(60, i)
+        assert len(chain) == 3
+        chain.rewrite_all([(60, "x")])
+        assert len(chain) == 1
+        assert chain.read_all() == ["x"]
+
+    def test_rewrite_all_grows(self):
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        chain.rewrite_all([(60, i) for i in range(8)])
+        assert len(chain) == 4
+        assert sorted(chain.read_all()) == list(range(8))
+
+    def test_rewrite_all_empty(self):
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        chain.append_record(60, 1)
+        chain.rewrite_all([])
+        assert chain.read_all() == []
+        assert len(chain) == 1  # keeps one (empty) page
+
+    def test_free_all(self):
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        for i in range(5):
+            chain.append_record(60, i)
+        pages = pager.n_pages
+        chain.free_all()
+        assert pager.n_pages == pages - 3

@@ -1,0 +1,190 @@
+"""Tests for the dataset container and the generators."""
+
+import numpy as np
+import pytest
+
+from repro import Rect, UncertainDataset, UncertainObject
+from repro.uncertain import (
+    clustered_dataset,
+    simulate_airports,
+    simulate_roads,
+    simulate_rrlines,
+    synthetic_dataset,
+    uniform_pdf,
+)
+
+
+def make_obj(oid, center, half=1.0, seed=0):
+    region = Rect.from_center(center, half)
+    inst, w = uniform_pdf(region, 5, np.random.default_rng(seed))
+    return UncertainObject(oid, region, inst, w)
+
+
+class TestDataset:
+    def test_basic_container(self):
+        ds = UncertainDataset([make_obj(0, [5, 5]), make_obj(1, [8, 8])])
+        assert len(ds) == 2
+        assert 0 in ds and 1 in ds and 2 not in ds
+        assert ds[0].oid == 0
+        assert ds.get(99) is None
+        assert {o.oid for o in ds} == {0, 1}
+
+    def test_requires_objects(self):
+        with pytest.raises(ValueError):
+            UncertainDataset([])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            UncertainDataset([make_obj(0, [5, 5]), make_obj(0, [8, 8])])
+
+    def test_rejects_mixed_dims(self):
+        a = make_obj(0, [5, 5])
+        region = Rect.cube(0, 1, 3)
+        inst, w = uniform_pdf(region, 5, np.random.default_rng(0))
+        b = UncertainObject(1, region, inst, w)
+        with pytest.raises(ValueError):
+            UncertainDataset([a, b])
+
+    def test_default_domain_bounds_objects(self):
+        ds = UncertainDataset([make_obj(0, [5, 5]), make_obj(1, [9, 2])])
+        for o in ds:
+            assert ds.domain.contains_rect(o.region)
+
+    def test_explicit_domain_validated(self):
+        with pytest.raises(ValueError):
+            UncertainDataset(
+                [make_obj(0, [5, 5])], domain=Rect([0, 0], [1, 1])
+            )
+
+    def test_domain_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            UncertainDataset(
+                [make_obj(0, [5, 5])], domain=Rect.cube(0, 10, 3)
+            )
+
+    def test_packed_regions_cache_and_shape(self):
+        ds = UncertainDataset([make_obj(0, [5, 5]), make_obj(1, [8, 8])])
+        ids, los, his = ds.packed_regions()
+        assert ids.shape == (2,)
+        assert los.shape == (2, 2)
+        # Cached object identity until mutation.
+        assert ds.packed_regions()[1] is los
+
+    def test_insert_invalidates_cache(self):
+        ds = UncertainDataset(
+            [make_obj(0, [5, 5]), make_obj(1, [8, 8])],
+            domain=Rect.cube(0, 20, 2),
+        )
+        ds.packed_regions()
+        ds.insert(make_obj(2, [12, 12]))
+        ids, los, his = ds.packed_regions()
+        assert len(ids) == 3
+
+    def test_insert_duplicate_raises(self):
+        ds = UncertainDataset([make_obj(0, [5, 5]), make_obj(1, [8, 8])])
+        with pytest.raises(ValueError):
+            ds.insert(make_obj(0, [6, 6]))
+
+    def test_insert_outside_domain_raises(self):
+        ds = UncertainDataset(
+            [make_obj(0, [5, 5])], domain=Rect.cube(0, 10, 2)
+        )
+        with pytest.raises(ValueError):
+            ds.insert(make_obj(1, [50, 50]))
+
+    def test_delete(self):
+        ds = UncertainDataset([make_obj(0, [5, 5]), make_obj(1, [8, 8])])
+        obj = ds.delete(0)
+        assert obj.oid == 0
+        assert len(ds) == 1
+
+    def test_delete_missing_raises(self):
+        ds = UncertainDataset([make_obj(0, [5, 5]), make_obj(1, [8, 8])])
+        with pytest.raises(KeyError):
+            ds.delete(42)
+
+    def test_delete_last_object_raises(self):
+        ds = UncertainDataset([make_obj(0, [5, 5])])
+        with pytest.raises(ValueError):
+            ds.delete(0)
+
+    def test_copy_is_independent(self):
+        ds = UncertainDataset(
+            [make_obj(0, [5, 5]), make_obj(1, [8, 8])],
+            domain=Rect.cube(0, 20, 2),
+        )
+        cp = ds.copy()
+        cp.delete(0)
+        assert 0 in ds and 0 not in cp
+
+    def test_means_match_objects(self):
+        ds = UncertainDataset([make_obj(0, [5, 5]), make_obj(1, [8, 8])])
+        means = ds.means()
+        assert means.shape == (2, 2)
+        assert np.allclose(sorted(means[:, 0]), [5, 8])
+
+
+class TestGenerators:
+    def test_synthetic_shape(self):
+        ds = synthetic_dataset(n=50, dims=3, u_max=40, n_samples=10, seed=0)
+        assert len(ds) == 50
+        assert ds.dims == 3
+        for o in ds:
+            assert np.all(o.region.side_lengths <= 40 + 1e-9)
+            assert np.all(o.region.side_lengths >= 1 - 1e-9)
+            assert o.n_instances == 10
+
+    def test_synthetic_reproducible(self):
+        a = synthetic_dataset(n=20, dims=2, seed=5)
+        b = synthetic_dataset(n=20, dims=2, seed=5)
+        for oa, ob in zip(a, b):
+            assert oa.region == ob.region
+
+    def test_synthetic_respects_domain(self):
+        ds = synthetic_dataset(n=100, dims=2, u_max=100, seed=1)
+        for o in ds:
+            assert ds.domain.contains_rect(o.region)
+
+    def test_synthetic_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            synthetic_dataset(n=0)
+        with pytest.raises(ValueError):
+            synthetic_dataset(n=5, u_max=0.5)
+
+    def test_clustered_dataset(self):
+        ds = clustered_dataset(n=80, dims=2, n_clusters=4, seed=2)
+        assert len(ds) == 80
+        # Clustering produces non-uniform density: the bounding box of
+        # means should be clearly smaller than a uniform scatter's.
+        means = ds.means()
+        assert means.std() < 10_000 / 2
+
+    def test_simulate_roads(self):
+        ds = simulate_roads(n=150, n_samples=5, seed=3)
+        assert len(ds) == 150
+        assert ds.dims == 2
+        # Elongated rectangles: aspect ratio frequently far from 1.
+        ratios = [
+            max(o.region.side_lengths) / max(1e-9, min(o.region.side_lengths))
+            for o in ds
+        ]
+        assert np.median(ratios) > 2
+
+    def test_simulate_rrlines(self):
+        ds = simulate_rrlines(n=100, n_samples=5, seed=4)
+        assert len(ds) == 100 and ds.dims == 2
+
+    def test_simulate_airports(self):
+        ds = simulate_airports(n=120, n_samples=5, seed=5)
+        assert len(ds) == 120 and ds.dims == 3
+        for o in ds:
+            assert np.allclose(o.region.side_lengths, 20.0)
+
+    def test_real_sims_fit_domain(self):
+        for ds in (
+            simulate_roads(n=60, n_samples=2, seed=1),
+            simulate_rrlines(n=60, n_samples=2, seed=1),
+            simulate_airports(n=60, n_samples=2, seed=1),
+        ):
+            for o in ds:
+                assert ds.domain.contains_rect(o.region)

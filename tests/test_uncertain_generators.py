@@ -1,0 +1,132 @@
+"""Tests for the dataset generators (repro.uncertain.generators)."""
+
+import numpy as np
+import pytest
+
+from repro.uncertain import (
+    UncertainDataset,
+    simulate_airports,
+    simulate_roads,
+    simulate_rrlines,
+    synthetic_dataset,
+)
+from repro.uncertain.generators import clustered_dataset
+
+
+class TestSyntheticDataset:
+    def test_basic_shape(self):
+        ds = synthetic_dataset(n=25, dims=3, seed=0)
+        assert len(ds) == 25
+        assert ds.dims == 3
+
+    def test_region_side_lengths_bounded(self):
+        ds = synthetic_dataset(n=40, dims=2, u_max=50.0, seed=1)
+        for obj in ds:
+            sides = obj.region.side_lengths
+            assert np.all(sides <= 50.0 + 1e-9)
+
+    def test_regions_inside_domain(self):
+        ds = synthetic_dataset(n=40, dims=4, seed=2)
+        for obj in ds:
+            assert ds.domain.contains_rect(obj.region)
+
+    def test_instances_inside_regions(self):
+        ds = synthetic_dataset(n=20, dims=2, n_samples=30, seed=3)
+        for obj in ds:
+            assert np.all(obj.instances >= obj.region.lo - 1e-9)
+            assert np.all(obj.instances <= obj.region.hi + 1e-9)
+
+    def test_weights_normalized(self):
+        ds = synthetic_dataset(n=15, dims=2, seed=4)
+        for obj in ds:
+            assert obj.weights.sum() == pytest.approx(1.0)
+
+    def test_seed_determinism(self):
+        a = synthetic_dataset(n=10, dims=2, seed=7)
+        b = synthetic_dataset(n=10, dims=2, seed=7)
+        c = synthetic_dataset(n=10, dims=2, seed=8)
+        assert all(
+            np.allclose(a[i].instances, b[i].instances) for i in a.ids
+        )
+        assert any(
+            not np.allclose(a[i].region.lo, c[i].region.lo)
+            for i in a.ids
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError, match="n must be"):
+            synthetic_dataset(n=0)
+        with pytest.raises(ValueError, match="u_max"):
+            synthetic_dataset(n=5, u_max=0.5)
+
+
+class TestSimulatedRealDatasets:
+    def test_roads_is_2d_and_elongated(self):
+        ds = simulate_roads(n=200, seed=13)
+        assert ds.dims == 2
+        assert len(ds) == 200
+        # Road-segment MBRs are elongated: aspect ratios well above 1
+        # on average (the property distinguishing them from synthetic).
+        ratios = []
+        for obj in ds:
+            sides = np.sort(obj.region.side_lengths)
+            if sides[0] > 0:
+                ratios.append(sides[1] / sides[0])
+        assert np.median(ratios) > 1.5
+
+    def test_rrlines_straighter_than_roads(self):
+        """Railroads use lower heading noise; same structural type."""
+        ds = simulate_rrlines(n=150, seed=17)
+        assert ds.dims == 2
+        assert len(ds) == 150
+
+    def test_airports_is_3d_gps_model(self):
+        ds = simulate_airports(n=100, seed=19)
+        assert ds.dims == 3
+        # GPS error: 10 m-radius sphere -> MBR side 20 in every dim.
+        for obj in ds:
+            assert np.all(obj.region.side_lengths <= 20.0 + 1e-9)
+
+    def test_airports_clustered(self):
+        """Airports concentrate near population centers: the spread of
+        nearest-neighbor distances is far below uniform expectation."""
+        ds = simulate_airports(n=150, seed=19)
+        centers = np.array([o.region.center[:2] for o in ds])
+        from scipy.spatial import cKDTree
+
+        tree = cKDTree(centers)
+        nn_dist, _ = tree.query(centers, k=2)
+        mean_nn = nn_dist[:, 1].mean()
+        # Uniform expectation for 150 points in 10k^2 is ~0.5/sqrt(n/A)
+        # ~ 408; clustering should be far tighter.
+        assert mean_nn < 300.0
+
+    def test_all_real_datasets_valid(self):
+        for builder in (simulate_roads, simulate_rrlines,
+                        simulate_airports):
+            ds = builder(n=50)
+            assert isinstance(ds, UncertainDataset)
+            for obj in ds:
+                assert ds.domain.contains_rect(obj.region)
+                assert obj.weights.sum() == pytest.approx(1.0)
+
+
+class TestClusteredDataset:
+    def test_structure(self):
+        ds = clustered_dataset(n=80, dims=2, seed=5)
+        assert len(ds) == 80
+        assert ds.dims == 2
+
+    def test_more_clustered_than_uniform(self):
+        clustered = clustered_dataset(n=120, dims=2, seed=6)
+        uniform = synthetic_dataset(n=120, dims=2, seed=6)
+
+        def mean_nn_distance(ds):
+            from scipy.spatial import cKDTree
+
+            pts = np.array([o.region.center for o in ds])
+            tree = cKDTree(pts)
+            d, _ = tree.query(pts, k=2)
+            return d[:, 1].mean()
+
+        assert mean_nn_distance(clustered) < mean_nn_distance(uniform)

@@ -1,0 +1,154 @@
+"""Tests for the uncertain-object model and pdf factories."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Rect, UncertainObject
+from repro.uncertain import gaussian_pdf, point_pdf, uniform_pdf
+
+
+def make_obj(oid=0, lo=(0, 0), hi=(10, 10), n=20, seed=0):
+    region = Rect(lo, hi)
+    rng = np.random.default_rng(seed)
+    instances, weights = uniform_pdf(region, n, rng)
+    return UncertainObject(oid, region, instances, weights)
+
+
+class TestUncertainObject:
+    def test_basic_properties(self):
+        obj = make_obj(n=25)
+        assert obj.dims == 2
+        assert obj.n_instances == 25
+        assert np.allclose(obj.mean, [5, 5])
+
+    def test_default_weights_uniform(self):
+        region = Rect([0, 0], [1, 1])
+        instances = region.sample_points(4, np.random.default_rng(0))
+        obj = UncertainObject(1, region, instances)
+        assert np.allclose(obj.weights, 0.25)
+
+    def test_rejects_instances_outside_region(self):
+        region = Rect([0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            UncertainObject(1, region, np.array([[2.0, 0.5]]))
+
+    def test_rejects_dim_mismatch(self):
+        region = Rect([0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            UncertainObject(1, region, np.array([[0.5, 0.5, 0.5]]))
+
+    def test_rejects_empty_instances(self):
+        with pytest.raises(ValueError):
+            UncertainObject(1, Rect([0], [1]), np.empty((0, 1)))
+
+    def test_rejects_bad_weight_sum(self):
+        region = Rect([0, 0], [1, 1])
+        inst = np.array([[0.5, 0.5], [0.2, 0.2]])
+        with pytest.raises(ValueError):
+            UncertainObject(1, region, inst, np.array([0.9, 0.9]))
+
+    def test_rejects_negative_weights(self):
+        region = Rect([0, 0], [1, 1])
+        inst = np.array([[0.5, 0.5], [0.2, 0.2]])
+        with pytest.raises(ValueError):
+            UncertainObject(1, region, inst, np.array([1.5, -0.5]))
+
+    def test_rejects_weight_shape_mismatch(self):
+        region = Rect([0, 0], [1, 1])
+        inst = np.array([[0.5, 0.5], [0.2, 0.2]])
+        with pytest.raises(ValueError):
+            UncertainObject(1, region, inst, np.array([1.0]))
+
+    def test_distance_samples(self):
+        region = Rect([0, 0], [0, 0]).expanded(0)
+        obj = UncertainObject(1, Rect([1, 1], [1, 1]), np.array([[1.0, 1.0]]))
+        d = obj.distance_samples(np.array([4.0, 5.0]))
+        assert d == pytest.approx([5.0])
+
+    def test_distance_samples_bounded_by_region(self):
+        obj = make_obj()
+        q = np.array([20.0, 20.0])
+        d = obj.distance_samples(q)
+        from repro.geometry import maxdist_point_rect, mindist_point_rect
+
+        assert np.all(d >= mindist_point_rect(q, obj.region) - 1e-9)
+        assert np.all(d <= maxdist_point_rect(q, obj.region) + 1e-9)
+
+    def test_with_id(self):
+        obj = make_obj(oid=3)
+        clone = obj.with_id(7)
+        assert clone.oid == 7
+        assert clone.region == obj.region
+
+    def test_nbytes_positive_and_scales(self):
+        small = make_obj(n=5)
+        large = make_obj(n=50)
+        assert 0 < small.nbytes() < large.nbytes()
+
+    def test_repr(self):
+        assert "UncertainObject" in repr(make_obj())
+
+
+class TestPdfs:
+    def test_uniform_pdf_inside_region(self):
+        region = Rect([5, 5], [6, 8])
+        inst, w = uniform_pdf(region, 100, np.random.default_rng(1))
+        assert inst.shape == (100, 2)
+        assert np.isclose(w.sum(), 1.0)
+        assert all(region.contains_point(p) for p in inst)
+
+    def test_uniform_pdf_rejects_zero(self):
+        with pytest.raises(ValueError):
+            uniform_pdf(Rect([0], [1]), 0, np.random.default_rng(0))
+
+    def test_gaussian_pdf_inside_region(self):
+        region = Rect([0, 0], [10, 10])
+        inst, w = gaussian_pdf(region, 200, np.random.default_rng(2), sigma=2)
+        assert inst.shape == (200, 2)
+        assert all(region.contains_point(p) for p in inst)
+
+    def test_gaussian_pdf_concentrates_near_mean(self):
+        region = Rect([0, 0], [100, 100])
+        inst, _ = gaussian_pdf(region, 500, np.random.default_rng(3), sigma=1)
+        spread = np.abs(inst - region.center).max()
+        assert spread < 10  # sigma=1 keeps samples near the center
+
+    def test_gaussian_pdf_rejects_outside_mean(self):
+        with pytest.raises(ValueError):
+            gaussian_pdf(
+                Rect([0, 0], [1, 1]),
+                10,
+                np.random.default_rng(0),
+                mean=np.array([5.0, 5.0]),
+            )
+
+    def test_gaussian_pdf_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_pdf(Rect([0], [1]), 10, np.random.default_rng(0), sigma=0)
+
+    def test_gaussian_pdf_huge_sigma_terminates(self):
+        region = Rect([0, 0], [1, 1])
+        inst, w = gaussian_pdf(
+            region, 50, np.random.default_rng(4), sigma=1e6
+        )
+        assert inst.shape == (50, 2)
+        assert all(region.contains_point(p) for p in inst)
+
+    def test_point_pdf(self):
+        inst, w = point_pdf(np.array([1.0, 2.0, 3.0]))
+        assert inst.shape == (1, 3)
+        assert w.tolist() == [1.0]
+
+    def test_point_pdf_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            point_pdf(np.zeros((2, 2)))
+
+    @given(st.integers(1, 50), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_pdf_property(self, n, dims):
+        region = Rect.cube(0, 7, dims)
+        inst, w = uniform_pdf(region, n, np.random.default_rng(n))
+        assert inst.shape == (n, dims)
+        assert np.isclose(w.sum(), 1.0)
