@@ -18,6 +18,7 @@ Quick start::
         print(oid, prob)
 """
 
+from .engine import BaseEngine, BruteForceRetriever, ExecutionStats
 from .geometry import Rect
 from .uncertain import (
     UncertainDataset,
@@ -53,6 +54,9 @@ from .uvindex import UVIndex
 __version__ = "1.0.0"
 
 __all__ = [
+    "BaseEngine",
+    "BruteForceRetriever",
+    "ExecutionStats",
     "Rect",
     "UncertainObject",
     "UncertainDataset",

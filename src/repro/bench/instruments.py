@@ -1,4 +1,14 @@
-"""Timing and I/O instrumentation used by every figure driver."""
+"""Timing and I/O instrumentation used by every figure driver.
+
+Per-query timing and I/O attribution now live on the engines
+themselves: every engine populates a shared
+:class:`~repro.engine.ExecutionStats` (re-exported here) with the
+OR/PC wall-clock split and per-phase page traffic, so figure drivers
+read one object instead of re-bracketing each call.  The helpers below
+remain for instrumenting code *outside* an engine — index construction
+(:class:`Stopwatch`), ad-hoc I/O windows (:func:`measure_io`), and
+streaming aggregation (:class:`RunningMean`).
+"""
 
 from __future__ import annotations
 
@@ -7,9 +17,10 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..engine import ExecutionStats
 from ..storage import IOStats, Pager
 
-__all__ = ["Stopwatch", "measure_io", "RunningMean"]
+__all__ = ["Stopwatch", "measure_io", "RunningMean", "ExecutionStats"]
 
 
 class Stopwatch:

@@ -37,6 +37,7 @@ __all__ = [
     "make_dataset",
     "real_dataset",
     "query_points",
+    "hotspot_query_points",
     "build_pv_bundle",
     "build_rtree_bundle",
     "build_uv_bundle",
@@ -106,6 +107,25 @@ def query_points(
     return rng.uniform(
         domain.lo, domain.hi, size=(count, dataset.dims)
     )
+
+
+def hotspot_query_points(
+    dataset: UncertainDataset,
+    n: int | None = None,
+    n_hot: int = 32,
+    seed: int = 1,
+) -> np.ndarray:
+    """A serving-style workload: ``n`` queries over ``n_hot`` hot spots.
+
+    Heavy-traffic query streams concentrate on a small set of popular
+    locations (POIs, cell towers, depots); this draws each query
+    uniformly from ``n_hot`` fixed points, so repeat queries are common
+    — the regime the batched engine API and its result reuse target.
+    """
+    rng = np.random.default_rng(seed)
+    hot = query_points(dataset, n=n_hot, seed=seed)
+    count = n if n is not None else SCALE.n_queries
+    return hot[rng.integers(0, len(hot), size=count)]
 
 
 def strategy_by_name(name: str, **kwargs) -> CSetStrategy:

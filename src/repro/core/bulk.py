@@ -30,7 +30,7 @@ from ..storage import OctreeConfig, PagedOctree, Pager
 from ..storage.exthash import ExtensibleHashTable
 from ..uncertain import UncertainDataset
 from .cset import CSetStrategy, IncrementalSelection
-from .pvindex import PVIndex, SecondaryRecord
+from .pvindex import PVIndex
 from .se import SEConfig, ShrinkExpand
 
 __all__ = ["BulkBuildReport", "CompactionReport", "bulk_build", "compact"]

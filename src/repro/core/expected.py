@@ -20,14 +20,12 @@ cases are exactly what motivates probabilistic semantics):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..geometry import maxdist_sq_point_rect, mindist_sq_point_rect
+from ..engine import BaseEngine
 from ..uncertain import UncertainDataset
-from .pnnq import StepTimes
 
 __all__ = ["expected_distance", "ExpectedNNResult", "ExpectedNNEngine"]
 
@@ -57,18 +55,19 @@ class ExpectedNNResult:
         return self.ranking[0][0]
 
 
-class ExpectedNNEngine:
+class ExpectedNNEngine(BaseEngine):
     """Expected-distance NN over an uncertain database ([33] semantics).
 
     Parameters
     ----------
     dataset:
         The uncertain database.
+    retriever:
+        Optional Step-1 index.  The expected-NN winner always survives
+        the min-max filter (``distmin <= E[dist] <= distmax``), so any
+        PNNQ retriever is a valid Step-1 source; the default is the
+        brute-force filter the seed engine used.
     """
-
-    def __init__(self, dataset: UncertainDataset) -> None:
-        self.dataset = dataset
-        self.times = StepTimes()
 
     def candidates(self, query: np.ndarray) -> list[int]:
         """Objects that can minimize the expected distance.
@@ -79,30 +78,46 @@ class ExpectedNNEngine:
         expected-NN candidate set is a subset of the PNNQ one.
         """
         q = np.asarray(query, dtype=np.float64)
-        ids, los, his = self.dataset.packed_regions()
-        gap = np.maximum(np.maximum(los - q, q - his), 0.0)
-        min_sq = np.einsum("ij,ij->i", gap, gap)
-        far = np.maximum(np.abs(q - los), np.abs(q - his))
-        max_sq = np.einsum("ij,ij->i", far, far)
-        bound = max_sq.min()
-        return [int(i) for i in ids[min_sq <= bound]]
+        return self.retriever.candidates(q)
 
     def query(self, query: np.ndarray, top: int | None = None
               ) -> ExpectedNNResult:
         """Rank the candidates by expected distance (ascending)."""
-        q = np.asarray(query, dtype=np.float64)
-        t0 = time.perf_counter()
-        ids = self.candidates(q)
-        t1 = time.perf_counter()
+        return self._run(query, {"top": top})
+
+    def query_batch(
+        self, queries, top: int | None = None
+    ) -> list[ExpectedNNResult]:
+        """Expected-distance rankings for many query points."""
+        return self._run_batch(queries, {"top": top})
+
+    # -- BaseEngine hooks ----------------------------------------------
+    def _retrieve(self, q: np.ndarray, params: dict) -> list[int]:
+        # Route through the public candidates() so subclass overrides
+        # of the documented Step-1 API affect query execution.
+        return self.candidates(q)
+
+    def _retrieve_batch(self, qs, params: dict) -> list[list[int]]:
+        # candidates() is a plain retriever delegate unless a subclass
+        # overrides it, so the vectorized fast path stays available.
+        if (
+            self.memo_radius <= 0
+            and type(self).candidates is ExpectedNNEngine.candidates
+        ):
+            batch = getattr(self.retriever, "candidates_batch", None)
+            if batch is not None:
+                return batch(np.stack(qs))
+        return super()._retrieve_batch(qs, params)
+
+    def _compute(
+        self, q: np.ndarray, ids: list[int], params: dict
+    ) -> ExpectedNNResult:
         ranked = sorted(
             ((oid, expected_distance(self.dataset, oid, q))
              for oid in ids),
             key=lambda pair: (pair[1], pair[0]),
         )
+        top = params["top"]
         if top is not None:
             ranked = ranked[:top]
-        t2 = time.perf_counter()
-        self.times.object_retrieval += t1 - t0
-        self.times.probability_computation += t2 - t1
-        self.times.queries += 1
         return ExpectedNNResult(query=q, ranking=tuple(ranked))

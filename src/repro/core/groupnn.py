@@ -30,15 +30,13 @@ the filter itself is cheap enough to run unindexed).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Literal
 
 import numpy as np
 
+from ..engine import BaseEngine
 from ..geometry import maxdist_sq_point_rect, mindist_sq_point_rect
-from ..uncertain import UncertainDataset
-from .pnnq import StepTimes
 
 __all__ = ["Aggregate", "GroupNNResult", "GroupNNEngine"]
 
@@ -68,7 +66,7 @@ class GroupNNResult:
         return max(self.probabilities, key=self.probabilities.__getitem__)
 
 
-class GroupNNEngine:
+class GroupNNEngine(BaseEngine):
     """PGNN evaluation over an uncertain database.
 
     Parameters
@@ -80,11 +78,6 @@ class GroupNNEngine:
         ``min`` aggregate (union of per-point PNNQ candidates); ``sum``
         and ``max`` always use the direct aggregate-bound filter.
     """
-
-    def __init__(self, dataset: UncertainDataset, retriever=None) -> None:
-        self.dataset = dataset
-        self.retriever = retriever
-        self.times = StepTimes()
 
     # ------------------------------------------------------------------
     def candidates(
@@ -98,7 +91,7 @@ class GroupNNEngine:
         agg = _AGGREGATORS[aggregate]
 
         ids = self.dataset.ids
-        if self.retriever is not None and aggregate == "min":
+        if self.has_index and aggregate == "min":
             # The min-aggregate group NN must be the single-point NN of
             # at least one query point, so the union of per-point
             # candidate sets is a correct superset.
@@ -132,15 +125,35 @@ class GroupNNEngine:
         self, queries: np.ndarray, aggregate: Aggregate = "sum"
     ) -> GroupNNResult:
         """Full PGNN: Step-1 filter, then exact probabilities."""
-        q = self._validate_queries(queries)
-        t0 = time.perf_counter()
-        ids = self.candidates(q, aggregate)
-        t1 = time.perf_counter()
+        if aggregate not in _AGGREGATORS:
+            raise KeyError(aggregate)
+        return self._run(queries, {"aggregate": aggregate})
+
+    def query_batch(
+        self, query_sets, aggregate: Aggregate = "sum"
+    ) -> list[GroupNNResult]:
+        """PGNN answers for many query-point *sets*."""
+        if aggregate not in _AGGREGATORS:
+            raise KeyError(aggregate)
+        return self._run_batch(query_sets, {"aggregate": aggregate})
+
+    # -- BaseEngine hooks ----------------------------------------------
+    def _prepare(self, query, params: dict) -> np.ndarray:
+        return self._validate_queries(query)
+
+    def _memo_point(self, q: np.ndarray):
+        # Candidate sets depend on the whole query set and the
+        # aggregate; point-keyed memoization does not apply.
+        return None
+
+    def _retrieve(self, q: np.ndarray, params: dict) -> list[int]:
+        return self.candidates(q, params["aggregate"])
+
+    def _compute(
+        self, q: np.ndarray, ids: list[int], params: dict
+    ) -> GroupNNResult:
+        aggregate = params["aggregate"]
         probabilities = self._probabilities(ids, q, aggregate)
-        t2 = time.perf_counter()
-        self.times.object_retrieval += t1 - t0
-        self.times.probability_computation += t2 - t1
-        self.times.queries += 1
         return GroupNNResult(
             queries=q,
             aggregate=aggregate,

@@ -26,14 +26,12 @@ exactly ``min(k, |candidates|)`` — the expected size of the answer set.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..geometry import maxdist_sq_point_rect, mindist_sq_point_rect
-from ..uncertain import UncertainDataset
-from .pnnq import StepTimes
+from ..engine import BaseEngine
+from ..engine.retrievers import minmax_sq_chunks
 
 __all__ = ["KNNResult", "KNNEngine"]
 
@@ -56,7 +54,7 @@ class KNNResult:
         return ranked if n is None else ranked[:n]
 
 
-class KNNEngine:
+class KNNEngine(BaseEngine):
     """k-PNN evaluation over an uncertain database.
 
     Parameters
@@ -71,43 +69,69 @@ class KNNEngine:
         is the case the paper's PV-index targets).
     """
 
-    def __init__(self, dataset: UncertainDataset, retriever=None) -> None:
-        self.dataset = dataset
-        self.retriever = retriever
-        self.times = StepTimes()
-
     # ------------------------------------------------------------------
     def candidates(self, query: np.ndarray, k: int = 1) -> list[int]:
         """Step 1: ids with non-zero probability of making the top k."""
         if k < 1:
             raise ValueError("k must be >= 1")
         q = np.asarray(query, dtype=np.float64)
-        if k == 1 and self.retriever is not None:
+        if k == 1 and self.has_index:
             return list(self.retriever.candidates(q))
 
         ids, los, his = self.dataset.packed_regions()
-        gap = np.maximum(np.maximum(los - q, q - his), 0.0)
-        min_sq = np.einsum("ij,ij->i", gap, gap)
-        far = np.maximum(np.abs(q - los), np.abs(q - his))
-        max_sq = np.einsum("ij,ij->i", far, far)
         if len(ids) <= k:
             return [int(i) for i in ids]
-        kth_max = np.partition(max_sq, k - 1)[k - 1]
-        keep = min_sq <= kth_max
+        min_sq, max_sq = next(minmax_sq_chunks(q[None, :], los, his))
+        kth_max = np.partition(max_sq[0], k - 1)[k - 1]
+        keep = min_sq[0] <= kth_max
         return [int(i) for i in ids[keep]]
 
     # ------------------------------------------------------------------
     def query(self, query: np.ndarray, k: int = 1) -> KNNResult:
         """Full k-PNN: Step-1 filter, then exact Poisson-binomial Step 2."""
-        q = np.asarray(query, dtype=np.float64)
-        t0 = time.perf_counter()
-        ids = self.candidates(q, k)
-        t1 = time.perf_counter()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self._run(query, {"k": k})
+
+    def query_batch(self, queries, k: int = 1) -> list[KNNResult]:
+        """Many k-PNNs; the k-th-maxdist filter runs as one broadcasted
+        pass over all distinct queries."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self._run_batch(queries, {"k": k})
+
+    # -- BaseEngine hooks ----------------------------------------------
+    def _retrieve(self, q: np.ndarray, params: dict) -> list[int]:
+        return self.candidates(q, params["k"])
+
+    def _retrieve_batch(
+        self, qs: list[np.ndarray], params: dict
+    ) -> list[list[int]]:
+        k = params["k"]
+        if self.memo_radius > 0 or (k == 1 and self.has_index):
+            # Per-query Step 1 under the base memo loop: the index path
+            # has no vectorized form, and a positive memo_radius must
+            # win over the vectorized filter (same contract as the
+            # base fast path).
+            return super()._retrieve_batch(qs, params)
+        ids, los, his = self.dataset.packed_regions()
+        if len(ids) <= k:
+            return [[int(i) for i in ids] for _ in qs]
+        Q = np.stack(qs)  # (b, d)
+        out: list[list[int]] = []
+        # Shared chunked kernel; only the bound differs from PNNQ
+        # (k-th smallest maxdist instead of the smallest).
+        for min_sq, max_sq in minmax_sq_chunks(Q, los, his):
+            kth_max = np.partition(max_sq, k - 1, axis=1)[:, k - 1]
+            keep = min_sq <= kth_max[:, None]
+            out.extend([int(i) for i in ids[row]] for row in keep)
+        return out
+
+    def _compute(
+        self, q: np.ndarray, ids: list[int], params: dict
+    ) -> KNNResult:
+        k = params["k"]
         probabilities = self._probabilities(ids, q, k)
-        t2 = time.perf_counter()
-        self.times.object_retrieval += t1 - t0
-        self.times.probability_computation += t2 - t1
-        self.times.queries += 1
         return KNNResult(
             query=q, k=k, candidate_ids=ids,
             probabilities=probabilities,

@@ -19,12 +19,17 @@ candidate's pdf fetch is charged as secondary-index I/O.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Protocol
+from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import (
+    BaseEngine,
+    ExecutionStats,
+    Retriever,
+    batched_qualification_probabilities,
+    group_by_candidates,
+)
 from ..uncertain import UncertainDataset
 
 __all__ = [
@@ -35,32 +40,11 @@ __all__ = [
     "qualification_probabilities",
 ]
 
-
-class Retriever(Protocol):
-    """Anything that answers PNNQ Step 1 (PV-index, R-tree, UV-index)."""
-
-    def candidates(self, query: np.ndarray) -> list[int]:
-        """Ids with non-zero probability of being the NN of ``query``."""
-        ...
-
-
-@dataclass
-class StepTimes:
-    """Accumulated wall-clock split between OR (Step 1) and PC (Step 2)."""
-
-    object_retrieval: float = 0.0
-    probability_computation: float = 0.0
-    queries: int = 0
-
-    @property
-    def total(self) -> float:
-        """OR + PC seconds."""
-        return self.object_retrieval + self.probability_computation
-
-    def reset(self) -> None:
-        self.object_retrieval = 0.0
-        self.probability_computation = 0.0
-        self.queries = 0
+#: Backward-compatible name: the seed tracked OR/PC wall-clock in a
+#: dedicated ``StepTimes``; the unified execution layer superseded it
+#: with :class:`~repro.engine.stats.ExecutionStats` (same fields plus
+#: I/O and reuse counters).
+StepTimes = ExecutionStats
 
 
 @dataclass(frozen=True)
@@ -99,100 +83,94 @@ def qualification_probabilities(
     the survival products, so the returned values are exact.  Used by
     bound-based pruning (top-k, verifier) to skip the per-candidate
     evaluation loop for objects already known to lose.
+
+    The math lives in one place —
+    :func:`~repro.engine.batch.batched_qualification_probabilities` —
+    of which this is the single-query (``b = 1``) view.
     """
     q = np.asarray(query, dtype=np.float64)
-    if not candidate_ids:
-        return {}
-    if evaluate_ids is None:
-        evaluate_ids = candidate_ids
-    else:
-        missing = set(evaluate_ids) - set(candidate_ids)
-        if missing:
-            raise ValueError(
-                f"evaluate_ids not among candidates: {sorted(missing)}"
-            )
-    if len(candidate_ids) == 1:
-        return {
-            candidate_ids[0]: 1.0
-        } if candidate_ids[0] in evaluate_ids else {}
-
-    dists: dict[int, np.ndarray] = {}
-    weights: dict[int, np.ndarray] = {}
-    sorted_dists: dict[int, np.ndarray] = {}
-    cum_weights: dict[int, np.ndarray] = {}
-    for oid in candidate_ids:
-        obj = dataset[oid]
-        d = obj.distance_samples(q)
-        order = np.argsort(d)
-        dists[oid] = d
-        weights[oid] = obj.weights
-        sorted_dists[oid] = d[order]
-        cum_weights[oid] = np.concatenate(
-            ([0.0], np.cumsum(obj.weights[order]))
-        )
-
-    def survival(oid: int, radii: np.ndarray) -> np.ndarray:
-        """Pr[dist(o, q) > r] for each r, with half-weight on ties."""
-        sd = sorted_dists[oid]
-        cw = cum_weights[oid]
-        le = cw[np.searchsorted(sd, radii, side="right")]
-        lt = cw[np.searchsorted(sd, radii, side="left")]
-        return 1.0 - 0.5 * (le + lt)
-
-    out: dict[int, float] = {}
-    for oid in evaluate_ids:
-        radii = dists[oid]
-        prod = np.ones(len(radii))
-        for other in candidate_ids:
-            if other == oid:
-                continue
-            prod *= survival(other, radii)
-        # The half-weight tie convention can produce values a few ulps
-        # outside [0, 1]; clamp so callers never see e.g. -0.0000.
-        out[oid] = float(np.clip(np.dot(weights[oid], prod), 0.0, 1.0))
-    return out
+    return batched_qualification_probabilities(
+        dataset, candidate_ids, np.atleast_2d(q),
+        evaluate_ids=evaluate_ids,
+    )[0]
 
 
-class PNNQEngine:
+class PNNQEngine(BaseEngine):
     """Step 1 + Step 2 orchestration with the paper's instrumentation.
 
     Parameters
     ----------
     retriever:
-        The Step-1 index (must implement :meth:`candidates`).
+        The Step-1 index (must implement :meth:`candidates`); ``None``
+        falls back to the exact brute-force min-max filter.
     dataset:
         The uncertain database (pdf source for Step 2).
     secondary:
         Optional extensible hash table; when provided, each candidate's
         pdf fetch is routed through it so Step-2 I/O is charged (the
         PV-index passes its own secondary index here).
+
+    Timing, page I/O, and cache behavior live on :attr:`stats` (an
+    :class:`~repro.engine.ExecutionStats`); ``result_cache_size`` and
+    ``memo_radius`` are forwarded to
+    :class:`~repro.engine.BaseEngine`.
     """
 
     def __init__(
         self,
-        retriever: Retriever,
+        retriever: Retriever | None,
         dataset: UncertainDataset,
         secondary=None,
+        *,
+        result_cache_size: int = 0,
+        memo_radius: float = 0.0,
     ) -> None:
-        self.retriever = retriever
-        self.dataset = dataset
-        self.secondary = secondary
-        self.times = StepTimes()
+        super().__init__(
+            dataset,
+            retriever,
+            secondary=secondary,
+            result_cache_size=result_cache_size,
+            memo_radius=memo_radius,
+        )
 
     def query(self, query: np.ndarray) -> PNNQResult:
         """Evaluate one PNNQ, timing OR and PC separately."""
-        q = np.asarray(query, dtype=np.float64)
-        t0 = time.perf_counter()
-        ids = self.retriever.candidates(q)
-        t1 = time.perf_counter()
-        if self.secondary is not None:
-            for oid in ids:
-                self.secondary.get(oid)  # charge pdf fetch I/O
+        return self._run(query, {})
+
+    def query_batch(self, queries) -> list[PNNQResult]:
+        """Evaluate many PNNQs, sharing Step-1 work and vectorizing
+        Step 2 across queries with a common candidate set."""
+        return self._run_batch(queries, {})
+
+    # -- BaseEngine hooks ----------------------------------------------
+    def _compute(
+        self, q: np.ndarray, ids: list[int], params: dict
+    ) -> PNNQResult:
         probabilities = qualification_probabilities(self.dataset, ids, q)
-        t2 = time.perf_counter()
-        self.times.object_retrieval += t1 - t0
-        self.times.probability_computation += t2 - t1
-        self.times.queries += 1
         return PNNQResult(
             query=q, candidate_ids=ids, probabilities=probabilities
         )
+
+    def _compute_batch(
+        self,
+        qs: list[np.ndarray],
+        ids_list: list[list[int]],
+        params: dict,
+    ) -> list[PNNQResult]:
+        """Group queries by candidate set and batch Step 2 per group."""
+        results: list[PNNQResult | None] = [None] * len(qs)
+        for ids_key, positions in group_by_candidates(ids_list).items():
+            ids = list(ids_key)
+            if len(positions) == 1:
+                pos = positions[0]
+                results[pos] = self._compute(qs[pos], ids, params)
+                continue
+            block = np.stack([qs[pos] for pos in positions])
+            prob_maps = batched_qualification_probabilities(
+                self.dataset, ids, block
+            )
+            for pos, probs in zip(positions, prob_maps):
+                results[pos] = PNNQResult(
+                    query=qs[pos], candidate_ids=ids, probabilities=probs
+                )
+        return results  # type: ignore[return-value]

@@ -19,7 +19,7 @@ import numpy as np
 
 from ..geometry import Rect, maxdist_sq_point_rects, mindist_sq_point_rect
 from ..geometry.distance import mindist_sq_points_rect
-from ..uncertain import UncertainDataset, UncertainObject
+from ..uncertain import UncertainDataset
 
 __all__ = [
     "pv_cell_contains",

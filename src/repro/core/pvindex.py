@@ -27,7 +27,7 @@ implementation uses that logically forced direction.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -27,15 +27,14 @@ surviving candidates are resolved exactly on the discrete pdfs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import BaseEngine
 from ..geometry import Rect
 from ..geometry.domination import margin_bounds_batch
-from ..uncertain import UncertainDataset, UncertainObject
-from .pnnq import StepTimes
+from ..uncertain import UncertainObject
 
 __all__ = ["ReverseNNResult", "ReverseNNEngine"]
 
@@ -49,18 +48,20 @@ class ReverseNNResult:
     probabilities: dict[int, float]
 
 
-class ReverseNNEngine:
+class ReverseNNEngine(BaseEngine):
     """PRNN evaluation over an uncertain database.
 
     Parameters
     ----------
     dataset:
         The uncertain database.
+    retriever:
+        Accepted for constructor uniformity with the other engines.
+        PRNN Step 1 is domination-based over object regions and does
+        not consult a point retriever; an index-backed reverse filter
+        is a future refinement, and passing one today only wires its
+        pager into the shared I/O accounting.
     """
-
-    def __init__(self, dataset: UncertainDataset) -> None:
-        self.dataset = dataset
-        self.times = StepTimes()
 
     # ------------------------------------------------------------------
     def candidates(self, query: UncertainObject) -> list[int]:
@@ -110,24 +111,44 @@ class ReverseNNEngine:
         over the independent pdfs; the candidate's probability is the
         weighted sum.
         """
-        t0 = time.perf_counter()
-        ids = self.candidates(query)
-        t1 = time.perf_counter()
+        return self._run(query, {})
+
+    def query_batch(self, queries) -> list[ReverseNNResult]:
+        """PRNN answers for many query objects."""
+        return self._run_batch(queries, {})
+
+    # -- BaseEngine hooks ----------------------------------------------
+    def _prepare(self, query: UncertainObject, params: dict):
+        return query
+
+    def _query_key(self, q: UncertainObject, params: dict):
+        return (
+            q.oid,
+            q.instances.tobytes(),
+            q.weights.tobytes(),
+            np.asarray(q.region.lo).tobytes(),
+            np.asarray(q.region.hi).tobytes(),
+        )
+
+    def _memo_point(self, q: UncertainObject):
+        return None
+
+    def _retrieve(self, q: UncertainObject, params: dict) -> list[int]:
+        return self.candidates(q)
+
+    def _compute(
+        self, q: UncertainObject, ids: list[int], params: dict
+    ) -> ReverseNNResult:
         probabilities: dict[int, float] = {}
         for oid in ids:
-            prob = self._instance_probability(oid, query)
+            prob = self._instance_probability(oid, q)
             if prob > 0.0:
                 probabilities[oid] = prob
-        result = ReverseNNResult(
-            query_region=query.region,
+        return ReverseNNResult(
+            query_region=q.region,
             candidate_ids=ids,
             probabilities=probabilities,
         )
-        t2 = time.perf_counter()
-        self.times.object_retrieval += t1 - t0
-        self.times.probability_computation += t2 - t1
-        self.times.queries += 1
-        return result
 
     def _instance_probability(
         self, oid: int, query: UncertainObject

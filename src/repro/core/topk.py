@@ -23,13 +23,13 @@ handful of candidates is cheaper than computing histogram bounds.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import BaseEngine
 from ..uncertain import UncertainDataset
-from .pnnq import Retriever, StepTimes, qualification_probabilities
+from .pnnq import Retriever, qualification_probabilities
 from .verifier import probability_bounds
 
 __all__ = ["TopKResult", "TopKEngine"]
@@ -55,13 +55,13 @@ class TopKResult:
         return tuple(oid for oid, _ in self.ranking)
 
 
-class TopKEngine:
+class TopKEngine(BaseEngine):
     """Top-k probable NN evaluation over any Step-1 retriever.
 
     Parameters
     ----------
     retriever:
-        The Step-1 index.
+        The Step-1 index (``None`` falls back to brute force).
     dataset:
         The uncertain database (pdf source).
     n_bins:
@@ -70,14 +70,20 @@ class TopKEngine:
 
     def __init__(
         self,
-        retriever: Retriever,
+        retriever: Retriever | None,
         dataset: UncertainDataset,
         n_bins: int = 8,
+        *,
+        result_cache_size: int = 0,
+        memo_radius: float = 0.0,
     ) -> None:
-        self.retriever = retriever
-        self.dataset = dataset
+        super().__init__(
+            dataset,
+            retriever,
+            result_cache_size=result_cache_size,
+            memo_radius=memo_radius,
+        )
         self.n_bins = n_bins
-        self.times = StepTimes()
 
     def query(self, query: np.ndarray, k: int = 1) -> TopKResult:
         """The ``k`` objects most likely to be the NN of ``query``.
@@ -87,12 +93,19 @@ class TopKEngine:
         """
         if k < 1:
             raise ValueError("k must be >= 1")
-        q = np.asarray(query, dtype=np.float64)
+        return self._run(query, {"k": k})
 
-        t0 = time.perf_counter()
-        ids = self.retriever.candidates(q)
-        t1 = time.perf_counter()
+    def query_batch(self, queries, k: int = 1) -> list[TopKResult]:
+        """Top-k rankings for many query points."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self._run_batch(queries, {"k": k})
 
+    # -- BaseEngine hooks ----------------------------------------------
+    def _compute(
+        self, q: np.ndarray, ids: list[int], params: dict
+    ) -> TopKResult:
+        k = params["k"]
         pruned = 0
         survivors = list(ids)
         if len(ids) > max(k, _EXACT_THRESHOLD):
@@ -119,11 +132,6 @@ class TopKEngine:
         ranking = sorted(
             probabilities.items(), key=lambda kv: (-kv[1], kv[0])
         )[:k]
-        t2 = time.perf_counter()
-
-        self.times.object_retrieval += t1 - t0
-        self.times.probability_computation += t2 - t1
-        self.times.queries += 1
         return TopKResult(
             query=q,
             k=k,

@@ -19,13 +19,13 @@ This module implements that idea for the discrete-pdf model:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import BaseEngine
 from ..uncertain import UncertainDataset
-from .pnnq import Retriever, StepTimes, qualification_probabilities
+from .pnnq import Retriever, qualification_probabilities
 
 __all__ = ["ProbabilityBounds", "probability_bounds", "VerifierEngine"]
 
@@ -145,7 +145,7 @@ def probability_bounds(
     return out
 
 
-class VerifierEngine:
+class VerifierEngine(BaseEngine):
     """Threshold-PNNQ with verifier-first evaluation.
 
     Answers "which objects have qualification probability >= tau" while
@@ -155,7 +155,7 @@ class VerifierEngine:
     Parameters
     ----------
     retriever:
-        Step-1 index.
+        Step-1 index (``None`` falls back to brute force).
     dataset:
         The uncertain database.
     n_bins:
@@ -164,14 +164,25 @@ class VerifierEngine:
 
     def __init__(
         self,
-        retriever: Retriever,
+        retriever: Retriever | None,
         dataset: UncertainDataset,
         n_bins: int = 8,
+        *,
+        result_cache_size: int = 0,
+        memo_radius: float = 0.0,
     ) -> None:
-        self.retriever = retriever
-        self.dataset = dataset
+        super().__init__(
+            dataset,
+            retriever,
+            result_cache_size=result_cache_size,
+            memo_radius=memo_radius,
+        )
         self.n_bins = n_bins
-        self.times = StepTimes()
+        #: Candidates resolved by the exact Step-2 fallback / by bounds
+        #: alone.  Both count *work actually performed*: queries answered
+        #: from the LRU cache or by batch dedup do not re-increment them
+        #: (so on hot workloads they track distinct executions, not
+        #: ``stats.queries``), and ``stats.reset()`` leaves them alone.
         self.exact_evaluations = 0
         self.verified_only = 0
 
@@ -181,10 +192,26 @@ class VerifierEngine:
         """Id -> "probability >= tau" decisions for all candidates."""
         if not 0.0 <= tau <= 1.0:
             raise ValueError("tau must be in [0, 1]")
-        q = np.asarray(query, dtype=np.float64)
-        t0 = time.perf_counter()
-        ids = self.retriever.candidates(q)
-        t1 = time.perf_counter()
+        return self._run(query, {"tau": tau})
+
+    def query_batch(
+        self, queries, tau: float = 0.1
+    ) -> list[dict[int, bool]]:
+        """Threshold decisions for many query points.
+
+        Duplicate queries (and LRU hits, when a result cache is
+        enabled) share one decision dict — treat the returned dicts as
+        read-only.
+        """
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        return self._run_batch(queries, {"tau": tau})
+
+    # -- BaseEngine hooks ----------------------------------------------
+    def _compute(
+        self, q: np.ndarray, ids: list[int], params: dict
+    ) -> dict[int, bool]:
+        tau = params["tau"]
         bounds = probability_bounds(self.dataset, ids, q, self.n_bins)
         undecided = [
             oid
@@ -203,8 +230,4 @@ class VerifierEngine:
             self.exact_evaluations += len(undecided)
             for oid in undecided:
                 decided[oid] = exact[oid] >= tau
-        t2 = time.perf_counter()
-        self.times.object_retrieval += t1 - t0
-        self.times.probability_computation += t2 - t1
-        self.times.queries += 1
         return decided

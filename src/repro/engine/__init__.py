@@ -1,0 +1,34 @@
+"""Unified query-execution layer: one runtime for every engine.
+
+This package is the seam between the paper's query classes and the
+serving-oriented roadmap: :class:`BaseEngine` owns the OR→PC template,
+retriever resolution, shared :class:`ExecutionStats` instrumentation
+(timing + simulated page I/O from one object), a batched query API with
+candidate-set memoization, and an optional LRU result cache.  The
+concrete engines in :mod:`repro.core` are thin subclasses implementing
+only their probability-computation step.
+"""
+
+from .base import BaseEngine
+from .batch import batched_qualification_probabilities, group_by_candidates
+from .cache import CandidateMemo, LRUCache
+from .retrievers import (
+    BruteForceRetriever,
+    Retriever,
+    discover_pagers,
+    resolve_retriever,
+)
+from .stats import ExecutionStats
+
+__all__ = [
+    "BaseEngine",
+    "ExecutionStats",
+    "Retriever",
+    "BruteForceRetriever",
+    "resolve_retriever",
+    "discover_pagers",
+    "LRUCache",
+    "CandidateMemo",
+    "batched_qualification_probabilities",
+    "group_by_candidates",
+]

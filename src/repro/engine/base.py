@@ -1,0 +1,297 @@
+"""The shared OR→PC engine runtime.
+
+Every query class in the library — PNNQ, k-PNN, top-k probable NN,
+group NN, reverse NN, threshold (verifier) queries, expected-distance
+NN — follows the same two-step shape the paper evaluates: *object
+retrieval* (Step 1, "OR") through a pluggable retriever, then
+*probability computation* (Step 2, "PC") on the retrieved candidates'
+discrete pdfs.  :class:`BaseEngine` owns that template once:
+
+* retriever resolution (PV-index / R-tree / UV-index / brute-force
+  fallback) via :func:`~repro.engine.retrievers.resolve_retriever`;
+* per-phase wall-clock timing and simulated page-I/O attribution into
+  one shared :class:`~repro.engine.stats.ExecutionStats`;
+* secondary-index pdf-fetch charging (Step-2 I/O);
+* an optional LRU result cache;
+* a batched API — :meth:`BaseEngine.query_batch` — that deduplicates
+  identical queries, memoizes Step-1 candidate retrieval across nearby
+  queries, and hands whole candidate groups to vectorized Step-2 kernels.
+
+Subclasses implement only the hooks: :meth:`_compute` (their
+probability-computation step) and, where profitable, vectorized
+:meth:`_retrieve_batch` / :meth:`_compute_batch` overrides.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from ..storage.pager import IOStats
+from ..uncertain import UncertainDataset
+from .cache import _MISS, CandidateMemo, LRUCache
+from .retrievers import Retriever, discover_pagers, resolve_retriever
+from .stats import ExecutionStats
+
+__all__ = ["BaseEngine"]
+
+
+class BaseEngine:
+    """Template engine: Step-1 retrieval, Step-2 computation, stats.
+
+    Parameters
+    ----------
+    dataset:
+        The uncertain database (pdf source for Step 2).
+    retriever:
+        Optional Step-1 index (PV-index, R-tree, UV-index, or anything
+        implementing ``candidates``).  ``None`` falls back to the exact
+        brute-force min-max filter.
+    secondary:
+        Optional secondary index (extensible hash table); when given,
+        each candidate's pdf fetch is routed through it so Step-2 I/O
+        is charged.
+    result_cache_size:
+        When positive, completed results are kept in an LRU cache keyed
+        by the exact query and parameters; repeat queries are answered
+        without touching either step.
+    memo_radius:
+        When positive, ``query_batch`` reuses one Step-1 candidate set
+        for all queries falling in the same grid cell of this side
+        length — an opt-in approximation for spatially local serving
+        workloads (see :class:`~repro.engine.cache.CandidateMemo`).
+
+    Results are shared, not copied: cache hits and batch-deduplicated
+    positions return the *same* result object, so callers must treat
+    every result as read-only — including its dict/list fields and
+    plain-dict results like ``VerifierEngine``'s, none of which are
+    defensively copied.
+    """
+
+    def __init__(
+        self,
+        dataset: UncertainDataset,
+        retriever: Retriever | None = None,
+        *,
+        secondary: Any = None,
+        result_cache_size: int = 0,
+        memo_radius: float = 0.0,
+    ) -> None:
+        self.dataset = dataset
+        self.retriever = resolve_retriever(dataset, retriever)
+        #: True when the caller supplied an index (vs the fallback).
+        self.has_index = retriever is not None
+        self.secondary = secondary
+        self.stats = ExecutionStats()
+        self.memo_radius = float(memo_radius)
+        self.result_cache: LRUCache | None = (
+            LRUCache(result_cache_size) if result_cache_size else None
+        )
+        self._pagers = discover_pagers(self.retriever, secondary)
+
+    # ------------------------------------------------------------------
+    # Compatibility: the seed engines exposed their timing as ``times``.
+    # ------------------------------------------------------------------
+    @property
+    def times(self) -> ExecutionStats:
+        """Alias of :attr:`stats` (the seed engines' attribute name)."""
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Hooks (subclasses override what differs from the default)
+    # ------------------------------------------------------------------
+    def _prepare(self, query: Any, params: dict) -> Any:
+        """Normalize/validate one raw query before execution."""
+        return np.asarray(query, dtype=np.float64)
+
+    def _query_key(self, q: Any, params: dict) -> Hashable:
+        """A hashable identity of (query, params) for cache and dedup."""
+        return (q.tobytes(), tuple(sorted(params.items())))
+
+    def _memo_point(self, q: Any) -> np.ndarray | None:
+        """The point keying Step-1 memoization (``None`` disables it)."""
+        if isinstance(q, np.ndarray) and q.ndim == 1:
+            return q
+        return None
+
+    def _retrieve(self, q: Any, params: dict) -> list[int]:
+        """Step 1: candidate ids for one prepared query."""
+        return self.retriever.candidates(q)
+
+    def _compute(self, q: Any, ids: list[int], params: dict) -> Any:
+        """Step 2: the engine-specific result for one query."""
+        raise NotImplementedError
+
+    def _retrieve_batch(
+        self, qs: list[Any], params: dict
+    ) -> list[list[int]]:
+        """Step 1 for a block of prepared queries.
+
+        The default vectorizes through the retriever's
+        ``candidates_batch`` when Step 1 is the plain retriever call
+        and no memo is requested, and otherwise loops :meth:`_retrieve`
+        under the candidate memo (a positive ``memo_radius`` opts into
+        grid-cell candidate reuse, which also lets the grouped Step-2
+        kernels share work — so it must win over the fast path).
+        """
+        if self.memo_radius <= 0 and (
+            type(self)._retrieve is BaseEngine._retrieve
+        ):
+            batch = getattr(self.retriever, "candidates_batch", None)
+            if batch is not None and all(
+                isinstance(q, np.ndarray) and q.ndim == 1 for q in qs
+            ):
+                return batch(np.stack(qs))
+        memo = (
+            CandidateMemo(self.memo_radius)
+            if self.memo_radius > 0
+            else None
+        )
+        out: list[list[int]] = []
+        for q in qs:
+            point = self._memo_point(q) if memo is not None else None
+            if point is not None:
+                cached = memo.lookup(point)
+                if cached is not None:
+                    self.stats.memo_hits += 1
+                    out.append(cached)
+                    continue
+            ids = self._retrieve(q, params)
+            if point is not None:
+                memo.store(point, ids)
+            out.append(ids)
+        return out
+
+    def _compute_batch(
+        self, qs: list[Any], ids_list: list[list[int]], params: dict
+    ) -> list[Any]:
+        """Step 2 for a block of queries (default: per-query loop)."""
+        return [
+            self._compute(q, ids, params)
+            for q, ids in zip(qs, ids_list)
+        ]
+
+    # ------------------------------------------------------------------
+    # Template methods
+    # ------------------------------------------------------------------
+    def _run(self, query: Any, params: dict) -> Any:
+        """Answer one query: cache → OR (timed) → PC (timed)."""
+        q = self._prepare(query, params)
+        key: Hashable | None = None
+        if self.result_cache is not None:
+            key = self._query_key(q, params)
+            hit = self.result_cache.get(key, _MISS)
+            if hit is not _MISS:
+                self.stats.cache_hits += 1
+                self.stats.queries += 1
+                return hit
+
+        before = self._io_snapshot()
+        t0 = time.perf_counter()
+        ids = self._retrieve(q, params)
+        t1 = time.perf_counter()
+        mid = self._io_snapshot()
+        self._charge_secondary(ids)
+        result = self._compute(q, ids, params)
+        t2 = time.perf_counter()
+        after = self._io_snapshot()
+
+        self.stats.add_or(t1 - t0, _io_delta(before, mid))
+        self.stats.add_pc(t2 - t1, _io_delta(mid, after))
+        self.stats.queries += 1
+        if key is not None:
+            self.result_cache.put(key, result)
+        return result
+
+    def _run_batch(self, queries: Sequence[Any], params: dict) -> list:
+        """Answer a block of queries with dedup, memo, and batched PC."""
+        prepared = [self._prepare(q, params) for q in queries]
+        n = len(prepared)
+        results: list[Any] = [None] * n
+
+        # Resolve LRU hits and collapse exact duplicates: each distinct
+        # (query, params) key is executed once and fanned back out.
+        # Counters are applied only once the batch completes, so a
+        # query that raises mid-batch does not inflate the per-query
+        # denominators (same contract as the single-query path).
+        groups: dict[Hashable, list[int]] = {}
+        cache_hits = 0
+        for i, q in enumerate(prepared):
+            key = self._query_key(q, params)
+            if self.result_cache is not None:
+                hit = self.result_cache.get(key, _MISS)
+                if hit is not _MISS:
+                    results[i] = hit
+                    cache_hits += 1
+                    continue
+            groups.setdefault(key, []).append(i)
+        if not groups:
+            self.stats.batches += 1
+            self.stats.queries += n
+            self.stats.cache_hits += cache_hits
+            return results
+
+        reps = [members[0] for members in groups.values()]
+        rep_qs = [prepared[i] for i in reps]
+
+        before = self._io_snapshot()
+        t0 = time.perf_counter()
+        ids_list = self._retrieve_batch(rep_qs, params)
+        t1 = time.perf_counter()
+        mid = self._io_snapshot()
+        for ids in ids_list:
+            self._charge_secondary(ids)
+        rep_results = self._compute_batch(rep_qs, ids_list, params)
+        t2 = time.perf_counter()
+        after = self._io_snapshot()
+
+        for (key, members), result in zip(
+            groups.items(), rep_results
+        ):
+            for i in members:
+                results[i] = result
+            if self.result_cache is not None:
+                self.result_cache.put(key, result)
+
+        self.stats.batches += 1
+        self.stats.queries += n
+        self.stats.cache_hits += cache_hits
+        self.stats.dedup_hits += sum(
+            len(members) - 1 for members in groups.values()
+        )
+        self.stats.add_or(t1 - t0, _io_delta(before, mid))
+        self.stats.add_pc(t2 - t1, _io_delta(mid, after))
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _charge_secondary(self, ids: list[int]) -> None:
+        """Route each candidate's pdf fetch through the secondary index."""
+        if self.secondary is not None:
+            for oid in ids:
+                self.secondary.get(oid)
+
+    def _io_snapshot(self) -> list[IOStats]:
+        return [pager.stats.snapshot() for pager in self._pagers]
+
+    def __repr__(self) -> str:
+        retriever = type(self.retriever).__name__
+        return (
+            f"{type(self).__name__}(n={len(self.dataset)}, "
+            f"retriever={retriever}, queries={self.stats.queries})"
+        )
+
+
+def _io_delta(
+    before: list[IOStats], after: list[IOStats]
+) -> IOStats:
+    """Summed per-pager traffic between two snapshot lists."""
+    out = IOStats()
+    for b, a in zip(before, after):
+        d = a.delta(b)
+        out.reads += d.reads
+        out.writes += d.writes
+    return out

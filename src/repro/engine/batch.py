@@ -1,0 +1,113 @@
+"""Vectorized Step-2 kernels shared by the batched query API.
+
+:func:`batched_qualification_probabilities` evaluates the PNNQ Step-2
+computation of Cheng et al. [8] (discrete-pdf form, identical math to
+:func:`repro.core.pnnq.qualification_probabilities`) for *many query
+points against one shared candidate set* at once.  The per-candidate
+instance-distance matrices, their sorts, and the cumulative-weight
+tables — the numpy-heavy part of Step 2 — are computed with one batched
+operation each instead of once per query, which is where the batch API
+earns its keep on workloads whose queries share candidate sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..uncertain import UncertainDataset
+
+__all__ = ["batched_qualification_probabilities", "group_by_candidates"]
+
+
+def group_by_candidates(
+    ids_list: list[list[int]],
+) -> dict[tuple[int, ...], list[int]]:
+    """Positions of ``ids_list`` grouped by identical candidate tuple."""
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for pos, ids in enumerate(ids_list):
+        groups.setdefault(tuple(ids), []).append(pos)
+    return groups
+
+
+def batched_qualification_probabilities(
+    dataset: UncertainDataset,
+    candidate_ids: list[int],
+    queries: np.ndarray,
+    evaluate_ids: list[int] | None = None,
+) -> list[dict[int, float]]:
+    """Step 2 for one candidate set and a ``(b, d)`` block of queries.
+
+    Returns one ``oid -> probability`` mapping per query row.  This is
+    the single authoritative implementation of the discrete-pdf Step-2
+    math (half-weight tie convention, survival products, final clamp to
+    ``[0, 1]``); :func:`repro.core.pnnq.qualification_probabilities` is
+    the ``b = 1`` view of it.
+
+    ``evaluate_ids`` restricts *whose* probabilities are returned;
+    every member of ``candidate_ids`` still participates as a
+    competitor in the survival products, so the returned values are
+    exact (used by bound-based pruning to skip known losers).
+    """
+    Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    b = len(Q)
+    if not candidate_ids:
+        return [{} for _ in range(b)]
+    if evaluate_ids is None:
+        evaluate_ids = candidate_ids
+    else:
+        missing = set(evaluate_ids) - set(candidate_ids)
+        if missing:
+            raise ValueError(
+                f"evaluate_ids not among candidates: {sorted(missing)}"
+            )
+    if len(candidate_ids) == 1:
+        only = candidate_ids[0]
+        row = {only: 1.0} if only in evaluate_ids else {}
+        return [dict(row) for _ in range(b)]
+
+    # Batched per-candidate precomputation: distance matrices (b, m),
+    # their row-wise sorts, and cumulative weights, one numpy call each.
+    dists: dict[int, np.ndarray] = {}
+    weights: dict[int, np.ndarray] = {}
+    sorted_dists: dict[int, np.ndarray] = {}
+    cum_weights: dict[int, np.ndarray] = {}
+    for oid in candidate_ids:
+        obj = dataset[oid]
+        diff = obj.instances[None, :, :] - Q[:, None, :]
+        d = np.sqrt(np.einsum("bmd,bmd->bm", diff, diff))
+        order = np.argsort(d, axis=1)
+        w = np.broadcast_to(obj.weights, d.shape)
+        dists[oid] = d
+        weights[oid] = obj.weights
+        sorted_dists[oid] = np.take_along_axis(d, order, axis=1)
+        cum_weights[oid] = np.concatenate(
+            [
+                np.zeros((b, 1)),
+                np.cumsum(np.take_along_axis(w, order, axis=1), axis=1),
+            ],
+            axis=1,
+        )
+
+    def survival(oid: int, row: int, radii: np.ndarray) -> np.ndarray:
+        """Pr[dist(o, q_row) > r] per radius, half-weight on ties."""
+        sd = sorted_dists[oid][row]
+        cw = cum_weights[oid][row]
+        le = cw[np.searchsorted(sd, radii, side="right")]
+        lt = cw[np.searchsorted(sd, radii, side="left")]
+        return 1.0 - 0.5 * (le + lt)
+
+    out: list[dict[int, float]] = []
+    for row in range(b):
+        probs: dict[int, float] = {}
+        for oid in evaluate_ids:
+            radii = dists[oid][row]
+            prod = np.ones(len(radii))
+            for other in candidate_ids:
+                if other == oid:
+                    continue
+                prod *= survival(other, row, radii)
+            probs[oid] = float(
+                np.clip(np.dot(weights[oid], prod), 0.0, 1.0)
+            )
+        out.append(probs)
+    return out

@@ -1,0 +1,119 @@
+"""Result caching and candidate-set memoization for the engine layer.
+
+Two small reuse structures back the batched query API:
+
+* :class:`LRUCache` — an optional bounded result cache keyed by the
+  exact query (plus query parameters).  Hits skip both steps entirely —
+  the right trade for heavy-traffic serving where a small set of hot
+  queries dominates.
+* :class:`CandidateMemo` — Step-1 (candidate set) reuse across *nearby*
+  queries inside one batch.  Queries are quantized to grid cells of a
+  caller-chosen radius; queries landing in the same cell share one
+  retriever call.  At radius 0 only exactly-coincident memo points
+  reuse, which is always exact; a positive radius is an opt-in
+  approximation for serving workloads with spatial locality (the reused
+  set may differ from the per-query set near cell boundaries, while
+  Step-2 probabilities remain exact *for the reused set*).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+import numpy as np
+
+__all__ = ["LRUCache", "CandidateMemo"]
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+_MISS = object()
+
+
+class LRUCache:
+    """A bounded mapping evicting the least recently used entry."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency on a hit.
+
+        Returns ``default`` (``None`` unless given) on a miss; callers
+        that cache ``None``-valued entries should pass
+        :data:`LRUCache.MISS` as the default to disambiguate.
+        """
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the oldest entry when full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are preserved)."""
+        self._data.clear()
+
+
+LRUCache.MISS = _MISS
+
+
+class CandidateMemo:
+    """Grid-quantized memo of Step-1 candidate sets.
+
+    Parameters
+    ----------
+    radius:
+        Cell side length of the quantization grid.  ``0.0`` reuses only
+        for exactly identical memo points (always exact); larger values
+        trade Step-1 work for boundary-case approximation.
+    """
+
+    def __init__(self, radius: float = 0.0) -> None:
+        if radius < 0.0:
+            raise ValueError("radius must be >= 0")
+        self.radius = float(radius)
+        self.hits = 0
+        self.misses = 0
+        self._cells: dict[tuple, list[int]] = {}
+
+    def key(self, point: np.ndarray) -> tuple:
+        """The grid cell of ``point`` under the memo radius."""
+        p = np.asarray(point, dtype=np.float64)
+        if self.radius > 0.0:
+            return tuple(np.floor(p / self.radius).astype(np.int64))
+        return tuple(p)
+
+    def lookup(self, point: np.ndarray) -> list[int] | None:
+        """Cached candidate ids for the cell of ``point``, if any."""
+        ids = self._cells.get(self.key(point))
+        if ids is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return ids
+
+    def store(self, point: np.ndarray, ids: list[int]) -> None:
+        """Record the candidate set retrieved at ``point``."""
+        self._cells[self.key(point)] = ids
+
+    def clear(self) -> None:
+        """Drop every memoized cell."""
+        self._cells.clear()

@@ -1,0 +1,152 @@
+"""Retriever resolution shared by every engine.
+
+A *retriever* answers PNNQ Step 1: given a query point, the ids of
+objects with non-zero probability of being its nearest neighbor.  The
+library ships three index-backed retrievers — the PV-index (the paper's
+contribution), the R-tree branch-and-prune baseline of Cheng et al.
+[8], and the UV-index [9] — plus the :class:`BruteForceRetriever`
+fallback defined here, which runs the exact min-max filter over the
+whole database in one vectorized pass.
+
+:func:`resolve_retriever` maps the ``retriever=None`` default every
+engine accepts onto the fallback, so engine code never special-cases
+"no index"; :func:`discover_pagers` finds the simulated-disk pagers a
+retriever (and secondary index) does I/O through, so the shared
+instrumentation can attribute page traffic per query phase.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..storage.pager import Pager
+from ..uncertain import UncertainDataset
+
+__all__ = [
+    "Retriever",
+    "BruteForceRetriever",
+    "resolve_retriever",
+    "discover_pagers",
+]
+
+#: Maximum query rows per vectorized chunk (an upper bound; the actual
+#: chunk also shrinks with database size — see :func:`minmax_sq_chunks`).
+BATCH_CHUNK = 256
+
+#: Element budget per broadcasted (chunk, n, d) temporary: ~32 MB of
+#: float64, so the two concurrent temporaries stay under ~64 MB
+#: regardless of database size.
+_CHUNK_ELEMENT_BUDGET = 4_000_000
+
+
+def minmax_sq_chunks(queries: np.ndarray, los: np.ndarray,
+                     his: np.ndarray):
+    """Yield ``(min_sq, max_sq)`` blocks for a batch of query points.
+
+    The one broadcasted min/max squared-distance kernel every batched
+    Step-1 filter shares: for each chunk of ``queries`` it yields the
+    ``(chunk, n)`` squared min/max distances to every region.  Callers
+    differ only in the pruning bound they derive (smallest max for
+    PNNQ, k-th smallest max for k-PNN).  The chunk height is
+    ``min(BATCH_CHUNK, element budget / (n * d))`` so peak memory is
+    bounded for large databases as well as large batches.
+    """
+    n, d = los.shape
+    rows = max(1, min(BATCH_CHUNK, _CHUNK_ELEMENT_BUDGET // max(n * d, 1)))
+    for start in range(0, len(queries), rows):
+        chunk = queries[start:start + rows]
+        # (chunk, n, d) clearance of each query from each region.
+        gap = np.maximum(
+            np.maximum(los[None, :, :] - chunk[:, None, :],
+                       chunk[:, None, :] - his[None, :, :]),
+            0.0,
+        )
+        min_sq = np.einsum("bnd,bnd->bn", gap, gap)
+        far = np.maximum(
+            np.abs(chunk[:, None, :] - los[None, :, :]),
+            np.abs(chunk[:, None, :] - his[None, :, :]),
+        )
+        max_sq = np.einsum("bnd,bnd->bn", far, far)
+        yield min_sq, max_sq
+
+
+class Retriever(Protocol):
+    """Anything that answers PNNQ Step 1 (PV-index, R-tree, UV-index)."""
+
+    def candidates(self, query: np.ndarray) -> list[int]:
+        """Ids with non-zero probability of being the NN of ``query``."""
+        ...
+
+
+class BruteForceRetriever:
+    """Index-free Step 1: the exact min-max filter over all regions.
+
+    Object ``o`` can be the NN of ``q`` iff ``distmin(o, q)`` is at most
+    ``min_x distmax(x, q)`` — the same filter every index applies to its
+    leaf candidates, here evaluated against the entire database in one
+    numpy pass.  Engines fall back to this when built without an index.
+    """
+
+    name = "brute-force"
+
+    def __init__(self, dataset: UncertainDataset) -> None:
+        self.dataset = dataset
+
+    def candidates(self, query: np.ndarray) -> list[int]:
+        """Step-1 answer for one query point."""
+        return self.candidates_batch(
+            np.asarray(query, dtype=np.float64)[None, :]
+        )[0]
+
+    def candidates_batch(self, queries: np.ndarray) -> list[list[int]]:
+        """Step-1 answers for a ``(b, d)`` block of query points.
+
+        Broadcasted passes compute every query's min/max squared
+        distance to every region — the vectorization across queries the
+        per-query loop cannot exploit.  Queries are processed in
+        :data:`BATCH_CHUNK`-row chunks so the (chunk, n, d) temporaries
+        stay bounded regardless of workload size.
+        """
+        q = np.asarray(queries, dtype=np.float64)
+        ids, los, his = self.dataset.packed_regions()
+        if len(ids) == 0:
+            return [[] for _ in range(len(q))]
+        out: list[list[int]] = []
+        for min_sq, max_sq in minmax_sq_chunks(q, los, his):
+            bounds = max_sq.min(axis=1)  # (chunk,)
+            keep = min_sq <= bounds[:, None]
+            out.extend([int(i) for i in ids[row]] for row in keep)
+        return out
+
+
+def resolve_retriever(
+    dataset: UncertainDataset, retriever: Retriever | None
+) -> Retriever:
+    """``retriever`` itself, or the brute-force fallback when ``None``."""
+    if retriever is None:
+        return BruteForceRetriever(dataset)
+    return retriever
+
+
+def discover_pagers(*sources: object) -> list[Pager]:
+    """The distinct pagers the given index objects do I/O through.
+
+    Checks each source (a retriever, a secondary index, ...) for a
+    ``pager`` attribute, following one ``tree`` indirection for wrappers
+    like ``RTreePNNQ`` that hold their index as ``.tree``.
+    """
+    pagers: list[Pager] = []
+    for source in sources:
+        if source is None:
+            continue
+        pager = getattr(source, "pager", None)
+        if pager is None:
+            tree = getattr(source, "tree", None)
+            pager = getattr(tree, "pager", None)
+        if isinstance(pager, Pager) and not any(
+            pager is seen for seen in pagers
+        ):
+            pagers.append(pager)
+    return pagers

@@ -1,0 +1,134 @@
+"""Unified execution statistics shared by every query engine.
+
+The paper's evaluation splits query cost along two axes: wall-clock
+time, decomposed into Step 1 ("OR" — object retrieval) and Step 2
+("PC" — probability computation) as in Figures 9(b)/(f), and simulated
+page I/O as in Figures 9(c)/(g).  The seed code tracked the former in
+``StepTimes`` and the latter in ``Pager.IOStats`` with ad-hoc bracketing
+in every driver; :class:`ExecutionStats` merges both into one object
+that every engine populates through the shared
+:class:`~repro.engine.base.BaseEngine` template.
+
+I/O is split by phase too: ``or_io`` is the page traffic of Step 1 (the
+quantity the paper's I/O figures report — leaf accesses of the Step-1
+index) and ``pc_io`` the traffic of Step 2 (secondary-index pdf
+fetches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage.pager import IOStats
+
+__all__ = ["ExecutionStats"]
+
+
+@dataclass
+class ExecutionStats:
+    """Accumulated timing, I/O, and reuse counters of one engine.
+
+    Semantics (tested in ``tests/test_engine.py``):
+
+    * :meth:`reset` zeroes every counter in place.
+    * :meth:`snapshot` returns an independent deep copy.
+    * :meth:`delta` returns the traffic accumulated since an earlier
+      snapshot, field by field.
+    """
+
+    #: Step-1 (object retrieval) wall-clock seconds.
+    object_retrieval: float = 0.0
+    #: Step-2 (probability computation) wall-clock seconds.
+    probability_computation: float = 0.0
+    #: Queries answered (including cache/dedup hits).
+    queries: int = 0
+    #: ``query_batch`` invocations.
+    batches: int = 0
+    #: Queries answered from the LRU result cache.
+    cache_hits: int = 0
+    #: Queries that reused another query's full result inside a batch
+    #: (exact duplicates collapsed by deduplication).
+    dedup_hits: int = 0
+    #: Queries that reused a nearby query's candidate set (Step-1 memo).
+    memo_hits: int = 0
+    #: Simulated page traffic of Step 1 (index descent / leaf reads).
+    or_io: IOStats = field(default_factory=IOStats)
+    #: Simulated page traffic of Step 2 (secondary pdf fetches).
+    pc_io: IOStats = field(default_factory=IOStats)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """OR + PC seconds."""
+        return self.object_retrieval + self.probability_computation
+
+    @property
+    def page_reads(self) -> int:
+        """Total pages read across both phases."""
+        return self.or_io.reads + self.pc_io.reads
+
+    @property
+    def io(self) -> IOStats:
+        """Combined Step-1 + Step-2 traffic (a fresh object)."""
+        return IOStats(
+            reads=self.or_io.reads + self.pc_io.reads,
+            writes=self.or_io.writes + self.pc_io.writes,
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        self.object_retrieval = 0.0
+        self.probability_computation = 0.0
+        self.queries = 0
+        self.batches = 0
+        self.cache_hits = 0
+        self.dedup_hits = 0
+        self.memo_hits = 0
+        self.or_io.reset()
+        self.pc_io.reset()
+
+    def snapshot(self) -> "ExecutionStats":
+        """An independent copy of the current counters."""
+        return ExecutionStats(
+            object_retrieval=self.object_retrieval,
+            probability_computation=self.probability_computation,
+            queries=self.queries,
+            batches=self.batches,
+            cache_hits=self.cache_hits,
+            dedup_hits=self.dedup_hits,
+            memo_hits=self.memo_hits,
+            or_io=self.or_io.snapshot(),
+            pc_io=self.pc_io.snapshot(),
+        )
+
+    def delta(self, earlier: "ExecutionStats") -> "ExecutionStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return ExecutionStats(
+            object_retrieval=self.object_retrieval
+            - earlier.object_retrieval,
+            probability_computation=self.probability_computation
+            - earlier.probability_computation,
+            queries=self.queries - earlier.queries,
+            batches=self.batches - earlier.batches,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            dedup_hits=self.dedup_hits - earlier.dedup_hits,
+            memo_hits=self.memo_hits - earlier.memo_hits,
+            or_io=self.or_io.delta(earlier.or_io),
+            pc_io=self.pc_io.delta(earlier.pc_io),
+        )
+
+    # ------------------------------------------------------------------
+    def add_or(self, seconds: float, io: IOStats | None = None) -> None:
+        """Charge one Step-1 episode (time plus optional page traffic)."""
+        self.object_retrieval += seconds
+        if io is not None:
+            self.or_io.reads += io.reads
+            self.or_io.writes += io.writes
+
+    def add_pc(self, seconds: float, io: IOStats | None = None) -> None:
+        """Charge one Step-2 episode (time plus optional page traffic)."""
+        self.probability_computation += seconds
+        if io is not None:
+            self.pc_io.reads += io.reads
+            self.pc_io.writes += io.writes

@@ -46,7 +46,6 @@ The emptiness test exploits both directions:
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 
 import numpy as np

@@ -29,7 +29,6 @@ import numpy as np
 
 from ..geometry import (
     Rect,
-    maxdist_sq_point_rect,
     mindist_sq_point_rect,
 )
 from ..storage import Pager

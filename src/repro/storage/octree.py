@@ -17,7 +17,7 @@ candidate grids.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator
+from typing import Any, Iterator
 
 import numpy as np
 

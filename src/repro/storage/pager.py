@@ -18,7 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["PageFullError", "IOStats", "Page", "Pager"]
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "PageFullError",
+    "IOStats",
+    "Page",
+    "Pager",
+    "PageChain",
+]
 
 DEFAULT_PAGE_SIZE = 4096
 """Page capacity in bytes (the paper's 4 KB disk pages)."""
@@ -240,6 +247,3 @@ class PageChain:
 
     def __len__(self) -> int:
         return len(self.pages)
-
-
-__all__.append("PageChain")

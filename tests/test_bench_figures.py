@@ -138,6 +138,17 @@ class TestAblations:
         )
         assert {r["strategy"] for r in result.rows} == {"FS", "IS"}
 
+    def test_batch_rows_and_dedup(self):
+        result = figures.ablation_batch(size=40, n_queries=12, n_hot=3)
+        assert {r["workload"] for r in result.rows} == {
+            "uniform", "hotspot",
+        }
+        hotspot = next(
+            r for r in result.rows if r["workload"] == "hotspot"
+        )
+        assert hotspot["distinct"] <= 3
+        assert all(r["batch_ms"] > 0 for r in result.rows)
+
 
 class TestRegistry:
     def test_all_figures_complete(self):
@@ -147,7 +158,7 @@ class TestRegistry:
             "fig10d", "fig10e", "fig10f", "fig10g", "fig10h", "fig10i",
             "ablation_mmax", "ablation_cset", "ablation_tightness",
             "ablation_verifier", "ablation_bulkload", "ablation_topk",
-            "ablation_knn",
+            "ablation_knn", "ablation_batch",
         }
         assert set(figures.ALL_FIGURES) == expected
 

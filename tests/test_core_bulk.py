@@ -6,7 +6,6 @@ import pytest
 from repro import PVIndex, synthetic_dataset
 from repro.core import bulk_build, compact, z_order
 from repro.core.bulk import _morton_key
-from repro.geometry import Rect
 from repro.storage import Pager
 
 

@@ -9,8 +9,6 @@ from repro import (
     IncrementalSelection,
     PVIndex,
     Rect,
-    SEConfig,
-    UncertainDataset,
     UncertainObject,
     synthetic_dataset,
 )

@@ -1,0 +1,392 @@
+"""Tests for the unified query-execution layer (repro.engine).
+
+Covers the satellite contract of the execution-layer PR: batch-vs-loop
+result equivalence for all seven engines, ``ExecutionStats``
+reset/snapshot/delta semantics, and LRU result-cache hit behavior —
+plus the brute-force retriever fallback and candidate memoization.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PVIndex, synthetic_dataset
+from repro.core import (
+    ExpectedNNEngine,
+    GroupNNEngine,
+    KNNEngine,
+    PNNQEngine,
+    ReverseNNEngine,
+    TopKEngine,
+    VerifierEngine,
+)
+from repro.core.pvcell import possible_nn_ids
+from repro.engine import (
+    BruteForceRetriever,
+    CandidateMemo,
+    ExecutionStats,
+    LRUCache,
+    batched_qualification_probabilities,
+)
+from repro.storage.pager import IOStats
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset(
+        n=50, dims=2, u_max=400, n_samples=12, seed=21
+    )
+
+
+@pytest.fixture(scope="module")
+def index(dataset):
+    return PVIndex.build(dataset.copy())
+
+
+@pytest.fixture(scope="module")
+def queries(dataset):
+    rng = np.random.default_rng(5)
+    distinct = dataset.domain.sample_points(8, rng)
+    # Include exact repeats so the dedup path is exercised.
+    return distinct[rng.integers(0, len(distinct), size=14)]
+
+
+def assert_prob_maps_equal(a, b):
+    assert set(a) == set(b)
+    for oid in a:
+        assert a[oid] == pytest.approx(b[oid], abs=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Batch-vs-loop equivalence for all six engines
+# ----------------------------------------------------------------------
+class TestBatchLoopEquivalence:
+    def test_pnnq(self, dataset, index, queries):
+        engine = PNNQEngine(index, dataset)
+        singles = [engine.query(q) for q in queries]
+        batched = engine.query_batch(queries)
+        for s, b in zip(singles, batched):
+            assert s.candidate_ids == b.candidate_ids
+            assert_prob_maps_equal(s.probabilities, b.probabilities)
+
+    def test_pnnq_brute_force_fallback(self, dataset, queries):
+        engine = PNNQEngine(None, dataset)
+        singles = [engine.query(q) for q in queries]
+        batched = engine.query_batch(queries)
+        for s, b in zip(singles, batched):
+            assert s.candidate_ids == b.candidate_ids
+            assert_prob_maps_equal(s.probabilities, b.probabilities)
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_knn(self, dataset, index, queries, k):
+        engine = KNNEngine(dataset, retriever=index)
+        singles = [engine.query(q, k=k) for q in queries]
+        batched = engine.query_batch(queries, k=k)
+        for s, b in zip(singles, batched):
+            assert s.candidate_ids == b.candidate_ids
+            assert_prob_maps_equal(s.probabilities, b.probabilities)
+
+    def test_topk(self, dataset, index, queries):
+        engine = TopKEngine(index, dataset)
+        singles = [engine.query(q, k=3) for q in queries]
+        batched = engine.query_batch(queries, k=3)
+        for s, b in zip(singles, batched):
+            assert s.ranking == b.ranking
+            assert s.pruned == b.pruned
+
+    @pytest.mark.parametrize("aggregate", ["sum", "max", "min"])
+    def test_groupnn(self, dataset, index, aggregate):
+        engine = GroupNNEngine(dataset, retriever=index)
+        rng = np.random.default_rng(9)
+        query_sets = [
+            dataset.domain.sample_points(3, rng) for _ in range(4)
+        ]
+        query_sets.append(query_sets[0])  # exact repeat
+        singles = [
+            engine.query(qs, aggregate=aggregate) for qs in query_sets
+        ]
+        batched = engine.query_batch(query_sets, aggregate=aggregate)
+        for s, b in zip(singles, batched):
+            assert s.candidate_ids == b.candidate_ids
+            assert_prob_maps_equal(s.probabilities, b.probabilities)
+
+    def test_reversenn(self, dataset):
+        engine = ReverseNNEngine(dataset)
+        query_objects = [dataset[oid] for oid in dataset.ids[:3]]
+        query_objects.append(query_objects[0])  # exact repeat
+        singles = [engine.query(q) for q in query_objects]
+        batched = engine.query_batch(query_objects)
+        for s, b in zip(singles, batched):
+            assert s.candidate_ids == b.candidate_ids
+            assert_prob_maps_equal(s.probabilities, b.probabilities)
+
+    def test_verifier(self, dataset, index, queries):
+        engine = VerifierEngine(index, dataset)
+        singles = [engine.query(q, tau=0.2) for q in queries]
+        batched = engine.query_batch(queries, tau=0.2)
+        assert singles == batched
+
+    def test_expectednn(self, dataset, queries):
+        engine = ExpectedNNEngine(dataset)
+        singles = [engine.query(q) for q in queries]
+        batched = engine.query_batch(queries)
+        for s, b in zip(singles, batched):
+            assert s.ranking == b.ranking
+
+    def test_batch_counts_dedup(self, dataset, index, queries):
+        engine = PNNQEngine(index, dataset)
+        engine.query_batch(queries)
+        assert engine.stats.batches == 1
+        assert engine.stats.queries == len(queries)
+        n_distinct = len({q.tobytes() for q in queries})
+        assert engine.stats.dedup_hits == len(queries) - n_distinct
+
+
+# ----------------------------------------------------------------------
+# ExecutionStats semantics
+# ----------------------------------------------------------------------
+class TestExecutionStats:
+    def test_reset_zeroes_everything(self):
+        stats = ExecutionStats(
+            object_retrieval=1.0,
+            probability_computation=2.0,
+            queries=3,
+            batches=1,
+            cache_hits=2,
+            dedup_hits=1,
+            memo_hits=4,
+            or_io=IOStats(reads=5, writes=6),
+            pc_io=IOStats(reads=7, writes=8),
+        )
+        stats.reset()
+        assert stats == ExecutionStats()
+        assert stats.total == 0.0
+        assert stats.page_reads == 0
+
+    def test_snapshot_is_independent(self):
+        stats = ExecutionStats(queries=2, or_io=IOStats(reads=3))
+        snap = stats.snapshot()
+        stats.queries += 1
+        stats.or_io.reads += 10
+        assert snap.queries == 2
+        assert snap.or_io.reads == 3
+
+    def test_delta_fieldwise(self):
+        stats = ExecutionStats(
+            object_retrieval=1.0, queries=2, or_io=IOStats(reads=4)
+        )
+        earlier = stats.snapshot()
+        stats.object_retrieval += 0.5
+        stats.queries += 3
+        stats.or_io.reads += 6
+        stats.pc_io.writes += 2
+        delta = stats.delta(earlier)
+        assert delta.object_retrieval == pytest.approx(0.5)
+        assert delta.queries == 3
+        assert delta.or_io.reads == 6
+        assert delta.pc_io.writes == 2
+        assert delta.probability_computation == 0.0
+
+    def test_io_properties_combine_phases(self):
+        stats = ExecutionStats(
+            or_io=IOStats(reads=2, writes=1),
+            pc_io=IOStats(reads=3, writes=4),
+        )
+        assert stats.page_reads == 5
+        assert stats.io.reads == 5
+        assert stats.io.writes == 5
+
+    def test_engine_reports_phase_io(self, dataset, index):
+        engine = PNNQEngine(index, dataset, secondary=index.secondary)
+        engine.query(dataset.domain.center)
+        assert engine.stats.queries == 1
+        assert engine.stats.or_io.reads > 0  # octree leaf read
+        assert engine.stats.pc_io.reads > 0  # secondary pdf fetches
+        assert engine.stats.object_retrieval > 0
+        assert engine.stats.probability_computation > 0
+        # Legacy alias used by the seed API.
+        assert engine.times is engine.stats
+
+    def test_stats_shared_across_query_and_batch(
+        self, dataset, index, queries
+    ):
+        engine = PNNQEngine(index, dataset)
+        engine.query(queries[0])
+        engine.query_batch(queries)
+        assert engine.stats.queries == 1 + len(queries)
+        assert engine.stats.batches == 1
+
+
+# ----------------------------------------------------------------------
+# LRU result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a"
+        cache.put("c", 3)  # evicts "b", the least recently used
+        assert cache.get("b") is None
+        assert cache.get("b", LRUCache.MISS) is LRUCache.MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_engine_cache_hits(self, dataset, index):
+        engine = PNNQEngine(index, dataset, result_cache_size=8)
+        q = dataset.domain.center
+        first = engine.query(q)
+        again = engine.query(q)
+        assert again is first  # served from cache, not recomputed
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.queries == 2
+
+    def test_cache_respects_params(self, dataset, index):
+        engine = TopKEngine(index, dataset, result_cache_size=8)
+        q = dataset.domain.center
+        r1 = engine.query(q, k=1)
+        r3 = engine.query(q, k=3)
+        assert engine.stats.cache_hits == 0
+        assert r1.k == 1 and r3.k == 3
+
+    def test_cache_spans_batches(self, dataset, index, queries):
+        engine = PNNQEngine(index, dataset, result_cache_size=32)
+        warm = engine.query_batch(queries)
+        engine.stats.reset()
+        cached = engine.query_batch(queries)
+        assert engine.stats.cache_hits == len(queries)
+        for w, c in zip(warm, cached):
+            assert w is c
+
+    def test_cached_results_equal_fresh(self, dataset, index, queries):
+        cached_engine = PNNQEngine(index, dataset, result_cache_size=4)
+        plain_engine = PNNQEngine(index, dataset)
+        for q in list(queries) + list(queries):
+            a = cached_engine.query(q)
+            b = plain_engine.query(q)
+            assert a.candidate_ids == b.candidate_ids
+            assert_prob_maps_equal(a.probabilities, b.probabilities)
+        assert cached_engine.stats.cache_hits > 0
+
+
+# ----------------------------------------------------------------------
+# Retriever fallback and candidate memoization
+# ----------------------------------------------------------------------
+class TestRetrievers:
+    def test_brute_force_matches_ground_truth(self, dataset):
+        retriever = BruteForceRetriever(dataset)
+        rng = np.random.default_rng(3)
+        for q in dataset.domain.sample_points(5, rng):
+            assert set(retriever.candidates(q)) == possible_nn_ids(
+                dataset, q
+            )
+
+    def test_batch_matches_single(self, dataset):
+        retriever = BruteForceRetriever(dataset)
+        rng = np.random.default_rng(4)
+        block = dataset.domain.sample_points(6, rng)
+        batched = retriever.candidates_batch(block)
+        for q, ids in zip(block, batched):
+            assert ids == retriever.candidates(q)
+
+    def test_batch_chunking_preserves_results(
+        self, dataset, monkeypatch
+    ):
+        from repro.engine import retrievers as retrievers_mod
+
+        block = dataset.domain.sample_points(
+            7, np.random.default_rng(11)
+        )
+        retriever = BruteForceRetriever(dataset)
+        whole = retriever.candidates_batch(block)
+        monkeypatch.setattr(retrievers_mod, "BATCH_CHUNK", 2)
+        assert retriever.candidates_batch(block) == whole
+
+    def test_knn_batch_chunking_preserves_results(
+        self, dataset, monkeypatch
+    ):
+        from repro.engine import retrievers as retrievers_mod
+
+        engine = KNNEngine(dataset)
+        block = dataset.domain.sample_points(
+            7, np.random.default_rng(12)
+        )
+        whole = engine._retrieve_batch(list(block), {"k": 3})
+        monkeypatch.setattr(retrievers_mod, "BATCH_CHUNK", 2)
+        assert engine._retrieve_batch(list(block), {"k": 3}) == whole
+
+    def test_memo_reuses_nearby_candidates(self, dataset, index):
+        engine = PNNQEngine(index, dataset, memo_radius=1e9)
+        # With a cell larger than the domain every distinct query in a
+        # batch shares one Step-1 retrieval.
+        rng = np.random.default_rng(6)
+        block = dataset.domain.sample_points(5, rng)
+        results = engine.query_batch(block)
+        assert engine.stats.memo_hits == len(block) - 1
+        assert len(results) == len(block)
+
+    def test_memo_applies_to_brute_force_fallback(self, dataset):
+        # A positive memo_radius must win over the candidates_batch
+        # fast path — otherwise the knob would silently no-op for the
+        # default retriever.
+        engine = PNNQEngine(None, dataset, memo_radius=1e9)
+        rng = np.random.default_rng(13)
+        block = dataset.domain.sample_points(6, rng)
+        results = engine.query_batch(block)
+        assert engine.stats.memo_hits == len(block) - 1
+        assert len(results) == len(block)
+
+    def test_memo_applies_to_knn_filter_path(self, dataset):
+        engine = KNNEngine(dataset, memo_radius=1e9)
+        rng = np.random.default_rng(14)
+        block = dataset.domain.sample_points(6, rng)
+        results = engine.query_batch(block, k=3)
+        assert engine.stats.memo_hits == len(block) - 1
+        assert len(results) == len(block)
+
+    def test_memo_radius_zero_is_exact(self):
+        memo = CandidateMemo(0.0)
+        memo.store(np.array([1.0, 2.0]), [7])
+        assert memo.lookup(np.array([1.0, 2.0])) == [7]
+        assert memo.lookup(np.array([1.0, 2.0000001])) is None
+
+
+# ----------------------------------------------------------------------
+# Batched Step-2 kernel
+# ----------------------------------------------------------------------
+class TestBatchedKernel:
+    def test_matches_single_query_step2(self, dataset):
+        from repro.core.pnnq import qualification_probabilities
+
+        rng = np.random.default_rng(8)
+        block = dataset.domain.sample_points(4, rng)
+        ids = sorted(dataset.ids)[:6]
+        batched = batched_qualification_probabilities(
+            dataset, ids, block
+        )
+        for q, probs in zip(block, batched):
+            assert_prob_maps_equal(
+                probs, qualification_probabilities(dataset, ids, q)
+            )
+
+    def test_degenerate_candidate_sets(self, dataset):
+        block = np.zeros((3, 2))
+        assert batched_qualification_probabilities(
+            dataset, [], block
+        ) == [{}, {}, {}]
+        only = dataset.ids[0]
+        assert batched_qualification_probabilities(
+            dataset, [only], block
+        ) == [{only: 1.0}] * 3
+
+
+# ----------------------------------------------------------------------
+# Storage satellite: pager exports match the package re-exports
+# ----------------------------------------------------------------------
+def test_pager_all_exports_complete():
+    from repro.storage import pager
+
+    assert "PageChain" in pager.__all__
+    assert "DEFAULT_PAGE_SIZE" in pager.__all__
+    for name in pager.__all__:
+        assert hasattr(pager, name)

@@ -9,7 +9,6 @@ fullest would-be child receives at most 80% of the entries.
 """
 
 import numpy as np
-import pytest
 
 from repro.geometry import Rect
 from repro.storage import OctreeConfig, PagedOctree, Pager

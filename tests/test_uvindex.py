@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import Rect, UncertainDataset, UncertainObject, UVIndex, synthetic_dataset
+from repro import Rect, UncertainObject, UVIndex, synthetic_dataset
 from repro.uncertain import uniform_pdf
 from repro.uvindex import CircleSet, circle_maxdist, circle_mindist, circumscribed_circle
 
