@@ -569,6 +569,14 @@ def fig10g_uv_speedup(
     return result
 
 
+#: UV-index maintenance parameters for the update sweeps: a small
+#: candidate set keeps each mutation's affected fraction low (the
+#: locality regime the paper's update experiments run in) at feasible
+#: bench sizes; the boxes stay conservative, so answers stay exact.
+_UV_UPDATE_K_CAND = 8
+_UV_UPDATE_DELTA = 1.0
+
+
 def _update_sweep(
     figure: str,
     title: str,
@@ -578,6 +586,14 @@ def _update_sweep(
     dims: int | None = None,
 ) -> FigureResult:
     """Fig 10(h)/(i): per-object update cost, Inc vs Rebuild.
+
+    Both maintained index families run both arms: the PV-index's
+    Section VI-B incremental maintenance and the UV-index's localized
+    cell recomputation, each against full reconstruction.  ``cells``
+    counts the expensive unit of work — SE UBR / UV-cell derivations —
+    over the whole update batch, and ``io_pages`` the simulated page
+    traffic per updated object, both read off the shared index/pager
+    instrumentation rather than driver-side re-bracketing.
 
     The incremental advantage depends on update *locality*: the
     affected set must be a small fraction of the database.  At the
@@ -591,10 +607,13 @@ def _update_sweep(
     result = FigureResult(
         figure=figure,
         title=title,
-        columns=("size", "method", "tu_seconds"),
+        columns=(
+            "size", "index", "method", "tu_seconds", "cells", "io_pages"
+        ),
         notes=(
             "Tu is seconds per updated object; Rebuild reconstructs the "
-            "whole index per batch and is amortized over the batch."
+            "whole index per batch and is amortized over the batch. "
+            "cells counts UBR/UV-cell derivations over the batch."
         ),
     )
     fraction = (
@@ -603,7 +622,8 @@ def _update_sweep(
         else SCALE.update_fraction
     )
     for n in sizes or SCALE.sizes:
-        dataset = make_dataset(n=n, dims=dims if dims is not None else 2)
+        d = dims if dims is not None else 2
+        dataset = make_dataset(n=n, dims=d)
         n_updates = max(1, int(n * fraction))
         rng = np.random.default_rng(7)
         victim_ids = [
@@ -611,47 +631,64 @@ def _update_sweep(
             for i in rng.choice(dataset.ids, size=n_updates, replace=False)
         ]
 
-        if operation == "deletion":
-            # Inc: delete the victims one at a time from a live index.
-            bundle = build_pv_bundle(dataset.copy())
+        builders: list[tuple[str, Callable]] = [
+            ("PV-index", build_pv_bundle)
+        ]
+        if d == 2:  # the UV-index is 2D-only
+            builders.append((
+                "UV-index",
+                lambda ds: build_uv_bundle(
+                    ds,
+                    k_cand=_UV_UPDATE_K_CAND,
+                    delta=_UV_UPDATE_DELTA,
+                ),
+            ))
+
+        # Shared across index families: the reduced database (victims
+        # removed) and the removed objects themselves.  Builders never
+        # mutate their input, so only the Inc arms (which apply live
+        # updates) get private copies.
+        reduced = dataset.copy()
+        victims = [reduced.delete(oid) for oid in victim_ids]
+
+        for index_name, build in builders:
+            if operation == "deletion":
+                # Inc: delete the victims one at a time from a live
+                # index; Rebuild: drop them, reconstruct from scratch.
+                inc = build(dataset.copy())
+                updates = [("delete", oid) for oid in victim_ids]
+                rebuild_input = reduced
+            else:
+                # Paper protocol: remove the batch, then re-insert it.
+                inc = build(reduced.copy())
+                updates = [("insert", obj) for obj in victims]
+                rebuild_input = dataset
+
+            cells_before = inc.index.stats.cells_recomputed
+            io_before = inc.pager.stats.snapshot()
             watch = Stopwatch()
             with watch:
-                for oid in victim_ids:
-                    bundle.index.delete(oid)
-            result.add(
-                size=n, method="Inc", tu_seconds=watch.seconds / n_updates
-            )
-            # Rebuild: drop the victims, then reconstruct from scratch.
-            reduced = dataset.copy()
-            for oid in victim_ids:
-                reduced.delete(oid)
-            watch = Stopwatch()
-            with watch:
-                build_pv_bundle(reduced)
+                for op, arg in updates:
+                    getattr(inc.index, op)(arg)
             result.add(
                 size=n,
-                method="Rebuild",
+                index=index_name,
+                method="Inc",
                 tu_seconds=watch.seconds / n_updates,
-            )
-        else:
-            # Paper protocol: remove the batch first, then re-insert it.
-            reduced = dataset.copy()
-            victims = [reduced.delete(oid) for oid in victim_ids]
-            bundle = build_pv_bundle(reduced.copy())
-            watch = Stopwatch()
-            with watch:
-                for obj in victims:
-                    bundle.index.insert(obj)
-            result.add(
-                size=n, method="Inc", tu_seconds=watch.seconds / n_updates
+                cells=inc.index.stats.cells_recomputed - cells_before,
+                io_pages=inc.pager.stats.delta(io_before).total
+                / n_updates,
             )
             watch = Stopwatch()
             with watch:
-                build_pv_bundle(dataset.copy())
+                rebuilt = build(rebuild_input)
             result.add(
                 size=n,
+                index=index_name,
                 method="Rebuild",
                 tu_seconds=watch.seconds / n_updates,
+                cells=rebuilt.index.stats.cells_recomputed,
+                io_pages=rebuilt.pager.stats.total / n_updates,
             )
     return result
 

@@ -199,11 +199,25 @@ def build_rtree_bundle(dataset: UncertainDataset) -> IndexBundle:
     )
 
 
-def build_uv_bundle(dataset: UncertainDataset) -> IndexBundle:
-    """UV-index baseline bundle (2D datasets only)."""
+def build_uv_bundle(
+    dataset: UncertainDataset,
+    k_cand: int | None = None,
+    delta: float | None = None,
+) -> IndexBundle:
+    """UV-index baseline bundle (2D datasets only).
+
+    ``k_cand`` / ``delta`` override the index defaults; the update
+    sweeps use a small candidate set so incremental maintenance runs in
+    the locality regime of the paper's Fig 10(h)/(i).
+    """
     pager = Pager(page_size=SCALE.page_size)
+    kwargs = {}
+    if k_cand is not None:
+        kwargs["k_cand"] = k_cand
+    if delta is not None:
+        kwargs["delta"] = delta
     index = UVIndex.build(
-        dataset, pager=pager, octree_config=_octree_config()
+        dataset, pager=pager, octree_config=_octree_config(), **kwargs
     )
     engine = PNNQEngine(index, dataset)
     return IndexBundle(

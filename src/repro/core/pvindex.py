@@ -37,7 +37,11 @@ from ..geometry import (
     mindist_sq_point_rect,
 )
 from ..storage import ExtensibleHashTable, OctreeConfig, PagedOctree, Pager
-from ..uncertain import UncertainDataset, UncertainObject
+from ..uncertain import (
+    UncertainDataset,
+    UncertainObject,
+    check_index_in_sync,
+)
 from .cset import CSetStrategy, IncrementalSelection
 from .se import SEConfig, ShrinkExpand
 
@@ -54,13 +58,20 @@ class SecondaryRecord:
 
 @dataclass
 class PVIndexStats:
-    """Construction / maintenance cost counters."""
+    """Construction / maintenance cost counters.
+
+    ``cells_recomputed`` counts every SE UBR derivation (the expensive
+    unit of work): a build contributes ``|S|``, an incremental update
+    only the new object plus the Lemma 8 affected set — the locality
+    the Fig 10(h)/(i) comparison rests on.
+    """
 
     build_seconds: float = 0.0
     se_seconds: float = 0.0
     insert_seconds: float = 0.0
     update_affected: int = 0
     update_examined: int = 0
+    cells_recomputed: int = 0
 
     def reset(self) -> None:
         self.build_seconds = 0.0
@@ -68,6 +79,7 @@ class PVIndexStats:
         self.insert_seconds = 0.0
         self.update_affected = 0
         self.update_examined = 0
+        self.cells_recomputed = 0
 
 
 class PVIndex:
@@ -95,6 +107,10 @@ class PVIndex:
         self.primary = primary
         self.secondary = secondary
         self.stats = PVIndexStats()
+        #: Dataset epoch the index contents are valid for; kept in sync
+        #: by :meth:`insert` / :meth:`delete` so engines can tell a
+        #: maintained index from one bypassed by a direct mutation.
+        self.dataset_epoch = getattr(dataset, "epoch", 0)
 
     # ------------------------------------------------------------------
     # Construction (Section VI-A, "Index Construction")
@@ -132,6 +148,7 @@ class PVIndex:
             obj.oid: se.compute_ubr(obj, dataset) for obj in dataset
         }
         index.stats.se_seconds += time.perf_counter() - t_se0
+        index.stats.cells_recomputed += len(results)
         for obj in dataset:
             index._insert_entry(obj, results[obj.oid].ubr)
         index.stats.build_seconds += time.perf_counter() - t0
@@ -178,8 +195,12 @@ class PVIndex:
     # ------------------------------------------------------------------
     # Incremental maintenance (Section VI-B)
     # ------------------------------------------------------------------
+    def _check_in_sync(self) -> None:
+        check_index_in_sync(self.dataset_epoch, self.dataset, "PV-index")
+
     def delete(self, oid: int) -> None:
         """Remove object ``oid``; incrementally refresh affected UBRs."""
+        self._check_in_sync()
         t0 = time.perf_counter()
         record: SecondaryRecord = self.secondary.get(oid)
         removed = record.obj
@@ -216,10 +237,13 @@ class PVIndex:
                 SecondaryRecord(ubr=new_ubrs[obj.oid], obj=obj),
             )
         self.stats.update_affected += len(affected)
+        self.stats.cells_recomputed += len(affected)
+        self.dataset_epoch = getattr(self.dataset, "epoch", 0)
         self.stats.insert_seconds += time.perf_counter() - t0
 
     def insert(self, obj: UncertainObject) -> None:
         """Add ``obj``; incrementally refresh affected UBRs."""
+        self._check_in_sync()
         t0 = time.perf_counter()
         self.dataset.insert(obj)
         self.se.strategy.notify_insert(obj)
@@ -255,6 +279,8 @@ class PVIndex:
             )
         self._insert_entry(obj, new_obj_ubr)
         self.stats.update_affected += len(affected)
+        self.stats.cells_recomputed += len(affected) + 1
+        self.dataset_epoch = getattr(self.dataset, "epoch", 0)
         self.stats.insert_seconds += time.perf_counter() - t0
 
     # ------------------------------------------------------------------

@@ -15,7 +15,14 @@ discrete pdfs.  :class:`BaseEngine` owns that template once:
 * an optional LRU result cache;
 * a batched API — :meth:`BaseEngine.query_batch` — that deduplicates
   identical queries, memoizes Step-1 candidate retrieval across nearby
-  queries, and hands whole candidate groups to vectorized Step-2 kernels.
+  queries, and hands whole candidate groups to vectorized Step-2 kernels;
+* **epoch-aware invalidation** — every query entry point compares the
+  dataset's mutation epoch against the epoch the engine last served at.
+  On drift the result cache and candidate memo are flushed, and a
+  retriever that advertises its own ``dataset_epoch`` but was not
+  maintained through the mutation (e.g. the dataset was mutated
+  directly rather than via ``index.insert``) is replaced by the exact
+  brute-force fallback — stale answers are never served.
 
 Subclasses implement only the hooks: :meth:`_compute` (their
 probability-computation step) and, where profitable, vectorized
@@ -89,7 +96,18 @@ class BaseEngine:
         self.result_cache: LRUCache | None = (
             LRUCache(result_cache_size) if result_cache_size else None
         )
+        #: Step-1 candidate memo, persistent across batches (flushed on
+        #: dataset mutation by the epoch check).
+        self._memo: CandidateMemo | None = (
+            CandidateMemo(self.memo_radius)
+            if self.memo_radius > 0
+            else None
+        )
         self._pagers = discover_pagers(self.retriever, secondary)
+        self._dataset_epoch = getattr(dataset, "epoch", 0)
+        # A retriever built before mutations that bypassed it is stale
+        # from the start — catch that here, not just on later drift.
+        self._drop_stale_retriever()
 
     # ------------------------------------------------------------------
     # Compatibility: the seed engines exposed their timing as ``times``.
@@ -134,7 +152,9 @@ class BaseEngine:
         and no memo is requested, and otherwise loops :meth:`_retrieve`
         under the candidate memo (a positive ``memo_radius`` opts into
         grid-cell candidate reuse, which also lets the grouped Step-2
-        kernels share work — so it must win over the fast path).
+        kernels share work — so it must win over the fast path).  The
+        memo persists across batches and is flushed whenever the
+        dataset epoch moves.
         """
         if self.memo_radius <= 0 and (
             type(self)._retrieve is BaseEngine._retrieve
@@ -144,11 +164,7 @@ class BaseEngine:
                 isinstance(q, np.ndarray) and q.ndim == 1 for q in qs
             ):
                 return batch(np.stack(qs))
-        memo = (
-            CandidateMemo(self.memo_radius)
-            if self.memo_radius > 0
-            else None
-        )
+        memo = self._memo
         out: list[list[int]] = []
         for q in qs:
             point = self._memo_point(q) if memo is not None else None
@@ -174,10 +190,60 @@ class BaseEngine:
         ]
 
     # ------------------------------------------------------------------
+    # Epoch-aware invalidation
+    # ------------------------------------------------------------------
+    def _sync_epoch(self) -> None:
+        """Flush derived state when the dataset has mutated.
+
+        Called on every query entry point.  On epoch drift the result
+        cache and candidate memo are cleared (their entries describe the
+        pre-mutation database).  A retriever that advertises the epoch
+        it was maintained at (``dataset_epoch``) and lags the live
+        epoch was bypassed by the mutation — e.g. ``dataset.insert``
+        was called directly instead of ``index.insert`` — and is
+        replaced by the exact brute-force fallback so no stale Step-1
+        answer is ever served.  Retrievers without the attribute are
+        trusted (backward compatibility for custom Step-1 sources).
+        """
+        epoch = getattr(self.dataset, "epoch", None)
+        if epoch is None or epoch == self._dataset_epoch:
+            return
+        self._dataset_epoch = epoch
+        if self.result_cache is not None:
+            self.result_cache.clear()
+        if self._memo is not None:
+            self._memo.clear()
+        self.stats.invalidations += 1
+        self._drop_stale_retriever()
+
+    def _drop_stale_retriever(self) -> None:
+        """Swap in the brute-force fallback if the retriever is stale.
+
+        The secondary index travels with the retriever it came from
+        (e.g. the PV-index's hash table, maintained by ``pv.insert``):
+        once the retriever is distrusted, so are its pdf records —
+        fetching a post-mutation object through it would fail.
+        """
+        epoch = getattr(self.dataset, "epoch", None)
+        retriever_epoch = getattr(self.retriever, "dataset_epoch", None)
+        if (
+            epoch is None
+            or retriever_epoch is None
+            or retriever_epoch == epoch
+        ):
+            return
+        self.retriever = resolve_retriever(self.dataset, None)
+        self.has_index = False
+        self.secondary = None
+        self._pagers = discover_pagers(self.retriever)
+        self.stats.retriever_fallbacks += 1
+
+    # ------------------------------------------------------------------
     # Template methods
     # ------------------------------------------------------------------
     def _run(self, query: Any, params: dict) -> Any:
         """Answer one query: cache → OR (timed) → PC (timed)."""
+        self._sync_epoch()
         q = self._prepare(query, params)
         key: Hashable | None = None
         if self.result_cache is not None:
@@ -207,6 +273,7 @@ class BaseEngine:
 
     def _run_batch(self, queries: Sequence[Any], params: dict) -> list:
         """Answer a block of queries with dedup, memo, and batched PC."""
+        self._sync_epoch()
         prepared = [self._prepare(q, params) for q in queries]
         n = len(prepared)
         results: list[Any] = [None] * n

@@ -94,6 +94,12 @@ class BruteForceRetriever:
     def __init__(self, dataset: UncertainDataset) -> None:
         self.dataset = dataset
 
+    @property
+    def dataset_epoch(self) -> int:
+        """Always the live epoch: the filter reads the dataset directly,
+        so brute force can never be stale."""
+        return getattr(self.dataset, "epoch", 0)
+
     def candidates(self, query: np.ndarray) -> list[int]:
         """Step-1 answer for one query point."""
         return self.candidates_batch(

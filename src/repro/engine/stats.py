@@ -51,6 +51,12 @@ class ExecutionStats:
     dedup_hits: int = 0
     #: Queries that reused a nearby query's candidate set (Step-1 memo).
     memo_hits: int = 0
+    #: Dataset-epoch drifts observed: each one flushed the result cache
+    #: and the candidate memo (stale pre-mutation answers discarded).
+    invalidations: int = 0
+    #: Epoch drifts where the configured index retriever was itself
+    #: stale and the engine swapped in the exact brute-force fallback.
+    retriever_fallbacks: int = 0
     #: Simulated page traffic of Step 1 (index descent / leaf reads).
     or_io: IOStats = field(default_factory=IOStats)
     #: Simulated page traffic of Step 2 (secondary pdf fetches).
@@ -85,6 +91,8 @@ class ExecutionStats:
         self.cache_hits = 0
         self.dedup_hits = 0
         self.memo_hits = 0
+        self.invalidations = 0
+        self.retriever_fallbacks = 0
         self.or_io.reset()
         self.pc_io.reset()
 
@@ -98,6 +106,8 @@ class ExecutionStats:
             cache_hits=self.cache_hits,
             dedup_hits=self.dedup_hits,
             memo_hits=self.memo_hits,
+            invalidations=self.invalidations,
+            retriever_fallbacks=self.retriever_fallbacks,
             or_io=self.or_io.snapshot(),
             pc_io=self.pc_io.snapshot(),
         )
@@ -114,6 +124,9 @@ class ExecutionStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
             dedup_hits=self.dedup_hits - earlier.dedup_hits,
             memo_hits=self.memo_hits - earlier.memo_hits,
+            invalidations=self.invalidations - earlier.invalidations,
+            retriever_fallbacks=self.retriever_fallbacks
+            - earlier.retriever_fallbacks,
             or_io=self.or_io.delta(earlier.or_io),
             pc_io=self.pc_io.delta(earlier.pc_io),
         )

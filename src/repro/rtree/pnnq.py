@@ -65,8 +65,15 @@ class RTreePNNQ:
     def build(
         cls, dataset: UncertainDataset, max_entries: int = 100, pager=None
     ) -> "RTreePNNQ":
-        """Construct the baseline index for ``dataset``."""
-        return cls(build_region_rtree(dataset, max_entries, pager))
+        """Construct the baseline index for ``dataset``.
+
+        The built index snapshots the dataset's mutation epoch: the
+        R-tree has no incremental maintenance, so engines treat it as
+        stale (and fall back to brute force) once the dataset mutates.
+        """
+        index = cls(build_region_rtree(dataset, max_entries, pager))
+        index.dataset_epoch = getattr(dataset, "epoch", 0)
+        return index
 
     def candidates(self, query: np.ndarray) -> list[int]:
         """Object ids with non-zero probability of being the NN of ``query``.

@@ -1,6 +1,6 @@
 """Uncertain-data model: objects, discrete pdfs, datasets, generators."""
 
-from .dataset import UncertainDataset
+from .dataset import UncertainDataset, check_index_in_sync
 from .generators import (
     clustered_dataset,
     simulate_airports,
@@ -14,6 +14,7 @@ from .pdfs import gaussian_pdf, point_pdf, uniform_pdf
 __all__ = [
     "UncertainObject",
     "UncertainDataset",
+    "check_index_in_sync",
     "uniform_pdf",
     "gaussian_pdf",
     "point_pdf",

@@ -1,8 +1,19 @@
 """The uncertain database ``S``: a container of uncertain objects.
 
 Provides identity lookup, packed corner arrays for vectorized geometry,
-and copy-on-write style insert/delete used by the incremental-maintenance
+and in-place insert/delete used by the incremental-maintenance
 experiments (Section VI-B).
+
+Mutation is observable through two mechanisms:
+
+* :attr:`UncertainDataset.epoch` — a monotonically increasing counter
+  bumped by every :meth:`insert` / :meth:`delete`.  Anything that
+  caches derived state (engine result caches, candidate memos, index
+  retrievers) records the epoch it was computed at and invalidates
+  itself when the live epoch has moved on.
+* :meth:`UncertainDataset.row_of` — a stable integer handle assigned at
+  insertion time and never reused, so external structures can key
+  per-object state without depending on iteration order.
 """
 
 from __future__ import annotations
@@ -14,7 +25,26 @@ import numpy as np
 from ..geometry import Rect
 from .objects import UncertainObject
 
-__all__ = ["UncertainDataset"]
+__all__ = ["UncertainDataset", "check_index_in_sync"]
+
+
+def check_index_in_sync(
+    index_epoch: int, dataset: "UncertainDataset", index_name: str
+) -> None:
+    """Raise unless an index's recorded epoch matches its dataset's.
+
+    Incremental maintenance that silently adopted the live epoch would
+    launder a mutation the index never absorbed — engines would keep
+    trusting it.  Both maintained indexes call this before mutating; an
+    out-of-sync index must be rebuilt instead.
+    """
+    live = getattr(dataset, "epoch", index_epoch)
+    if index_epoch != live:
+        raise ValueError(
+            f"{index_name} is stale: the dataset was mutated without "
+            f"it (index epoch {index_epoch}, dataset epoch {live}); "
+            "rebuild the index"
+        )
 
 
 class UncertainDataset:
@@ -58,6 +88,9 @@ class UncertainDataset:
         self._objects: dict[int, UncertainObject] = {o.oid: o for o in objs}
         self._packed_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None
         self._packed_cache = None
+        self._epoch = 0
+        self._rows: dict[int, int] = {o.oid: i for i, o in enumerate(objs)}
+        self._next_row = len(objs)
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -92,6 +125,21 @@ class UncertainDataset:
     def objects(self) -> Mapping[int, UncertainObject]:
         """Read-only id -> object view."""
         return dict(self._objects)
+
+    @property
+    def epoch(self) -> int:
+        """Mutation epoch: bumped by every :meth:`insert` / :meth:`delete`.
+
+        Caches of state derived from the dataset (query results,
+        candidate sets, index contents) are valid only for the epoch
+        they were computed at.
+        """
+        return self._epoch
+
+    def row_of(self, oid: int) -> int:
+        """Stable row handle of an object: assigned at insertion, never
+        reused, independent of later insertions and deletions."""
+        return self._rows[oid]
 
     # ------------------------------------------------------------------
     # Vectorization support
@@ -130,6 +178,9 @@ class UncertainDataset:
             raise ValueError(f"object {obj.oid} lies outside the domain")
         self._objects[obj.oid] = obj
         self._packed_cache = None
+        self._rows[obj.oid] = self._next_row
+        self._next_row += 1
+        self._epoch += 1
 
     def delete(self, oid: int) -> UncertainObject:
         """Remove and return the object with id ``oid``."""
@@ -141,6 +192,8 @@ class UncertainDataset:
             self._objects[obj.oid] = obj
             raise ValueError("cannot delete the last object of a dataset")
         self._packed_cache = None
+        del self._rows[oid]
+        self._epoch += 1
         return obj
 
     def copy(self) -> "UncertainDataset":

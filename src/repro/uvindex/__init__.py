@@ -6,7 +6,7 @@ from .circles import (
     circle_mindist,
     circumscribed_circle,
 )
-from .uvindex import UVIndex
+from .uvindex import UVIndex, UVIndexStats
 
 __all__ = [
     "CircleSet",
@@ -14,4 +14,5 @@ __all__ = [
     "circle_mindist",
     "circle_maxdist",
     "UVIndex",
+    "UVIndexStats",
 ]

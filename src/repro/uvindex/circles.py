@@ -106,6 +106,33 @@ class CircleSet:
             radii=self.radii[mask],
         )
 
+    def with_circle(
+        self, oid: int, center: np.ndarray, radius: float
+    ) -> "CircleSet":
+        """A new set with one circle appended (incremental insert)."""
+        if bool(np.any(self.ids == oid)):
+            raise ValueError(f"duplicate circle id {oid}")
+        return CircleSet(
+            ids=np.append(self.ids, np.int64(oid)),
+            centers=np.vstack([self.centers, np.asarray(center)[None, :]]),
+            radii=np.append(self.radii, float(radius)),
+        )
+
+    def without(self, oid: int) -> "CircleSet":
+        """A new set with the circle of ``oid`` removed (incremental
+        delete)."""
+        keep = self.ids != oid
+        if bool(keep.all()):
+            raise KeyError(f"no circle with id {oid}")
+        return self.subset(keep)
+
+    def row_of(self, oid: int) -> int:
+        """Current row index of ``oid`` (positions shift on mutation)."""
+        rows = np.flatnonzero(self.ids == oid)
+        if len(rows) == 0:
+            raise KeyError(f"no circle with id {oid}")
+        return int(rows[0])
+
     # ------------------------------------------------------------------
     def mindist_to_rect(self, rect: Rect) -> np.ndarray:
         """Per-circle lower bound of distmin to any point of ``rect``."""

@@ -25,20 +25,69 @@ bisection refinement with circle-domination tests against the object's
 PV-index's SE (emulating [9]'s high-precision boundary derivation), and
 boxes are inserted into the same paged octree used by the PV-index.
 DESIGN.md records this substitution.
+
+**Incremental maintenance** (the Fig 10(h)/(i) update experiments):
+each object's stored box is a deterministic function of its candidate
+set — its ``k_cand`` nearest circles by center distance — so a mutation
+only invalidates the cells whose candidate set actually changes:
+
+* insert of ``o'``: only the objects whose ``k_cand``-th candidate
+  distance (the stored *candidate radius*) is at least ``|c_o - c'|``
+  can gain ``o'`` as a candidate;
+* delete of ``o'``: exactly the objects whose stored candidate set
+  contains ``o'``.
+
+Those cells (plus, on insert, the new object's own cell) are re-derived
+against the post-mutation circle set; everything else keeps its box,
+which is provably identical to what a from-scratch rebuild would
+produce.  The affected count is tracked in :class:`UVIndexStats` so
+benchmarks and tests can assert the locality win over rebuilding.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..geometry import Rect
 from ..storage import OctreeConfig, PagedOctree, Pager
-from ..uncertain import UncertainDataset
-from .circles import CircleSet
+from ..uncertain import (
+    UncertainDataset,
+    UncertainObject,
+    check_index_in_sync,
+)
+from .circles import CircleSet, circumscribed_circle
 
-__all__ = ["UVIndex"]
+__all__ = ["UVIndex", "UVIndexStats"]
+
+
+@dataclass
+class UVIndexStats:
+    """Construction / maintenance cost counters of one UV-index.
+
+    ``cells_recomputed`` counts every UV-cell derivation (the expensive
+    refinement): a build contributes ``n``, an incremental update only
+    the affected cells — the quantity Fig 10(h)/(i) compare.
+    """
+
+    build_seconds: float = 0.0
+    update_seconds: float = 0.0
+    cells_recomputed: int = 0
+    update_affected: int = 0
+    update_examined: int = 0
+    inserts: int = 0
+    deletes: int = 0
+
+    def reset(self) -> None:
+        self.build_seconds = 0.0
+        self.update_seconds = 0.0
+        self.cells_recomputed = 0
+        self.update_affected = 0
+        self.update_examined = 0
+        self.inserts = 0
+        self.deletes = 0
 
 
 class UVIndex:
@@ -77,12 +126,20 @@ class UVIndex:
         self.delta = delta
         self.refine_steps = refine_steps
         self.circles = CircleSet.from_dataset(dataset)
-        self.build_seconds = 0.0
+        self.stats = UVIndexStats()
         self.primary = PagedOctree(
             domain=dataset.domain,
             pager=self.pager,
             config=octree_config or OctreeConfig(),
         )
+        #: Per-object derived state: the stored UV-cell box, the
+        #: candidate ids the box was derived against, and the candidate
+        #: radius (distance of the ``k_cand``-th nearest center; inf
+        #: while the candidate set is not full).
+        self._boxes: dict[int, Rect] = {}
+        self._cands: dict[int, frozenset[int]] = {}
+        self._cand_radius: dict[int, float] = {}
+        self.dataset_epoch = dataset.epoch
         self._build()
 
     # ------------------------------------------------------------------
@@ -91,24 +148,54 @@ class UVIndex:
         """Construct the index (API symmetric to :meth:`PVIndex.build`)."""
         return cls(dataset, **kwargs)
 
+    @property
+    def build_seconds(self) -> float:
+        """Construction wall-clock (alias of ``stats.build_seconds``)."""
+        return self.stats.build_seconds
+
     def _build(self) -> None:
         t0 = time.perf_counter()
-        order = {oid: i for i, oid in enumerate(self.circles.ids)}
-        for obj in self.dataset:
-            box = self._uv_cell_box(order[obj.oid])
-            self.primary.insert(obj.oid, box, payload=obj.oid)
-        self.build_seconds = time.perf_counter() - t0
+        for row, oid in enumerate(self.circles.ids):
+            box = self._derive_cell(int(oid), row)
+            self.primary.insert(int(oid), box, payload=int(oid))
+        self.dataset_epoch = self.dataset.epoch
+        self.stats.build_seconds = time.perf_counter() - t0
 
-    def _candidates_for(self, row: int) -> CircleSet:
-        """The ``k_cand`` nearest circles (by center) excluding self."""
+    def _candidate_rows(
+        self, row: int
+    ) -> tuple[np.ndarray, float]:
+        """``(rows, radius)`` of the ``k_cand`` nearest circles.
+
+        ``radius`` is the candidate-set boundary: a new circle whose
+        center lands strictly closer than it displaces a candidate (and
+        therefore invalidates the stored cell); ``inf`` while fewer
+        than ``k_cand`` candidates exist, since then any new circle
+        joins the set.
+        """
         center = self.circles.centers[row]
         d = np.linalg.norm(self.circles.centers - center, axis=1)
         d[row] = np.inf
         k = min(self.k_cand, len(d) - 1)
-        nearest = np.argpartition(d, k - 1)[:k] if k > 0 else np.array([], int)
-        return self.circles.subset(nearest)
+        if k <= 0:
+            return np.array([], dtype=np.int64), float("inf")
+        nearest = np.argpartition(d, k - 1)[:k]
+        radius = (
+            float(d[nearest].max()) if k == self.k_cand else float("inf")
+        )
+        return nearest, radius
 
-    def _uv_cell_box(self, row: int) -> Rect:
+    def _derive_cell(self, oid: int, row: int) -> Rect:
+        """Re-derive one object's UV-cell box and bookkeeping state."""
+        rows, radius = self._candidate_rows(row)
+        cands = self.circles.subset(rows)
+        box = self._uv_cell_box(row, cands)
+        self._boxes[oid] = box
+        self._cands[oid] = frozenset(int(i) for i in cands.ids)
+        self._cand_radius[oid] = radius
+        self.stats.cells_recomputed += 1
+        return box
+
+    def _uv_cell_box(self, row: int, cands: CircleSet) -> Rect:
         """Bisection-refined bounding box of the object's UV-cell.
 
         The same sandwich refinement as SE, with circle domination as
@@ -116,7 +203,6 @@ class UVIndex:
         sub-partition dominated by some candidate) moves the upper
         bound inward, otherwise the lower bound moves outward.
         """
-        cands = self._candidates_for(row)
         center = self.circles.centers[row]
         radius = self.circles.radii[row]
         domain = self.dataset.domain
@@ -178,6 +264,93 @@ class UVIndex:
             pending.extend((low, high))
             budget -= 1
         return True
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (Fig 10(h)/(i) update experiments)
+    # ------------------------------------------------------------------
+    def insert(self, obj: UncertainObject) -> None:
+        """Add ``obj``; re-derive only the cells its circle invalidates.
+
+        The dataset is mutated in place (bumping its epoch), the new
+        object's own cell is derived, and every object whose candidate
+        set gains the new circle — those with ``|c_o - c'|`` inside
+        their stored candidate radius — is re-derived against the
+        post-insertion circle set.  All other boxes are unchanged by
+        construction, so the result matches a from-scratch rebuild.
+        """
+        self._check_in_sync()
+        t0 = time.perf_counter()
+        self.dataset.insert(obj)
+        center, radius = circumscribed_circle(obj)
+
+        # Affected set, decided against the pre-insertion circles: the
+        # new circle can enter o's candidates only if it is at most as
+        # close as o's current k-th candidate.  Ties (``==``) refresh
+        # too, so tie-breaking runs through the same argpartition path
+        # a from-scratch rebuild uses.
+        dists = np.linalg.norm(self.circles.centers - center, axis=1)
+        affected = [
+            int(oid)
+            for oid, d in zip(self.circles.ids, dists)
+            if d <= self._cand_radius[int(oid)]
+        ]
+        self.stats.update_examined += len(self.circles)
+
+        self.circles = self.circles.with_circle(obj.oid, center, radius)
+        box = self._derive_cell(obj.oid, len(self.circles) - 1)
+        self.primary.insert(obj.oid, box, payload=obj.oid)
+        for oid in affected:
+            self._refresh_cell(oid)
+
+        self.stats.update_affected += len(affected)
+        self.stats.inserts += 1
+        self.dataset_epoch = self.dataset.epoch
+        self.stats.update_seconds += time.perf_counter() - t0
+
+    def delete(self, oid: int) -> UncertainObject:
+        """Remove object ``oid``; re-derive only the cells that used it.
+
+        Exactly the objects whose stored candidate set contains the
+        deleted circle can change (losing a candidate admits the next
+        nearest in its place); everything else keeps its box.
+        """
+        self._check_in_sync()
+        t0 = time.perf_counter()
+        removed = self.dataset.delete(oid)
+        old_box = self._boxes.pop(oid)
+        del self._cands[oid]
+        del self._cand_radius[oid]
+
+        affected = [
+            other
+            for other, cands in self._cands.items()
+            if oid in cands
+        ]
+        self.stats.update_examined += len(self._cands)
+
+        self.circles = self.circles.without(oid)
+        for leaf in self.primary.range_query_leaves(old_box):
+            leaf.remove_key(oid)
+        for other in affected:
+            self._refresh_cell(other)
+
+        self.stats.update_affected += len(affected)
+        self.stats.deletes += 1
+        self.dataset_epoch = self.dataset.epoch
+        self.stats.update_seconds += time.perf_counter() - t0
+        return removed
+
+    def _check_in_sync(self) -> None:
+        check_index_in_sync(self.dataset_epoch, self.dataset, "UV-index")
+
+    def _refresh_cell(self, oid: int) -> Rect:
+        """Re-derive one affected cell and swap its primary entries."""
+        old = self._boxes[oid]
+        new = self._derive_cell(oid, self.circles.row_of(oid))
+        for leaf in self.primary.range_query_leaves(old):
+            leaf.remove_key(oid)
+        self.primary.insert(oid, new, payload=oid)
+        return new
 
     # ------------------------------------------------------------------
     # Query

@@ -103,13 +103,26 @@ class TestUpdateSweeps:
             sizes=[40], update_fraction=0.1
         )
         assert {r["method"] for r in result.rows} == {"Inc", "Rebuild"}
+        assert {r["index"] for r in result.rows} == {
+            "PV-index", "UV-index"
+        }
         assert all(r["tu_seconds"] > 0 for r in result.rows)
+        assert all(r["cells"] > 0 for r in result.rows)
 
     def test_fig10i_deletion_methods(self):
         result = figures.fig10i_deletion(
             sizes=[40], update_fraction=0.1
         )
         assert {r["method"] for r in result.rows} == {"Inc", "Rebuild"}
+        assert {r["index"] for r in result.rows} == {
+            "PV-index", "UV-index"
+        }
+
+    def test_update_sweep_3d_skips_uv(self):
+        result = figures.fig10i_deletion(
+            sizes=[30], update_fraction=0.1, dims=3
+        )
+        assert {r["index"] for r in result.rows} == {"PV-index"}
 
     def test_invalid_operation_rejected(self):
         with pytest.raises(ValueError, match="operation"):

@@ -125,6 +125,18 @@ class TestInsertion:
         with pytest.raises(ValueError):
             index.insert(make_obj(ds.ids[0], [5000, 5000]))
 
+    def test_maintenance_refuses_bypassed_index(self):
+        # A direct dataset mutation bypasses the index; later
+        # index-mediated maintenance must refuse to adopt the live
+        # epoch rather than launder the bypassed mutation.
+        ds = synthetic_dataset(n=20, dims=2, n_samples=3, seed=18)
+        index = PVIndex.build(ds)
+        ds.insert(make_obj(7000, [5000, 5000]))
+        with pytest.raises(ValueError, match="stale"):
+            index.insert(make_obj(7001, [4000, 4000]))
+        with pytest.raises(ValueError, match="stale"):
+            index.delete(ds.ids[0])
+
     def test_insert_near_existing_objects(self):
         # The inserted object lands in a dense area: many affected
         # objects whose UBRs must shrink.

@@ -390,3 +390,167 @@ def test_pager_all_exports_complete():
     assert "DEFAULT_PAGE_SIZE" in pager.__all__
     for name in pager.__all__:
         assert hasattr(pager, name)
+
+
+# ----------------------------------------------------------------------
+# Epoch-aware invalidation: no engine may serve pre-mutation answers
+# ----------------------------------------------------------------------
+def _mutable_dataset(n=30, seed=77):
+    return synthetic_dataset(n=n, dims=2, u_max=400, n_samples=8, seed=seed)
+
+
+def _dominating_object(dataset, q, oid=9_999):
+    """An object glued to ``q``: certainly the post-insert NN there."""
+    from repro.geometry import Rect
+    from repro.uncertain import UncertainObject
+
+    lo = np.maximum(q - 1.0, dataset.domain.lo)
+    hi = np.minimum(q + 1.0, dataset.domain.hi)
+    region = Rect(lo, hi)
+    instances = np.stack([region.center, region.center + 0.1])
+    return UncertainObject(oid, region, instances, None)
+
+
+class TestEpochInvalidation:
+    def test_result_cache_flushed_on_insert(self):
+        dataset = _mutable_dataset()
+        engine = PNNQEngine(None, dataset, result_cache_size=8)
+        q = dataset.domain.center
+        stale = engine.query(q)
+        dataset.insert(_dominating_object(dataset, q))
+        fresh = engine.query(q)
+        assert engine.stats.invalidations == 1
+        assert engine.stats.cache_hits == 0
+        assert fresh.best == 9_999
+        assert stale.best != 9_999
+        # Post-mutation answers re-enter the (flushed) cache normally.
+        again = engine.query(q)
+        assert engine.stats.cache_hits == 1
+        assert again is fresh
+
+    def test_query_batch_cache_and_memo_cannot_serve_stale(self):
+        # The satellite regression: a batch served through the LRU
+        # result cache AND the candidate memo must reflect a direct
+        # ``dataset.insert`` issued between batches.
+        dataset = _mutable_dataset(seed=78)
+        engine = PNNQEngine(
+            None, dataset, result_cache_size=16, memo_radius=1e9
+        )
+        rng = np.random.default_rng(1)
+        block = dataset.domain.sample_points(5, rng)
+        before = engine.query_batch(block)
+        assert engine.stats.memo_hits == len(block) - 1
+
+        dataset.insert(_dominating_object(dataset, block[0]))
+        after = engine.query_batch(block)
+        assert engine.stats.invalidations == 1
+        # The object glued to block[0] dominates there: a stale cached
+        # result or memoized candidate set would miss it.
+        assert after[0].best == 9_999
+
+        # Identically configured engine built fresh on the mutated
+        # dataset (same memo radius: the memo's cell sharing is part of
+        # the configured semantics being compared).
+        reference = PNNQEngine(None, dataset, memo_radius=1e9)
+        for got, want, old in zip(
+            after, reference.query_batch(block), before
+        ):
+            assert_prob_maps_equal(got.probabilities, want.probabilities)
+            assert got is not old
+
+    def test_memo_persists_across_batches_within_epoch(self):
+        dataset = _mutable_dataset(seed=79)
+        engine = PNNQEngine(None, dataset, memo_radius=1e9)
+        rng = np.random.default_rng(2)
+        engine.query_batch(dataset.domain.sample_points(3, rng))
+        hits_before = engine.stats.memo_hits
+        # No mutation: the second batch reuses the memoized Step-1 set
+        # for every distinct query.
+        engine.query_batch(dataset.domain.sample_points(3, rng))
+        assert engine.stats.memo_hits == hits_before + 3
+        assert engine.stats.invalidations == 0
+
+    def test_unmaintained_index_falls_back_to_brute_force(self):
+        from repro.rtree import RTreePNNQ
+
+        dataset = _mutable_dataset(seed=80)
+        index = RTreePNNQ.build(dataset)
+        engine = PNNQEngine(index, dataset)
+        q = dataset.domain.center
+        engine.query(q)
+        assert engine.has_index
+
+        # Mutating the dataset directly bypasses the R-tree (it has no
+        # incremental maintenance): the engine must stop trusting it.
+        dataset.insert(_dominating_object(dataset, q))
+        result = engine.query(q)
+        assert not engine.has_index
+        assert isinstance(engine.retriever, BruteForceRetriever)
+        assert engine.stats.retriever_fallbacks == 1
+        assert result.best == 9_999
+
+    def test_maintained_pv_index_is_kept(self):
+        dataset = _mutable_dataset(seed=81)
+        index = PVIndex.build(dataset)
+        engine = PNNQEngine(index, dataset, result_cache_size=4)
+        q = dataset.domain.center
+        engine.query(q)
+        index.insert(_dominating_object(dataset, q))
+        result = engine.query(q)
+        assert engine.has_index
+        assert engine.retriever is index
+        assert engine.stats.invalidations == 1
+        assert engine.stats.retriever_fallbacks == 0
+        assert result.best == 9_999
+
+    def test_epoch_counters_reported_in_stats(self):
+        stats = ExecutionStats()
+        stats.invalidations = 3
+        stats.retriever_fallbacks = 1
+        snap = stats.snapshot()
+        assert snap.invalidations == 3
+        stats.invalidations = 5
+        assert stats.delta(snap).invalidations == 2
+        assert stats.delta(snap).retriever_fallbacks == 0
+        stats.reset()
+        assert stats.invalidations == 0
+        assert stats.retriever_fallbacks == 0
+
+    def test_fallback_drops_stale_secondary(self):
+        # Code-review regression: an engine wired with an index's
+        # secondary (pdf-fetch charging) must drop it together with
+        # the stale retriever — otherwise Step 2 KeyErrors on objects
+        # inserted after the index was built.
+        dataset = _mutable_dataset(seed=82)
+        index = PVIndex.build(dataset)
+        engine = PNNQEngine(index, dataset, secondary=index.secondary)
+        q = dataset.domain.center
+        engine.query(q)
+        dataset.insert(_dominating_object(dataset, q))
+        result = engine.query(q)  # must not raise
+        assert result.best == 9_999
+        assert engine.secondary is None
+        assert engine.stats.retriever_fallbacks == 1
+
+    def test_engine_built_after_bypassing_mutation_distrusts_index(self):
+        # Code-review regression: constructing the engine *after* a
+        # mutation that bypassed the index must not trust the stale
+        # retriever either.
+        from repro.rtree import RTreePNNQ
+
+        dataset = _mutable_dataset(seed=83)
+        index = RTreePNNQ.build(dataset)
+        q = dataset.domain.center
+        dataset.insert(_dominating_object(dataset, q))
+        engine = PNNQEngine(index, dataset)
+        assert not engine.has_index
+        assert engine.stats.retriever_fallbacks == 1
+        assert engine.query(q).best == 9_999
+
+    def test_candidate_memo_is_bounded(self):
+        memo = CandidateMemo(radius=1.0, maxsize=3)
+        for i in range(5):
+            memo.store(np.array([float(i), 0.0]), [i])
+        assert len(memo._cells) == 3
+        assert memo.lookup(np.array([0.0, 0.0])) is None  # evicted
+        assert memo.lookup(np.array([4.0, 0.0])) == [4]

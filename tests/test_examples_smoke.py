@@ -67,6 +67,13 @@ class TestExamplesSmoke:
         assert "group pickup" in out
         assert "beacon at domain center" in out
 
+    def test_dynamic_updates(self, capsys):
+        module = load_example("dynamic_updates")
+        module.main(n=60)
+        out = capsys.readouterr().out
+        assert "cells re-derived" in out
+        assert "all dynamic-update checks passed" in out
+
 
 class TestExamplesHygiene:
     @pytest.mark.parametrize(
@@ -77,6 +84,7 @@ class TestExamplesHygiene:
             "sensor_monitoring",
             "privacy_aware_poi",
             "advanced_queries",
+            "dynamic_updates",
         ],
     )
     def test_has_module_docstring_and_main(self, name):

@@ -1,0 +1,308 @@
+"""Differential test oracle for all seven query engines.
+
+The oracle enumerates the *joint instance worlds* of the database —
+every combination of one instance per object, weighted by the product
+of instance probabilities — and answers each query class by direct
+counting.  That is a completely independent implementation path from
+the engines (no candidate filters, no survival functions, no pruning
+bounds, no indexes), so agreement pins down Step-1 soundness and
+Step-2 probability computation at once.
+
+Every engine is checked on randomized seeded datasets, then re-checked
+after interleaved insert/delete sequences.  Mutations are driven
+through a live, incrementally maintained PV-index sharing the same
+dataset object, so the checks also cover:
+
+* epoch-based invalidation (engines hold result caches that must be
+  flushed on mutation rather than serving pre-mutation answers);
+* incremental PV-index maintenance (the PV-backed engine must keep
+  matching the oracle after every insert/delete).
+
+Datasets are tiny (worlds grow as ``instances ** objects``) but fully
+random; ties between instance distances have measure zero, so strict
+comparisons are stable under any seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro import PVIndex, Rect, UncertainObject
+from repro.core import (
+    ExpectedNNEngine,
+    GroupNNEngine,
+    KNNEngine,
+    PNNQEngine,
+    ReverseNNEngine,
+    TopKEngine,
+    VerifierEngine,
+)
+from repro.uncertain import UncertainDataset, uniform_pdf
+
+DOMAIN = Rect.cube(0.0, 100.0, 2)
+N_INSTANCES = 2
+TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# Workload construction
+# ----------------------------------------------------------------------
+def make_object(oid: int, rng: np.random.Generator) -> UncertainObject:
+    center = rng.uniform(10.0, 90.0, size=2)
+    half = rng.uniform(2.0, 8.0)
+    region = Rect(
+        np.maximum(center - half, DOMAIN.lo),
+        np.minimum(center + half, DOMAIN.hi),
+    )
+    instances, weights = uniform_pdf(region, N_INSTANCES, rng)
+    return UncertainObject(oid, region, instances, weights)
+
+
+def make_dataset(seed: int, n: int = 6) -> UncertainDataset:
+    rng = np.random.default_rng(seed)
+    return UncertainDataset(
+        [make_object(i, rng) for i in range(n)], domain=DOMAIN
+    )
+
+
+# ----------------------------------------------------------------------
+# The oracle: joint-world enumeration
+# ----------------------------------------------------------------------
+def worlds(objects):
+    """Yield ``(probability, {oid: instance})`` joint assignments."""
+    ids = [o.oid for o in objects]
+    choices = [
+        list(zip(o.weights, o.instances)) for o in objects
+    ]
+    for combo in itertools.product(*choices):
+        prob = 1.0
+        world = {}
+        for oid, (w, inst) in zip(ids, combo):
+            prob *= float(w)
+            world[oid] = inst
+        yield prob, world
+
+
+def oracle_nn_probabilities(dataset, q) -> dict[int, float]:
+    """Pr[o is the nearest neighbor of q] by enumeration."""
+    objects = list(dataset)
+    probs = {o.oid: 0.0 for o in objects}
+    for w, world in worlds(objects):
+        dists = {
+            oid: float(np.linalg.norm(inst - q))
+            for oid, inst in world.items()
+        }
+        winner = min(dists, key=dists.__getitem__)
+        probs[winner] += w
+    return probs
+
+
+def oracle_knn_probabilities(dataset, q, k) -> dict[int, float]:
+    """Pr[o is among the k nearest neighbors of q] by enumeration."""
+    objects = list(dataset)
+    probs = {o.oid: 0.0 for o in objects}
+    for w, world in worlds(objects):
+        ranked = sorted(
+            world, key=lambda oid: float(np.linalg.norm(world[oid] - q))
+        )
+        for oid in ranked[:k]:
+            probs[oid] += w
+    return probs
+
+
+def oracle_group_probabilities(dataset, Q, aggregate) -> dict[int, float]:
+    """Pr[o minimizes the aggregate distance to point set Q]."""
+    agg = {"sum": np.sum, "max": np.max, "min": np.min}[aggregate]
+    objects = list(dataset)
+    probs = {o.oid: 0.0 for o in objects}
+    for w, world in worlds(objects):
+        dists = {
+            oid: float(
+                agg(np.linalg.norm(Q - inst[None, :], axis=1))
+            )
+            for oid, inst in world.items()
+        }
+        winner = min(dists, key=dists.__getitem__)
+        probs[winner] += w
+    return probs
+
+
+def oracle_reverse_probabilities(dataset, qobj) -> dict[int, float]:
+    """Pr[qobj is the NN of o], per object o, by enumeration."""
+    objects = list(dataset)
+    probs = {o.oid: 0.0 for o in objects}
+    participants = objects + [qobj]
+    for w, world in worlds(participants):
+        q_pos = world[qobj.oid]
+        for o in objects:
+            p = world[o.oid]
+            dq = float(np.linalg.norm(q_pos - p))
+            rival = min(
+                float(np.linalg.norm(world[x.oid] - p))
+                for x in objects
+                if x.oid != o.oid
+            ) if len(objects) > 1 else float("inf")
+            if dq < rival:
+                probs[o.oid] += w
+    return probs
+
+
+def oracle_expected_distances(dataset, q) -> dict[int, float]:
+    """E[dist(o, q)] per object (no enumeration needed)."""
+    return {
+        o.oid: float(
+            np.dot(
+                o.weights, np.linalg.norm(o.instances - q, axis=1)
+            )
+        )
+        for o in dataset
+    }
+
+
+# ----------------------------------------------------------------------
+# Comparison helpers
+# ----------------------------------------------------------------------
+def assert_prob_map_matches(engine_probs, oracle_probs):
+    """Engine probabilities equal the oracle's (missing ids mean 0)."""
+    for oid, p in oracle_probs.items():
+        got = engine_probs.get(oid, 0.0)
+        assert got == pytest.approx(p, abs=1e-7), (
+            f"object {oid}: engine={got} oracle={p}"
+        )
+    for oid in engine_probs:
+        assert oid in oracle_probs
+
+
+def check_all_engines(engines, dataset, rng):
+    """One full differential pass over the current dataset state."""
+    queries = rng.uniform(15.0, 85.0, size=(3, 2))
+
+    for q in queries:
+        nn_oracle = oracle_nn_probabilities(dataset, q)
+        for name in ("pnnq", "pnnq_pv"):
+            result = engines[name].query(q)
+            assert_prob_map_matches(result.probabilities, nn_oracle)
+
+        knn_oracle = oracle_knn_probabilities(dataset, q, k=2)
+        result = engines["knn"].query(q, k=2)
+        assert_prob_map_matches(result.probabilities, knn_oracle)
+
+        # Top-k by qualification probability: the engine ranking must
+        # match the oracle's (-prob, oid) order and values.
+        k = min(3, len(dataset))
+        result = engines["topk"].query(q, k=k)
+        want = sorted(
+            ((oid, p) for oid, p in nn_oracle.items()),
+            key=lambda kv: (-kv[1], kv[0]),
+        )[:k]
+        # Ties (typically at probability 0) permute freely, and the
+        # engine may return fewer than k pairs when its candidate set
+        # is smaller — anything it omits must be probability zero.
+        got = [p for _, p in result.ranking]
+        assert got == pytest.approx(
+            [p for _, p in want[: len(got)]], abs=1e-7
+        )
+        assert all(
+            p == pytest.approx(0.0, abs=1e-7)
+            for _, p in want[len(got):]
+        )
+        for oid, p in result.ranking:
+            assert p == pytest.approx(nn_oracle[oid], abs=1e-7)
+
+        # Threshold decisions: p >= tau, for every reported candidate.
+        tau = 0.3
+        decisions = engines["verifier"].query(q, tau=tau)
+        for oid, decided in decisions.items():
+            p = nn_oracle[oid]
+            if abs(p - tau) > TOL:  # boundary ties are float-unstable
+                assert decided == (p >= tau), (
+                    f"object {oid}: decision={decided} p={p}"
+                )
+
+        # Expected-distance ranking.
+        exp_oracle = oracle_expected_distances(dataset, q)
+        result = engines["expected"].query(q)
+        assert result.best == min(
+            exp_oracle, key=lambda oid: (exp_oracle[oid], oid)
+        )
+        for oid, e in result.ranking:
+            assert e == pytest.approx(exp_oracle[oid], abs=1e-9)
+
+    # Group NN over a two-point query set, all three aggregates.
+    Q = rng.uniform(20.0, 80.0, size=(2, 2))
+    for aggregate in ("sum", "max", "min"):
+        result = engines["groupnn"].query(Q, aggregate=aggregate)
+        assert_prob_map_matches(
+            result.probabilities,
+            oracle_group_probabilities(dataset, Q, aggregate),
+        )
+
+    # Reverse NN for a query object outside the database.
+    qobj = make_object(10_000, rng)
+    result = engines["reversenn"].query(qobj)
+    reverse_oracle = oracle_reverse_probabilities(dataset, qobj)
+    for oid, p in reverse_oracle.items():
+        got = result.probabilities.get(oid, 0.0)
+        assert got == pytest.approx(p, abs=1e-7)
+
+
+def build_engines(dataset, pv_index):
+    """All seven engines over one shared (mutable) dataset.
+
+    Each gets a small LRU result cache so a stale pre-mutation answer
+    would be *served* (not just stored) if epoch invalidation failed —
+    the differential re-check after each mutation would then fail.
+    """
+    cache = {"result_cache_size": 8}
+    return {
+        "pnnq": PNNQEngine(None, dataset, **cache),
+        "pnnq_pv": PNNQEngine(pv_index, dataset, **cache),
+        "knn": KNNEngine(dataset, **cache),
+        "topk": TopKEngine(None, dataset, **cache),
+        "groupnn": GroupNNEngine(dataset, **cache),
+        "reversenn": ReverseNNEngine(dataset, **cache),
+        "verifier": VerifierEngine(None, dataset, **cache),
+        "expected": ExpectedNNEngine(dataset, **cache),
+    }
+
+
+# ----------------------------------------------------------------------
+# The differential test
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [11, 22, 33])
+def test_all_engines_match_oracle_through_mutations(seed):
+    dataset = make_dataset(seed)
+    pv = PVIndex.build(dataset)
+    engines = build_engines(dataset, pv)
+    rng = np.random.default_rng(seed + 1)
+
+    # Static pass over the freshly built database.
+    check_all_engines(engines, dataset, rng)
+
+    # Interleaved insert/delete sequence, re-checking after each
+    # mutation.  Mutating through the PV-index keeps the indexed
+    # retriever live (incremental maintenance) while every engine's
+    # cached state must be epoch-flushed.
+    next_oid = 100
+    mutations = ["insert", "delete", "insert", "insert", "delete"]
+    for step, op in enumerate(mutations):
+        if op == "insert":
+            pv.insert(make_object(next_oid, rng))
+            next_oid += 1
+        else:
+            victim = int(
+                rng.choice([oid for oid in dataset.ids])
+            )
+            pv.delete(victim)
+        check_all_engines(engines, dataset, rng)
+
+    # The epoch machinery must have fired for every engine, and the
+    # maintained PV retriever must never have been discarded as stale.
+    for name, engine in engines.items():
+        assert engine.stats.invalidations == len(mutations), name
+    assert engines["pnnq_pv"].has_index
+    assert engines["pnnq_pv"].stats.retriever_fallbacks == 0
+    assert engines["pnnq_pv"].retriever is pv

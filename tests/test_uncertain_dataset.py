@@ -124,6 +124,63 @@ class TestDataset:
         assert np.allclose(sorted(means[:, 0]), [5, 8])
 
 
+class TestEpochAndRowHandles:
+    def make(self):
+        return UncertainDataset(
+            [make_obj(0, [5, 5]), make_obj(1, [8, 8])],
+            domain=Rect.cube(0, 20, 2),
+        )
+
+    def test_epoch_starts_at_zero_and_bumps_on_mutation(self):
+        ds = self.make()
+        assert ds.epoch == 0
+        ds.insert(make_obj(2, [12, 12]))
+        assert ds.epoch == 1
+        ds.delete(2)
+        assert ds.epoch == 2
+
+    def test_failed_mutations_leave_epoch_alone(self):
+        ds = self.make()
+        with pytest.raises(ValueError):
+            ds.insert(make_obj(0, [6, 6]))  # duplicate id
+        with pytest.raises(KeyError):
+            ds.delete(42)
+        assert ds.epoch == 0
+
+    def test_delete_last_object_leaves_epoch_alone(self):
+        ds = UncertainDataset([make_obj(0, [5, 5])])
+        with pytest.raises(ValueError):
+            ds.delete(0)
+        assert ds.epoch == 0
+
+    def test_row_handles_stable_across_unrelated_mutations(self):
+        ds = self.make()
+        handle = ds.row_of(1)
+        ds.insert(make_obj(2, [12, 12]))
+        ds.insert(make_obj(3, [3, 14]))
+        ds.delete(2)
+        assert ds.row_of(1) == handle
+
+    def test_row_handles_never_reused(self):
+        ds = self.make()
+        ds.insert(make_obj(2, [12, 12]))
+        released = ds.row_of(2)
+        ds.delete(2)
+        ds.insert(make_obj(5, [12, 12]))
+        assert ds.row_of(5) > released
+        with pytest.raises(KeyError):
+            ds.row_of(2)
+
+    def test_copy_has_independent_epoch(self):
+        ds = self.make()
+        ds.insert(make_obj(2, [12, 12]))
+        cp = ds.copy()
+        assert cp.epoch == 0
+        cp.delete(0)
+        assert cp.epoch == 1
+        assert ds.epoch == 1  # the original's counter is untouched
+
+
 class TestGenerators:
     def test_synthetic_shape(self):
         ds = synthetic_dataset(n=50, dims=3, u_max=40, n_samples=10, seed=0)

@@ -1,0 +1,171 @@
+"""Property tests for incremental UV-index maintenance.
+
+The UV-index stores, per object, a cell box that is a deterministic
+function of the object's candidate set (its ``k_cand`` nearest circles)
+plus fixed geometry, so incremental maintenance that re-derives exactly
+the cells whose candidate set changed must reproduce a from-scratch
+build bit for bit.  These tests pin that equivalence three ways —
+insert-one-at-a-time, insert-then-delete round trips, and a mixed
+interleaving — and assert the locality that makes incremental
+maintenance worth having: one update touches far fewer cells than a
+rebuild recomputes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Rect, UncertainObject, UVIndex, synthetic_dataset
+from repro.uncertain import UncertainDataset, uniform_pdf
+
+#: Shared index parameters: a small candidate set keeps the affected
+#: fraction low and the tests fast; boxes stay conservative, so query
+#: answers are exact regardless.
+PARAMS = dict(k_cand=10, delta=2.0)
+
+
+def build(dataset, **overrides):
+    return UVIndex(dataset, **{**PARAMS, **overrides})
+
+
+def fresh_object(oid: int, domain: Rect, seed: int) -> UncertainObject:
+    rng = np.random.default_rng(seed)
+    center = rng.uniform(
+        domain.lo + 100.0, domain.hi - 100.0, size=domain.dims
+    )
+    region = Rect(center - 40.0, center + 40.0)
+    instances, weights = uniform_pdf(region, 2, rng)
+    return UncertainObject(oid, region, instances, weights)
+
+
+def assert_same_index(a: UVIndex, b: UVIndex, seed: int = 0) -> None:
+    """Identical stored state and identical query answers."""
+    assert set(a._boxes) == set(b._boxes)
+    for oid, box in a._boxes.items():
+        other = b._boxes[oid]
+        assert np.allclose(box.lo, other.lo)
+        assert np.allclose(box.hi, other.hi)
+        assert a._cands[oid] == b._cands[oid]
+    rng = np.random.default_rng(seed)
+    for q in a.dataset.domain.sample_points(25, rng):
+        assert set(a.candidates(q)) == set(b.candidates(q))
+
+
+class TestIncrementalEquivalence:
+    def test_insert_one_at_a_time_equals_scratch(self):
+        ds = synthetic_dataset(n=50, dims=2, n_samples=2, seed=1)
+        objs = list(ds)
+        domain = ds.domain
+        scratch = build(UncertainDataset(objs, domain=domain))
+        live = build(UncertainDataset(objs[:1], domain=domain))
+        for obj in objs[1:]:
+            live.insert(obj)
+        assert_same_index(scratch, live, seed=2)
+        assert live.stats.inserts == len(objs) - 1
+        assert live.dataset_epoch == live.dataset.epoch
+
+    def test_insert_n_plus_k_then_delete_k_equals_scratch(self):
+        ds = synthetic_dataset(n=40, dims=2, n_samples=2, seed=3)
+        objs = list(ds)
+        domain = ds.domain
+        scratch = build(UncertainDataset(objs, domain=domain))
+        live = build(UncertainDataset(objs, domain=domain))
+        extras = [
+            fresh_object(1000 + i, domain, seed=50 + i) for i in range(6)
+        ]
+        for obj in extras:
+            live.insert(obj)
+        for obj in extras:
+            live.delete(obj.oid)
+        assert_same_index(scratch, live, seed=4)
+        assert live.stats.deletes == len(extras)
+
+    def test_mixed_interleaving_equals_scratch(self):
+        ds = synthetic_dataset(n=30, dims=2, n_samples=2, seed=5)
+        objs = list(ds)
+        domain = ds.domain
+        live = build(UncertainDataset(objs, domain=domain))
+        live.insert(fresh_object(500, domain, seed=6))
+        live.delete(objs[3].oid)
+        live.insert(fresh_object(501, domain, seed=7))
+        live.delete(500)
+        final = list(live.dataset)
+        scratch = build(UncertainDataset(final, domain=domain))
+        assert_same_index(scratch, live, seed=8)
+
+
+class TestLocality:
+    def test_single_update_into_500_recomputes_fewer_cells_than_rebuild(
+        self,
+    ):
+        # The acceptance bar: one insert (and one delete) against a
+        # 500-object index must re-derive strictly fewer cells than the
+        # full reconstruction a rebuild pays (one cell per object).
+        ds = synthetic_dataset(n=500, dims=2, n_samples=2, seed=9)
+        index = build(ds, k_cand=8, delta=32.0, refine_steps=6)
+        rebuild_cells = index.stats.cells_recomputed
+        assert rebuild_cells == 500
+
+        before = index.stats.cells_recomputed
+        index.insert(fresh_object(9000, ds.domain, seed=10))
+        insert_cells = index.stats.cells_recomputed - before
+        assert 0 < insert_cells < rebuild_cells
+
+        before = index.stats.cells_recomputed
+        index.delete(9000)
+        delete_cells = index.stats.cells_recomputed - before
+        assert delete_cells < rebuild_cells
+
+        # With k_cand = 8 the affected set hovers around the candidate
+        # count — two orders of magnitude below the database size.
+        assert insert_cells + delete_cells < 100
+
+    def test_update_counters(self):
+        ds = synthetic_dataset(n=40, dims=2, n_samples=2, seed=11)
+        index = build(ds)
+        assert index.stats.update_examined == 0
+        index.insert(fresh_object(900, ds.domain, seed=12))
+        assert index.stats.inserts == 1
+        assert index.stats.update_examined == 40
+        assert index.stats.update_seconds > 0
+
+
+class TestMutationValidation:
+    def test_insert_duplicate_id_rejected(self):
+        ds = synthetic_dataset(n=10, dims=2, n_samples=2, seed=13)
+        index = build(ds)
+        obj = ds[ds.ids[0]]
+        with pytest.raises(ValueError):
+            index.insert(obj)
+        assert len(index) == 10
+
+    def test_delete_missing_rejected(self):
+        ds = synthetic_dataset(n=10, dims=2, n_samples=2, seed=14)
+        index = build(ds)
+        with pytest.raises(KeyError):
+            index.delete(123456)
+        assert len(index) == 10
+
+    def test_maintenance_refuses_bypassed_index(self):
+        # A direct dataset mutation bypasses the index; later
+        # index-mediated maintenance must not silently adopt the live
+        # epoch (that would launder the bypassed mutation and let
+        # engines keep trusting an index that never absorbed it).
+        ds = synthetic_dataset(n=10, dims=2, n_samples=2, seed=17)
+        index = build(ds)
+        ds.insert(fresh_object(700, ds.domain, seed=18))
+        with pytest.raises(ValueError, match="stale"):
+            index.insert(fresh_object(701, ds.domain, seed=19))
+        with pytest.raises(ValueError, match="stale"):
+            index.delete(ds.ids[0])
+
+    def test_delete_returns_object_and_shrinks(self):
+        ds = synthetic_dataset(n=12, dims=2, n_samples=2, seed=15)
+        index = build(ds)
+        victim = ds.ids[5]
+        removed = index.delete(victim)
+        assert removed.oid == victim
+        assert victim not in ds
+        assert len(index) == 11
+        rng = np.random.default_rng(16)
+        for q in ds.domain.sample_points(10, rng):
+            assert victim not in index.candidates(q)
