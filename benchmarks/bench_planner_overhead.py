@@ -1,0 +1,194 @@
+"""Planner overhead: ``Database`` front door vs hand-picked engines.
+
+The API PR's acceptance bar, measured over Fig 9(a)/(e)-style sweeps
+(database size at 2D; dimensionality at fixed size):
+
+* with the plan cache warm, answering through ``db.nn`` costs < 5%
+  over calling the chosen engine directly (planning is one dict probe
+  plus envelope assembly — off the hot path);
+* the planner's pick is never worse than 1.5x the best hand-picked
+  retriever (after its observed-cost calibration has seen each
+  retriever run, which the serving loop provides for free).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+import time
+
+import numpy as np
+
+from repro import PNNQEngine, synthetic_dataset
+from repro.api import Database
+from repro.bench.figures import FigureResult
+
+#: Forced queries per retriever during the calibration warmup.
+N_CALIBRATE = 8
+#: Measurement repetitions (per-query minimum taken).
+ROUNDS = 10
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Collector off inside the timed region (the envelope path
+    allocates more objects, so gen-0 collections would otherwise fire
+    preferentially inside the side under test — a systematic bias,
+    not a real per-query cost)."""
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _time_loop(fn, queries, rounds: int = ROUNDS) -> float:
+    """Sum over the block of each query's best-of-rounds seconds.
+
+    Per-query minima rather than block minima: a scheduler stall hits
+    one call in one round, not the same call in every round, so the
+    summed minima converge on the true cost while whole-block timing
+    stays at the mercy of machine-load drift.
+    """
+    best = [float("inf")] * len(queries)
+    with _gc_paused():
+        for _ in range(rounds):
+            for i, q in enumerate(queries):
+                t0 = time.perf_counter()
+                fn(q)
+                best[i] = min(best[i], time.perf_counter() - t0)
+    return sum(best)
+
+
+def _paired_times(fn_a, fn_b, queries) -> tuple[float, float]:
+    """Per-query best-of-ROUNDS for two functions, calls interleaved.
+
+    A and B answer the same query back to back within each round, so
+    both sides sample the same noise distribution; the pair order
+    alternates per round because whoever runs second inherits warm CPU
+    caches for that query's pdf arrays — with minima on both sides,
+    each function keeps its best warm-position round.
+    """
+    best_a = [float("inf")] * len(queries)
+    best_b = [float("inf")] * len(queries)
+    with _gc_paused():
+        for round_no in range(ROUNDS):
+            first, second = (
+                (fn_a, fn_b) if round_no % 2 else (fn_b, fn_a)
+            )
+            for i, q in enumerate(queries):
+                t0 = time.perf_counter()
+                first(q)
+                t1 = time.perf_counter()
+                second(q)
+                t2 = time.perf_counter()
+                d_first, d_second = t1 - t0, t2 - t1
+                d_a, d_b = (
+                    (d_first, d_second)
+                    if first is fn_a
+                    else (d_second, d_first)
+                )
+                best_a[i] = min(best_a[i], d_a)
+                best_b[i] = min(best_b[i], d_b)
+    return sum(best_a), sum(best_b)
+
+
+def planner_overhead(
+    sweeps: list[tuple[int, int]], n_queries: int = 40
+) -> FigureResult:
+    """Planned vs hand-picked PNNQ execution across (n, dims) sweeps."""
+    result = FigureResult(
+        figure="Planner overhead",
+        title="Database front door vs hand-picked engines (PNNQ)",
+        columns=(
+            "n", "dims", "picked", "planned_ms", "picked_ms",
+            "overhead_pct", "best_manual", "best_ms", "vs_best",
+        ),
+        notes=(
+            "planned_ms = db.nn loop with a warm plan cache; "
+            "picked_ms = direct engine loop with the same retriever; "
+            "vs_best = planned_ms / best manual retriever's ms."
+        ),
+    )
+    for n, dims in sweeps:
+        # Large, dense uncertainty regions: candidate sets of several
+        # objects make Step 2 dominate each query (around a
+        # millisecond), so the per-query envelope cost is measured
+        # against realistic work, not against a trivial lookup.
+        dataset = synthetic_dataset(
+            n=n, dims=dims, u_max=1200.0, n_samples=100, seed=n + dims
+        )
+        # No result caching on either side: repeats are not the thing
+        # being measured, planning and envelope assembly are.
+        db = Database(dataset, result_cache_size=0)
+        rng_queries = dataset.domain.sample_points(
+            n_queries, np.random.default_rng(99)
+        )
+
+        handles = ["brute", "pv", "rtree"] + (["uv"] if dims == 2 else [])
+        # Calibration: run every retriever through the front door so
+        # the planner's observed-cost averages cover all of them (and
+        # the indexes get built outside the timed region).
+        for name in handles:
+            for q in rng_queries[:N_CALIBRATE]:
+                db.nn(q, retriever=name)
+
+        # Replan from the calibrated observations, then measure the
+        # warm-cache front door against the direct engine holding the
+        # very retriever the plan picked — interleaved, so the <5%
+        # overhead claim is not at the mercy of machine-load drift.
+        db.planner.invalidate()
+        picked = db.explain("nn").retriever
+        picked_index = None if picked == "brute" else db.index(picked)
+        picked_engine = PNNQEngine(dataset, picked_index)
+        planned_s, picked_s = _paired_times(
+            db.nn, picked_engine.query, rng_queries
+        )
+        planned_ms, picked_ms = 1e3 * planned_s, 1e3 * picked_s
+
+        # Hand-picked baselines for the remaining retrievers.
+        manual_ms: dict[str, float] = {picked: picked_ms}
+        for name in handles:
+            if name == picked:
+                continue
+            index = None if name == "brute" else db.index(name)
+            engine = PNNQEngine(dataset, index)
+            manual_ms[name] = 1e3 * _time_loop(engine.query, rng_queries)
+
+        best_manual = min(manual_ms, key=manual_ms.__getitem__)
+        result.add(
+            n=n,
+            dims=dims,
+            picked=picked,
+            planned_ms=planned_ms,
+            picked_ms=picked_ms,
+            overhead_pct=100.0 * (planned_ms / picked_ms - 1.0),
+            best_manual=best_manual,
+            best_ms=manual_ms[best_manual],
+            vs_best=planned_ms / manual_ms[best_manual],
+        )
+    return result
+
+
+def test_planner_overhead(benchmark, record_figure, profile):
+    sweeps = (
+        [(100, 2), (200, 2), (120, 3)]
+        if profile == "smoke"
+        else [(200, 2), (400, 2), (800, 2), (200, 3), (200, 4)]
+    )
+    result = benchmark.pedantic(
+        planner_overhead,
+        kwargs={"sweeps": sweeps},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+
+    for row in result.rows:
+        # Warm-plan overhead vs calling the same engine directly.
+        assert row["overhead_pct"] < 5.0, row
+        # Never worse than 1.5x the best hand-picked retriever.
+        assert row["vs_best"] < 1.5, row

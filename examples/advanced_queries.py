@@ -62,7 +62,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Top-k probable NN: rank drivers for a single rider.
     rider = np.array([5200.0, 4700.0])
-    topk = TopKEngine(index, drivers)
+    topk = TopKEngine(drivers, index)
     result = topk.query(rider, k=3)
     print(f"top-3 drivers for rider at {rider.tolist()}:")
     for rank, (oid, prob) in enumerate(result.ranking, 1):

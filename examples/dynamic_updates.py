@@ -45,7 +45,7 @@ def main(n: int = 200) -> None:
         f"({index.stats.cells_recomputed} cells)"
     )
 
-    engine = PNNQEngine(index, dataset, result_cache_size=32)
+    engine = PNNQEngine(dataset, index, result_cache_size=32)
     query = np.array([5000.0, 5000.0])
     before = engine.query(query)
     print(f"\nPNNQ at {query.tolist()}: best = object {before.best}")
@@ -82,7 +82,7 @@ def main(n: int = 200) -> None:
     # 4. An engine holding an *unmaintained* index (the R-tree has no
     #    incremental maintenance) under a direct dataset mutation: the
     #    stale retriever is replaced by the brute-force fallback.
-    rtree_engine = PNNQEngine(RTreePNNQ.build(dataset), dataset)
+    rtree_engine = PNNQEngine(dataset, RTreePNNQ.build(dataset))
     rtree_engine.query(query)
     dataset.insert(make_object(100_001, query, half=2.0, seed=9))
     result = rtree_engine.query(query)

@@ -82,7 +82,7 @@ def main() -> None:
     # engine's ExecutionStats instead of hand-rolled perf_counter
     # bracketing, and the whole workload runs as one batch.
     engines = {
-        name: PNNQEngine(retriever, database)
+        name: PNNQEngine(database, retriever)
         for name, retriever in retrievers.items()
     }
     answers = {

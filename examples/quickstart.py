@@ -1,66 +1,75 @@
-"""Quickstart: build a PV-index and answer probabilistic NN queries.
+"""Quickstart: one front door — the declarative ``Database`` session API.
 
 Runs end-to-end in a few seconds::
 
     python examples/quickstart.py
 
-Walks through the full pipeline of the paper:
-
-1. generate an uncertain database (objects = rectangular uncertainty
-   regions + discrete pdfs);
-2. build the PV-index (SE computes one UBR per object; the octree
-   primary index and hash-table secondary index store them);
-3. answer PNNQs — Step 1 (retrieve objects with non-zero probability)
-   through the index, Step 2 (compute the probabilities) from the pdfs;
-4. cross-check Step 1 against the brute-force ground truth.
+The session object owns the uncertain database and everything derived
+from it.  You declare *what* you want — nearest neighbor, k-NN, top-k,
+threshold, group, reverse, expected-distance — and the cost-based
+planner decides *how*: which Step-1 index to build and use (PV-index,
+R-tree, UV-index, or the exact brute-force filter), explained on
+request via ``db.explain``.  Indexes are built lazily, maintained
+incrementally through ``db.insert`` / ``db.delete``, and replaced
+automatically when a mutation leaves them stale.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import PNNQEngine, PVIndex, synthetic_dataset
+from repro import synthetic_dataset
+from repro.api import Database, Q
 from repro.core.pvcell import possible_nn_ids
 
 
 def main(n: int = 300) -> None:
     # 1. A 2D uncertain database: n objects with uniform-pdf
-    #    uncertainty regions in the [0, 10000]^2 domain.
+    #    uncertainty regions in the [0, 10000]^2 domain, wrapped in a
+    #    session.  No engines, no index choices — one front door.
     dataset = synthetic_dataset(n=n, dims=2, u_max=60.0, seed=42)
-    print(f"database: {len(dataset)} objects, d={dataset.dims}")
+    db = Database(dataset)
+    print(f"database: {len(db)} objects, d={db.dims}")
 
-    # 2. Build the PV-index.  IS (incremental selection) picks each
-    #    object's candidate set; SE shrinks the domain down to a UBR.
-    index = PVIndex.build(dataset)
-    stats = index.se.stats
-    print(
-        f"built PV-index in {index.stats.build_seconds:.2f}s "
-        f"(mean C-set size {stats.mean_cset_size:.0f}, "
-        f"{stats.iterations} SE iterations)"
-    )
+    # 2. The planner explains every query class before running any of
+    #    them: chosen retriever + its cost estimate (µs equivalents).
+    print("\nplans (before any query):")
+    for kind, params in [
+        ("nn", {}),
+        ("knn", {"k": 3}),
+        ("topk", {"k": 3}),
+        ("threshold", {"p": 0.2}),
+        ("group_nn", {"aggregate": "min"}),
+        ("reverse_nn", {}),
+        ("expected_nn", {}),
+    ]:
+        plan = db.explain(kind, **params)
+        cost = f"{plan.cost:8.1f} us" if plan.cost is not None else "   (n/a)"
+        print(f"  {kind:<12} -> {plan.retriever:<6} {cost}")
 
-    # 3. Answer a PNNQ at the domain center.
-    engine = PNNQEngine(index, dataset, secondary=index.secondary)
+    # 3. Answer a probabilistic NN query at the domain center.  The
+    #    result is a frozen envelope: answer + plan + per-query stats.
     query = np.array([5000.0, 5000.0])
-    result = engine.query(query)
-    print(f"\nPNNQ at {query.tolist()}:")
-    for oid in sorted(
-        result.probabilities, key=result.probabilities.get, reverse=True
+    result = db.nn(query)
+    print(f"\nPNNQ at {query.tolist()} via {result.plan.retriever}:")
+    for oid, prob in sorted(
+        result.probabilities.items(), key=lambda kv: -kv[1]
     ):
-        prob = result.probabilities[oid]
         print(f"  object {oid:4d}  P[is NN] = {prob:.4f}")
     print(f"most probable NN: object {result.best}")
 
     # 4. Cross-check Step 1 against brute force over all objects.
     truth = possible_nn_ids(dataset, query)
-    assert set(result.candidate_ids) == truth, "Step-1 mismatch!"
+    assert set(result.answer.candidate_ids) == truth, "Step-1 mismatch!"
     print(
         f"\nStep-1 verified against brute force "
         f"({len(truth)} possible NNs)"
     )
 
-    # 5. The index is incrementally maintainable: insert a new object
-    #    right at the query point and watch it take over.
+    # 5. The session maintains its indexes incrementally: insert a new
+    #    object right at the query point and watch it take over.  Any
+    #    built maintainable index absorbs the mutation; stale ones are
+    #    dropped and the planner replans (fresh plan epoch).
     from repro import UncertainObject, uniform_pdf
     from repro.geometry import Rect
 
@@ -74,32 +83,39 @@ def main(n: int = 300) -> None:
         instances=instances,
         weights=weights,
     )
-    index.insert(new_obj)
-    result2 = engine.query(query)
+    db.insert(new_obj)
+    result2 = db.nn(query)
     print(
         f"\nafter inserting object {new_obj.oid} at the query point: "
-        f"P[new is NN] = {result2.probabilities[new_obj.oid]:.4f}"
+        f"P[new is NN] = {result2.probabilities[new_obj.oid]:.4f} "
+        f"(plan epoch {result2.plan.epoch})"
     )
     assert result2.best == new_obj.oid
 
-    # 6. Serving mode: answer a whole block of queries in one call.
-    #    query_batch deduplicates repeats, shares Step-1 retrieval, and
-    #    vectorizes Step-2 across queries; the engine's ExecutionStats
-    #    reports the OR/PC time split and per-phase page I/O.
+    # 6. Results are frozen — sharing through the result cache and
+    #    batch dedup cannot be corrupted by a caller.
+    try:
+        result2.probabilities[new_obj.oid] = 0.0
+    except TypeError:
+        print("result envelopes are read-only (mutation raises)")
+
+    # 7. Serving mode: declare a whole block at once.  Queries sharing
+    #    a template are planned once and executed through the batched
+    #    engine path (dedup + shared Step-1 + vectorized Step-2).
     rng = np.random.default_rng(3)
     hot_spots = dataset.domain.sample_points(10, rng)
-    batch = hot_spots[rng.integers(0, 10, size=50)]  # 50 queries, 10 spots
-    engine.stats.reset()
-    results = engine.query_batch(batch)
-    stats = engine.stats
+    block = hot_spots[rng.integers(0, 10, size=50)]  # 50 queries, 10 spots
+    results = db.batch([Q.nn(q) for q in block])
+    stats = results[0].stats
     print(
         f"\nbatch of {stats.queries} queries "
-        f"({stats.dedup_hits} answered by dedup): "
+        f"({stats.dedup_hits} answered by dedup) "
+        f"via {results[0].plan.retriever}: "
         f"OR {stats.object_retrieval * 1e3:.1f} ms, "
         f"PC {stats.probability_computation * 1e3:.1f} ms, "
         f"{stats.page_reads} page reads"
     )
-    assert len(results) == len(batch)
+    assert len(results) == len(block)
 
 
 if __name__ == "__main__":

@@ -75,7 +75,7 @@ def main() -> None:
 
     # Reference conditions we want the most similar live reading to.
     reference = np.array([480.0, 510.0, 495.0])
-    engine = PNNQEngine(index, network, secondary=index.secondary)
+    engine = PNNQEngine(network, index, secondary=index.secondary)
     result = engine.query(reference)
 
     print(f"sensors possibly nearest to reference {reference.tolist()}:")
@@ -90,7 +90,7 @@ def main() -> None:
         )
 
     # Threshold query via the verifier: who is NN with P >= 0.2?
-    verifier = VerifierEngine(index, network)
+    verifier = VerifierEngine(network, index)
     decisions = verifier.query(reference, tau=0.2)
     confident = sorted(oid for oid, ok in decisions.items() if ok)
     print(

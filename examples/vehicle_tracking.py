@@ -75,7 +75,7 @@ def main() -> None:
     t0 = time.perf_counter()
     index = PVIndex.build(fleet)
     print(f"initial PV-index build: {time.perf_counter() - t0:.2f}s\n")
-    engine = PNNQEngine(index, fleet, secondary=index.secondary)
+    engine = PNNQEngine(fleet, index, secondary=index.secondary)
 
     # A dispatcher at the center keeps asking: which vehicle is nearest?
     dispatcher = np.array([DOMAIN / 2, DOMAIN / 2])

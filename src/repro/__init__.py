@@ -6,18 +6,24 @@ Rectangles (UBRs), the Shrink-and-Expand (SE) algorithm, and the PV-index
 with incremental maintenance, plus the R-tree and UV-index baselines the
 paper evaluates against.
 
-Quick start::
+Quick start — the declarative session API plans the Step-1 retriever
+per query and returns frozen result envelopes::
 
-    from repro import synthetic_dataset, PVIndex, PNNQEngine
+    from repro import synthetic_dataset
+    from repro.api import Database
 
-    dataset = synthetic_dataset(n=500, dims=2, seed=0)
-    index = PVIndex.build(dataset)
-    engine = PNNQEngine(index, dataset)
-    result = engine.query([5000.0, 5000.0])
-    for oid, prob in result.probabilities.items():
-        print(oid, prob)
+    db = Database(synthetic_dataset(n=500, dims=2, seed=0))
+    result = db.nn([5000.0, 5000.0])
+    print(result.best, dict(result.probabilities))
+    print(db.explain("nn").describe())   # which index, and why
+
+The engine classes (``PNNQEngine`` and friends) remain available for
+research code that wants to hold a specific index in hand; they now
+share the uniform ``Engine(dataset, retriever=None, ...)`` constructor.
 """
 
+from . import api
+from .api import Database, Plan, Planner, Q, QueryResult, QuerySpec
 from .engine import BaseEngine, BruteForceRetriever, ExecutionStats
 from .geometry import Rect
 from .uncertain import (
@@ -51,9 +57,16 @@ from .core import (
 from .rtree import RStarTree, RTreePNNQ
 from .uvindex import UVIndex
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "Database",
+    "Plan",
+    "Planner",
+    "Q",
+    "QueryResult",
+    "QuerySpec",
     "BaseEngine",
     "BruteForceRetriever",
     "ExecutionStats",

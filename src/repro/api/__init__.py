@@ -1,0 +1,38 @@
+"""repro.api — the declarative session API (the library's front door).
+
+One object, :class:`Database`, replaces the seed's seven per-engine
+entry points: it owns the dataset, lazily builds and incrementally
+maintains the Step-1 indexes behind named handles, plans the retriever
+per query with an explainable cost model, and returns frozen
+:class:`QueryResult` envelopes::
+
+    from repro import synthetic_dataset
+    from repro.api import Database, Q
+
+    db = Database(synthetic_dataset(n=500, dims=2, seed=0))
+    r = db.nn([5000.0, 5000.0])
+    r.best                      # most probable NN
+    r.plan.retriever            # which index answered Step 1
+    db.explain("knn", k=3)      # the plan, without running anything
+    db.batch([Q.nn([1.0, 2.0]), Q.topk([3.0, 4.0], k=5)])
+
+The direct engine classes in :mod:`repro.core` remain available for
+research code that wants to hold an index in hand; new code should
+start here.
+"""
+
+from .database import Database, IndexHandle
+from .planner import Plan, Planner, PlanningError, STATIC_ESTIMATES
+from .result import Q, QueryResult, QuerySpec
+
+__all__ = [
+    "Database",
+    "IndexHandle",
+    "Plan",
+    "Planner",
+    "PlanningError",
+    "STATIC_ESTIMATES",
+    "Q",
+    "QueryResult",
+    "QuerySpec",
+]

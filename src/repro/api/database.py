@@ -1,0 +1,589 @@
+"""The library's front door: a declarative uncertain-database session.
+
+:class:`Database` owns an :class:`~repro.uncertain.UncertainDataset`
+and everything derived from it — Step-1 indexes behind named handles
+(``"pv"``, ``"rtree"``, ``"uv"``, plus the implicit ``"brute"``
+fallback), one engine per (query class, retriever) pair, and a
+cost-based :class:`~repro.api.planner.Planner` that picks the
+retriever per query template.  Indexes are built lazily the first time
+a plan selects them and maintained incrementally through
+:meth:`insert` / :meth:`delete`; handles bypassed by a mutation are
+dropped and rebuilt on next use, so a stale Step-1 answer is never
+served.
+
+    from repro.api import Database
+
+    db = Database(synthetic_dataset(n=500, dims=2, seed=0))
+    result = db.nn([5000.0, 5000.0])     # planned, executed, frozen
+    result.best, result.probabilities    # the answer
+    result.plan.retriever                # how it was answered
+    print(db.explain("nn").describe())   # why
+
+All seven query classes of the repository are one method each —
+:meth:`nn`, :meth:`knn`, :meth:`topk`, :meth:`threshold`,
+:meth:`group_nn`, :meth:`reverse_nn`, :meth:`expected_nn` — plus
+:meth:`batch` for declarative blocks of
+:class:`~repro.api.result.QuerySpec` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..core import (
+    ExpectedNNEngine,
+    GroupNNEngine,
+    KNNEngine,
+    PNNQEngine,
+    PVIndex,
+    ReverseNNEngine,
+    TopKEngine,
+    VerifierEngine,
+)
+from ..engine import BaseEngine, BruteForceRetriever, CostEstimate
+from ..rtree import RTreePNNQ
+from ..uncertain import UncertainDataset, UncertainObject
+from ..uvindex import UVIndex
+from .planner import Plan, Planner, PlanningError, STATIC_ESTIMATES
+from .result import QueryResult, QuerySpec, _params_key
+
+__all__ = ["Database", "IndexHandle"]
+
+#: Handle name meaning "no point retriever" (reverse NN's Step 1).
+_NONE = "none"
+#: Handle name of the index-free exact filter.
+_BRUTE = "brute"
+
+
+@dataclass(frozen=True)
+class _KindSpec:
+    """Execution recipe for one query class."""
+
+    engine_cls: type[BaseEngine]
+    #: Engine-constructor keywords drawn from Database config.
+    takes_n_bins: bool = False
+
+
+_KINDS: dict[str, _KindSpec] = {
+    "nn": _KindSpec(PNNQEngine),
+    "knn": _KindSpec(KNNEngine),
+    "topk": _KindSpec(TopKEngine, takes_n_bins=True),
+    "threshold": _KindSpec(VerifierEngine, takes_n_bins=True),
+    "group_nn": _KindSpec(GroupNNEngine),
+    "reverse_nn": _KindSpec(ReverseNNEngine),
+    "expected_nn": _KindSpec(ExpectedNNEngine),
+}
+
+
+class IndexHandle:
+    """One named, lazily built Step-1 index owned by a Database.
+
+    Satisfies the planner's ``PlannableHandle`` protocol: before the
+    index is built, :meth:`cost_estimate` answers from the static
+    formulas in :data:`~repro.api.planner.STATIC_ESTIMATES`; once
+    built, from the index's own calibrated ``cost_estimate()`` hook.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dataset: UncertainDataset,
+        builder: Callable[[UncertainDataset], Any],
+        *,
+        maintainable: bool,
+    ) -> None:
+        self.name = name
+        self.dataset = dataset
+        self.builder = builder
+        self.maintainable = maintainable
+        self.index: Any = None
+        self.secondary: Any = None
+
+    def cost_estimate(self) -> CostEstimate:
+        if self.index is not None and hasattr(self.index, "cost_estimate"):
+            return self.index.cost_estimate()
+        return STATIC_ESTIMATES[self.name](
+            len(self.dataset), self.dataset.dims
+        )
+
+    def ensure_built(self) -> Any:
+        """The built index, constructing it on first use."""
+        if self.index is None:
+            self.index = self.builder(self.dataset)
+            self.secondary = getattr(self.index, "secondary", None)
+        return self.index
+
+    def in_sync(self) -> bool:
+        """Built and maintained through every dataset mutation."""
+        return (
+            self.index is not None
+            and getattr(self.index, "dataset_epoch", None)
+            == self.dataset.epoch
+        )
+
+    def drop(self) -> None:
+        """Forget the built index (it will rebuild lazily if chosen)."""
+        self.index = None
+        self.secondary = None
+
+    def __repr__(self) -> str:
+        state = "built" if self.index is not None else "lazy"
+        return f"IndexHandle({self.name!r}, {state})"
+
+
+class Database:
+    """A query session over one uncertain dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The uncertain database.  The Database takes ownership of its
+        derived state: mutate through :meth:`insert` / :meth:`delete`
+        (direct ``dataset.insert`` still cannot corrupt answers — the
+        epoch machinery drops every bypassed index — but wastes the
+        incremental-maintenance work).
+    indexes:
+        Which index handles the planner may choose from, in addition
+        to the always-available exact brute-force filter.  Handles
+        whose index cannot serve this dataset (the UV-index off 2D)
+        are ignored.
+    result_cache_size / memo_radius:
+        Forwarded to every engine (see :class:`~repro.engine.BaseEngine`).
+    n_bins:
+        Histogram resolution for bound-based engines (top-k, threshold).
+    page_cost_us:
+        Planner weight of one simulated page read (µs); 0 plans for
+        pure wall-clock.
+    index_options:
+        Per-handle builder keyword overrides, e.g.
+        ``{"uv": {"k_cand": 64}}``.
+    """
+
+    def __init__(
+        self,
+        dataset: UncertainDataset,
+        *,
+        indexes: Sequence[str] = ("pv", "rtree", "uv"),
+        result_cache_size: int = 128,
+        memo_radius: float = 0.0,
+        n_bins: int = 8,
+        page_cost_us: float = 0.0,
+        index_options: Mapping[str, Mapping[str, Any]] | None = None,
+        planner: Planner | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.result_cache_size = result_cache_size
+        self.memo_radius = memo_radius
+        self.n_bins = n_bins
+        self.planner = planner or Planner(page_cost_us=page_cost_us)
+        options = {
+            name: dict(kwargs)
+            for name, kwargs in (index_options or {}).items()
+        }
+        self._handles: dict[str, IndexHandle] = {}
+        for name in indexes:
+            handle = self._make_handle(name, options.get(name, {}))
+            if handle is not None:
+                self._handles[name] = handle
+        self._handles[_BRUTE] = IndexHandle(
+            _BRUTE,
+            dataset,
+            lambda ds: BruteForceRetriever(ds),
+            maintainable=False,
+        )
+        self._engines: dict[tuple[str, str], BaseEngine] = {}
+        self._epoch_seen = dataset.epoch
+
+    @classmethod
+    def from_objects(
+        cls,
+        objects: Iterable[UncertainObject],
+        domain=None,
+        **kwargs: Any,
+    ) -> "Database":
+        """Build a session directly from uncertain objects."""
+        return cls(UncertainDataset(objects, domain=domain), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The dataset's mutation epoch."""
+        return self.dataset.epoch
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the attribute space."""
+        return self.dataset.dims
+
+    @property
+    def built_indexes(self) -> tuple[str, ...]:
+        """Names of handles whose index is currently built (stale
+        handles are reconciled first, like every other entry point)."""
+        self._sync()
+        return tuple(
+            name
+            for name, handle in self._handles.items()
+            if handle.index is not None
+        )
+
+    def index(self, name: str) -> Any:
+        """The named index, building it if needed (power-user escape
+        hatch; ``"brute"`` returns the exact fallback retriever)."""
+        self._sync()
+        handle = self._handles.get(name)
+        if handle is None:
+            raise KeyError(
+                f"unknown or ineligible index {name!r} "
+                f"(available: {sorted(self._handles)})"
+            )
+        return handle.ensure_built()
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(n={len(self.dataset)}, dims={self.dims}, "
+            f"epoch={self.epoch}, built={list(self.built_indexes)})"
+        )
+
+    # ------------------------------------------------------------------
+    # The declarative query surface
+    # ------------------------------------------------------------------
+    def nn(self, query: Any, *, retriever: str | None = None) -> QueryResult:
+        """Probabilistic NN (the paper's PNNQ) at a point."""
+        return self._execute("nn", query, (), retriever)
+
+    def knn(
+        self, query: Any, k: int = 1, *, retriever: str | None = None
+    ) -> QueryResult:
+        """Probabilistic k-NN at a point."""
+        return self._execute("knn", query, (("k", k),), retriever)
+
+    def topk(
+        self, query: Any, k: int = 1, *, retriever: str | None = None
+    ) -> QueryResult:
+        """The k objects most likely to be the NN of ``query``."""
+        return self._execute("topk", query, (("k", k),), retriever)
+
+    def threshold(
+        self, query: Any, p: float = 0.1, *, retriever: str | None = None
+    ) -> QueryResult:
+        """Which objects have qualification probability >= ``p``."""
+        return self._execute("threshold", query, (("tau", p),), retriever)
+
+    def group_nn(
+        self,
+        queries: Any,
+        aggregate: str = "sum",
+        *,
+        retriever: str | None = None,
+    ) -> QueryResult:
+        """Group NN over a set of query points."""
+        return self._execute(
+            "group_nn", queries, (("aggregate", aggregate),), retriever
+        )
+
+    def reverse_nn(self, query_object: UncertainObject) -> QueryResult:
+        """Objects that may have ``query_object`` as *their* NN."""
+        return self._execute("reverse_nn", query_object, (), None)
+
+    def expected_nn(
+        self,
+        query: Any,
+        top: int | None = None,
+        *,
+        retriever: str | None = None,
+    ) -> QueryResult:
+        """Expected-distance NN ranking at a point."""
+        return self._execute(
+            "expected_nn", query, (("top", top),), retriever
+        )
+
+    def batch(
+        self,
+        specs: Sequence[QuerySpec],
+        *,
+        retriever: str | None = None,
+    ) -> list[QueryResult]:
+        """Execute a declarative block of queries.
+
+        Specs sharing a (kind, parameters) template are planned once
+        and executed through the engine's ``query_batch`` — inheriting
+        its dedup, Step-1 memoization, and vectorized Step-2 — and
+        results return in input order.  Each envelope in a group
+        carries the same :class:`~repro.engine.ExecutionStats` delta
+        (batched work is not separable per query).
+        """
+        self._sync()
+        results: list[QueryResult | None] = [None] * len(specs)
+        groups: dict[tuple[str, tuple], list[int]] = {}
+        for i, spec in enumerate(specs):
+            if spec.kind not in _KINDS:
+                raise KeyError(f"unknown query kind {spec.kind!r}")
+            groups.setdefault((spec.kind, spec.params), []).append(i)
+        for (kind, params), positions in groups.items():
+            plan = self._plan(kind, params, forced=retriever)
+            engine = self._engine_for(kind, plan.retriever)
+            before = engine.stats.capture()
+            answers = engine.query_batch(
+                [specs[i].query for i in positions], **dict(params)
+            )
+            delta = engine.stats.delta_since(before)
+            self._observe(plan, delta)
+            for i, answer in zip(positions, answers):
+                results[i] = QueryResult(
+                    kind=kind, answer=answer, plan=plan, stats=delta
+                )
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        kind: str | QuerySpec,
+        *,
+        retriever: str | None = None,
+        **params: Any,
+    ) -> Plan:
+        """The plan the next query of this template would execute with.
+
+        Accepts a kind name plus its parameters (``db.explain("knn",
+        k=3)``) or a ready :class:`QuerySpec`.  Pure planning: no
+        query runs and no index is built.
+        """
+        self._sync()
+        if isinstance(kind, QuerySpec):
+            return self._plan(kind.kind, kind.params, forced=retriever)
+        if kind == "threshold" and "p" in params:
+            params["tau"] = params.pop("p")
+        return self._plan(kind, _params_key(params), forced=retriever)
+
+    def _plan(
+        self,
+        kind: str,
+        params: tuple[tuple[str, Any], ...],
+        forced: str | None,
+    ) -> Plan:
+        if kind not in _KINDS:
+            raise KeyError(f"unknown query kind {kind!r}")
+        fixed = self._fixed_choice(kind, dict(params))
+        return self.planner.plan(
+            kind=kind,
+            params=params,
+            epoch=self.dataset.epoch,
+            handles=list(self._handles.values()),
+            forced=forced,
+            fixed=fixed,
+        )
+
+    def _fixed_choice(
+        self, kind: str, params: Mapping[str, Any]
+    ) -> tuple[str, str, CostEstimate | None, str] | None:
+        """Kinds whose Step-1 source is not a cost decision.
+
+        Each returns its own ``cost_kind`` observation bucket: these
+        run structurally different Step-1 filters than the cost-based
+        variant of the same kind, so their measured timings must not
+        calibrate it (e.g. the exact k>1 filter is far slower than the
+        k=1 min-max pass both labelled "knn" would otherwise share).
+        """
+        if kind == "reverse_nn":
+            # Per-object domination test: one batched margin-bounds
+            # call (Python + numpy) against every other region.
+            n = len(self.dataset)
+            estimate = CostEstimate(
+                step1_us=30.0 + 18.0 * n,
+                page_reads=0.0,
+                candidates=float(max(1, n // 10)),
+                source="static",
+            )
+            return (
+                _NONE,
+                "domination-based Step 1 over object regions; "
+                "point retrievers do not apply",
+                estimate,
+                "reverse_nn",
+            )
+        if kind == "knn" and params.get("k", 1) > 1:
+            return (
+                _BRUTE,
+                "k > 1 widens Step 1 to the exact k-th-maxdist filter "
+                "over the whole database; indexes accelerate only k = 1",
+                None,
+                "knn:exact",
+            )
+        if kind == "group_nn" and params.get("aggregate") != "min":
+            return (
+                _BRUTE,
+                "sum/max aggregates run the direct aggregate-bound "
+                "filter; an index narrows only the min aggregate",
+                None,
+                "group_nn:direct",
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        kind: str,
+        query: Any,
+        params: tuple[tuple[str, Any], ...],
+        retriever: str | None,
+    ) -> QueryResult:
+        self._sync()
+        plan = self._plan(kind, params, forced=retriever)
+        engine = self._engine_for(kind, plan.retriever)
+        before = engine.stats.capture()
+        if params:
+            answer = engine.query(query, **dict(params))
+        else:
+            answer = engine.query(query)
+        delta = engine.stats.delta_since(before)
+        self._observe(plan, delta)
+        return QueryResult(
+            kind=kind, answer=answer, plan=plan, stats=delta
+        )
+
+    def _observe(self, plan: Plan, delta) -> None:
+        """Feed real Step-1 wall-clock back into the planner."""
+        executed = delta.queries - delta.cache_hits - delta.dedup_hits
+        if executed > 0 and plan.retriever != _NONE:
+            self.planner.observe(
+                plan.retriever,
+                plan.cost_kind,
+                delta.object_retrieval / executed,
+            )
+
+    def _engine_for(self, kind: str, retriever_name: str) -> BaseEngine:
+        key = (kind, retriever_name)
+        engine = self._engines.get(key)
+        if engine is None:
+            spec = _KINDS[kind]
+            if retriever_name in (_NONE, _BRUTE):
+                index, secondary = None, None
+            else:
+                handle = self._handles[retriever_name]
+                freshly_built = handle.index is None
+                index = handle.ensure_built()
+                secondary = handle.secondary
+                if freshly_built:
+                    # The index's calibrated cost_estimate() now
+                    # supersedes the static formula: revisit plans.
+                    self.planner.bump_generation()
+            kwargs: dict[str, Any] = {
+                "secondary": secondary,
+                "result_cache_size": self.result_cache_size,
+                "memo_radius": self.memo_radius,
+            }
+            if spec.takes_n_bins:
+                kwargs["n_bins"] = self.n_bins
+            engine = spec.engine_cls(self.dataset, index, **kwargs)
+            self._engines[key] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    # Mutation: incremental maintenance behind the session
+    # ------------------------------------------------------------------
+    def insert(self, obj: UncertainObject) -> None:
+        """Add an object, maintaining one built index incrementally.
+
+        The first in-sync maintainable index (PV preferred, then UV)
+        absorbs the mutation — dataset and index evolve together, as
+        in the paper's Section VI-B.  Every other built index is left
+        one epoch behind by that single mutation and therefore dropped
+        (rebuilt lazily if the planner picks it again); the plan cache
+        is invalidated so the next query replans.
+        """
+        carrier = self._maintenance_carrier()
+        if carrier is not None:
+            carrier.index.insert(obj)
+        else:
+            self.dataset.insert(obj)
+        self._sync()
+
+    def delete(self, oid: int) -> UncertainObject:
+        """Remove and return an object (see :meth:`insert`)."""
+        removed = self.dataset[oid]
+        carrier = self._maintenance_carrier()
+        if carrier is not None:
+            carrier.index.delete(oid)
+        else:
+            self.dataset.delete(oid)
+        self._sync()
+        return removed
+
+    def _maintenance_carrier(self) -> IndexHandle | None:
+        """The built, in-sync index that will absorb the mutation."""
+        for name in ("pv", "uv"):
+            handle = self._handles.get(name)
+            if handle is not None and handle.maintainable and handle.in_sync():
+                return handle
+        return None
+
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        """Reconcile derived state with the dataset's mutation epoch.
+
+        Called on every public entry point.  On drift: built handles
+        that were not maintained through the mutation are dropped along
+        with their engines (their retrievers would otherwise silently
+        decay to brute force inside :class:`~repro.engine.BaseEngine`,
+        breaking the plan's retriever claim), and the plan cache is
+        invalidated.
+        """
+        epoch = self.dataset.epoch
+        if epoch == self._epoch_seen:
+            return
+        self._epoch_seen = epoch
+        for name, handle in self._handles.items():
+            if handle.index is None or name == _BRUTE:
+                continue
+            if not handle.in_sync():
+                handle.drop()
+                self._engines = {
+                    key: engine
+                    for key, engine in self._engines.items()
+                    if key[1] != name
+                }
+        self.planner.invalidate()
+
+    def _make_handle(
+        self, name: str, options: dict[str, Any]
+    ) -> IndexHandle | None:
+        if name == "pv":
+            return IndexHandle(
+                "pv",
+                self.dataset,
+                lambda ds: PVIndex.build(ds, **options),
+                maintainable=True,
+            )
+        if name == "rtree":
+            return IndexHandle(
+                "rtree",
+                self.dataset,
+                lambda ds: RTreePNNQ.build(ds, **options),
+                maintainable=False,
+            )
+        if name == "uv":
+            if self.dataset.dims != 2:
+                return None  # the UV-index is 2D-only
+            options.setdefault("k_cand", 32)
+            return IndexHandle(
+                "uv",
+                self.dataset,
+                lambda ds: UVIndex.build(ds, **options),
+                maintainable=True,
+            )
+        if name == _BRUTE:
+            return None  # implicit; added unconditionally
+        raise PlanningError(
+            f"unknown index handle {name!r} "
+            "(expected 'pv', 'rtree', or 'uv')"
+        )

@@ -1,0 +1,445 @@
+"""The cost-based retriever planner behind :class:`repro.api.Database`.
+
+The paper's evaluation (Fig 9) shows no Step-1 retriever dominates:
+the PV-index wins in low dimensions, brute force on small or
+high-dimensional databases, the R-tree and UV-index in between.  The
+seed API pushed that choice onto every caller; the planner makes it
+per query:
+
+1. Every eligible retriever handle is scored with a
+   :class:`~repro.engine.CostEstimate` — from the built index's own
+   ``cost_estimate()`` hook when it exists, otherwise from the static
+   formulas in :data:`STATIC_ESTIMATES` (both documented in the README
+   "cost model" section).
+2. Observed Step-1 wall-clock feeds back: the planner keeps an
+   exponential moving average per ``(retriever, kind)`` and substitutes
+   it for the estimated ``step1_us`` once real queries have run, so a
+   mis-estimated index loses the next planning round.
+3. The decision is recorded in an explainable, frozen :class:`Plan`
+   (surfaced by ``db.explain``) and cached keyed by *query template* —
+   ``(kind, params, dataset epoch, forced choice)`` — so planning is
+   one dict probe on the hot path.  Epoch drift changes the key, which
+   is how mutations force a replan.
+
+Scores are microseconds-per-query equivalents::
+
+    score = step1_us + page_cost_us * page_reads + step2_us(kind, cands)
+
+``page_cost_us`` defaults to 0 — the simulated pager costs no real
+time here — and models real disks when raised (100–10000 µs/page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping, Protocol, Sequence
+
+from ..engine import CostEstimate, FrozenDict, expected_candidates
+
+__all__ = [
+    "Plan",
+    "Planner",
+    "PlanningError",
+    "STATIC_ESTIMATES",
+    "step2_us",
+]
+
+
+class PlanningError(ValueError):
+    """No eligible retriever could be planned for a query."""
+
+
+# ----------------------------------------------------------------------
+# Static (pre-build) cost formulas, one per retriever handle.
+# ----------------------------------------------------------------------
+def _static_brute(n: int, dims: int) -> CostEstimate:
+    # One broadcasted numpy pass over all n regions; no index pages.
+    return CostEstimate(
+        step1_us=20.0 + 0.012 * n * dims,
+        page_reads=0.0,
+        candidates=expected_candidates(n, dims),
+    )
+
+
+def _static_pv(n: int, dims: int) -> CostEstimate:
+    # One descent + one leaf read + a Python filter over the leaf's
+    # entries (a small multiple of the final candidate count).
+    leaf = 3.0 * expected_candidates(n, dims)
+    return CostEstimate(
+        step1_us=30.0 + 0.9 * leaf * dims**0.5,
+        page_reads=1.0,
+        candidates=expected_candidates(n, dims),
+    )
+
+
+def _static_rtree(n: int, dims: int) -> CostEstimate:
+    # Branch-and-prune pays Python heap work per visited entry — a
+    # constant-factor handicap against the PV-index's leaf filter.
+    leaf = 3.0 * expected_candidates(n, dims)
+    return CostEstimate(
+        step1_us=45.0 + 1.4 * leaf * dims**0.5,
+        page_reads=2.0,
+        candidates=expected_candidates(n, dims),
+    )
+
+
+def _static_uv(n: int, dims: int) -> CostEstimate:
+    # Grid descent like the PV-index, plus an O(n) per-query id->row
+    # rebuild (see UVIndex.cost_estimate) that scales with the database.
+    leaf = 3.0 * expected_candidates(n, dims)
+    return CostEstimate(
+        step1_us=25.0 + 0.05 * n + 1.3 * leaf,
+        page_reads=1.0,
+        candidates=expected_candidates(n, dims),
+    )
+
+
+#: name -> f(n, dims) -> CostEstimate for a not-yet-built index.
+STATIC_ESTIMATES: dict[str, Callable[[int, int], CostEstimate]] = {
+    "brute": _static_brute,
+    "pv": _static_pv,
+    "rtree": _static_rtree,
+    "uv": _static_uv,
+}
+
+#: Per-candidate Step-2 weight by query kind (µs); Step 2 is dominated
+#: by the pairwise survival products, hence the quadratic terms.
+_STEP2_QUADRATIC_US = {
+    "nn": 1.5,
+    "knn": 2.0,
+    "topk": 1.0,
+    "threshold": 1.0,
+    "group_nn": 2.5,
+}
+
+
+def step2_us(kind: str, params: Mapping[str, Any], candidates: float) -> float:
+    """Estimated Step-2 (probability computation) microseconds.
+
+    Identical across retrievers up to their candidate-set estimates —
+    all Step-1 sources feed the same exact Step-2 kernels — so this
+    term mostly documents *why* a query is expensive rather than
+    discriminating between retrievers.
+    """
+    quad = _STEP2_QUADRATIC_US.get(kind)
+    if quad is None:
+        return 0.5 * candidates
+    k = params.get("k", 1) if kind == "knn" else 1
+    return quad * k * candidates * candidates
+
+
+class PlannableHandle(Protocol):
+    """What the planner needs from a retriever handle."""
+
+    name: str
+
+    def cost_estimate(self) -> CostEstimate:
+        """Current per-query estimate (index-calibrated or static)."""
+        ...
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One explainable, frozen planning decision.
+
+    ``scores`` maps every *considered* retriever to its total score in
+    microsecond equivalents; ``estimates`` holds the underlying
+    :class:`~repro.engine.CostEstimate` inputs.  ``retriever`` is the
+    handle the engine will actually execute with — asserted identical
+    in the API tests.
+    """
+
+    kind: str
+    params: tuple[tuple[str, Any], ...]
+    retriever: str
+    reason: str
+    epoch: int
+    scores: Mapping[str, float] = field(default_factory=FrozenDict)
+    estimates: Mapping[str, CostEstimate] = field(
+        default_factory=FrozenDict
+    )
+    forced: bool = False
+    #: Observation bucket this plan's Step-1 timings calibrate.  Equals
+    #: ``kind`` for cost-based plans; policy-fixed plans that run a
+    #: structurally different Step 1 (e.g. the exact k>1 filter) get a
+    #: distinct bucket so their timings cannot skew the cost-based
+    #: variant's estimates.
+    cost_kind: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scores", FrozenDict(self.scores))
+        object.__setattr__(self, "estimates", FrozenDict(self.estimates))
+        if not self.cost_kind:
+            object.__setattr__(self, "cost_kind", self.kind)
+
+    @property
+    def cost(self) -> float | None:
+        """The chosen retriever's score (µs equivalents), if scored."""
+        return self.scores.get(self.retriever)
+
+    def describe(self) -> str:
+        """A human-readable multi-line explanation."""
+        lines = [
+            f"{self.kind}{dict(self.params) or ''} -> {self.retriever}"
+            f" (epoch {self.epoch})",
+            f"  reason: {self.reason}",
+        ]
+        for name in sorted(self.scores, key=self.scores.__getitem__):
+            est = self.estimates[name]
+            marker = "*" if name == self.retriever else " "
+            lines.append(
+                f"  {marker} {name:<6} {self.scores[name]:>10.1f} us "
+                f"(step1 {est.step1_us:.1f} us, "
+                f"{est.page_reads:.1f} pages, "
+                f"~{est.candidates:.0f} candidates, {est.source})"
+            )
+        return "\n".join(lines)
+
+
+class Planner:
+    """Scores retriever handles and caches the winning :class:`Plan`.
+
+    Parameters
+    ----------
+    page_cost_us:
+        Microsecond weight of one simulated page read.  0 (default)
+        optimizes pure wall-clock of this in-memory implementation;
+        raise it to plan for real storage.
+    ema_alpha:
+        Weight of the newest observation in the per-``(retriever,
+        kind)`` Step-1 wall-clock moving average.
+    replan_every:
+        Observations between automatic calibration-generation bumps.
+        The generation is part of the plan-cache key, so cached plans
+        are revisited periodically even on a mutation-free session —
+        this is how observed costs and a freshly built index's
+        calibrated estimates actually reach the plans (epoch drift is
+        the other trigger).  Replanning costs a few handle scorings,
+        amortized to noise over the window.
+    """
+
+    def __init__(
+        self,
+        *,
+        page_cost_us: float = 0.0,
+        ema_alpha: float = 0.4,
+        replan_every: int = 64,
+    ) -> None:
+        if not 0.0 < ema_alpha <= 1.0:
+            raise ValueError("ema_alpha must be in (0, 1]")
+        if replan_every < 1:
+            raise ValueError("replan_every must be >= 1")
+        self.page_cost_us = float(page_cost_us)
+        self.ema_alpha = float(ema_alpha)
+        self.replan_every = int(replan_every)
+        self._cache: dict[Hashable, Plan] = {}
+        self._observed: dict[tuple[str, str], float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Calibration generation: baked into every cache key; bumped
+        #: by :meth:`bump_generation` (index built) and automatically
+        #: every ``replan_every`` observations.
+        self.generation = 0
+        self._observations_since_bump = 0
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        *,
+        kind: str,
+        params: tuple[tuple[str, Any], ...],
+        epoch: int,
+        handles: Sequence[PlannableHandle],
+        forced: str | None = None,
+        fixed: tuple[str, str, CostEstimate | None, str] | None = None,
+    ) -> Plan:
+        """The cached-or-computed plan for one query template.
+
+        ``forced`` pins the retriever by name (recorded as such);
+        ``fixed`` is a ``(retriever, reason, estimate, cost_kind)``
+        tuple for kinds whose choice is not cost-based (e.g. reverse
+        NN's domination filter) — the estimate (or the named handle's
+        own, when ``None``) is still reported for ``explain``, and
+        ``cost_kind`` names the observation bucket the plan's timings
+        calibrate (kept separate when the fixed Step 1 is structurally
+        different from the cost-based variant's).
+        """
+        key = (kind, params, epoch, forced, self.generation)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.cache_hits += 1
+            return hit
+        self.cache_misses += 1
+        plan = self._compute(kind, params, epoch, handles, forced, fixed)
+        self._cache[key] = plan
+        return plan
+
+    def _compute(
+        self,
+        kind: str,
+        params: tuple[tuple[str, Any], ...],
+        epoch: int,
+        handles: Sequence[PlannableHandle],
+        forced: str | None,
+        fixed: tuple[str, str, CostEstimate | None, str] | None,
+    ) -> Plan:
+        if fixed is not None and forced is None:
+            name, reason, est, cost_kind = fixed
+            if est is None:
+                est = next(
+                    (
+                        self._calibrated(handle, cost_kind)
+                        for handle in handles
+                        if handle.name == name
+                    ),
+                    None,
+                )
+            # The choice is policy, not cost — but the estimate is
+            # still reported for explain().
+            scores: dict[str, float] = {}
+            estimates: dict[str, CostEstimate] = {}
+            if est is not None:
+                estimates[name] = est
+                scores[name] = self._score(kind, dict(params), est)
+            return Plan(
+                kind=kind,
+                params=params,
+                retriever=name,
+                reason=reason,
+                epoch=epoch,
+                scores=scores,
+                estimates=estimates,
+                cost_kind=cost_kind,
+            )
+        if not handles:
+            raise PlanningError(f"no eligible retriever for {kind!r}")
+
+        param_map = dict(params)
+        estimates = {}
+        for handle in handles:
+            estimates[handle.name] = self._calibrated(handle, kind)
+        # Every retriever feeds the SAME candidate set to the same
+        # exact Step-2 kernels, so Step 2 is scored with one shared
+        # estimate — the most-informed (smallest) of the per-handle
+        # guesses, which favors index-calibrated numbers over the
+        # static dimensionality rule.  Per-handle estimates keep their
+        # own candidate figure for explain() honesty.
+        shared = min(est.candidates for est in estimates.values())
+        step2 = step2_us(kind, param_map, shared)
+        scores = {
+            name: est.step1_us
+            + self.page_cost_us * est.page_reads
+            + step2
+            for name, est in estimates.items()
+        }
+
+        if forced is not None:
+            if forced not in scores:
+                raise PlanningError(
+                    f"retriever {forced!r} is not eligible for {kind!r} "
+                    f"(eligible: {sorted(scores)})"
+                )
+            return Plan(
+                kind=kind,
+                params=params,
+                retriever=forced,
+                reason="forced by caller",
+                epoch=epoch,
+                scores=scores,
+                estimates=estimates,
+                forced=True,
+                # A forced override of a policy-fixed template still
+                # runs that template's Step 1 — keep its bucket.
+                cost_kind=fixed[3] if fixed is not None else kind,
+            )
+
+        best = min(scores, key=lambda name: (scores[name], name))
+        others = ", ".join(
+            f"{name} {scores[name]:.1f}"
+            for name in sorted(scores, key=scores.__getitem__)
+            if name != best
+        )
+        reason = (
+            f"lowest estimated cost ({scores[best]:.1f} us"
+            + (f"; vs {others} us" if others else "; only candidate")
+            + ")"
+        )
+        return Plan(
+            kind=kind,
+            params=params,
+            retriever=best,
+            reason=reason,
+            epoch=epoch,
+            scores=scores,
+            estimates=estimates,
+        )
+
+    # ------------------------------------------------------------------
+    def _calibrated(
+        self, handle: PlannableHandle, kind: str
+    ) -> CostEstimate:
+        """The handle's estimate, with observed Step-1 time folded in."""
+        est = handle.cost_estimate()
+        observed = self._observed.get((handle.name, kind))
+        if observed is not None:
+            est = est.with_step1(observed, source="observed")
+        return est
+
+    def _score(
+        self,
+        kind: str,
+        params: Mapping[str, Any],
+        est: CostEstimate,
+    ) -> float:
+        return (
+            est.step1_us
+            + self.page_cost_us * est.page_reads
+            + step2_us(kind, params, est.candidates)
+        )
+
+    def observe(
+        self, retriever: str, kind: str, step1_seconds: float
+    ) -> None:
+        """Fold one observed Step-1 wall-clock into the moving average.
+
+        Cached plans are not retroactively rewritten — the new average
+        applies at the next cache miss: epoch drift,
+        :meth:`invalidate`, or the automatic generation bump after
+        ``replan_every`` observations.
+        """
+        us = max(step1_seconds, 0.0) * 1e6
+        key = (retriever, kind)
+        prev = self._observed.get(key)
+        self._observed[key] = (
+            us
+            if prev is None
+            else (1.0 - self.ema_alpha) * prev + self.ema_alpha * us
+        )
+        self._observations_since_bump += 1
+        if self._observations_since_bump >= self.replan_every:
+            self.bump_generation()
+
+    def bump_generation(self) -> None:
+        """Force the next plan lookup to re-score (cheap, bounded).
+
+        Called when calibration inputs change without an epoch move —
+        an index finished building (its real shape supersedes the
+        static formula) or enough runtime observations accumulated.
+        """
+        self.generation += 1
+        self._observations_since_bump = 0
+
+    def observed_step1_us(self, retriever: str, kind: str) -> float | None:
+        """Current observed Step-1 average for a ``(retriever, kind)``."""
+        return self._observed.get((retriever, kind))
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (observations are kept — they are
+        performance facts about the implementation, not the data)."""
+        self._cache.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Planner(cached={len(self._cache)}, "
+            f"hits={self.cache_hits}, misses={self.cache_misses})"
+        )

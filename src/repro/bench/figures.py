@@ -863,7 +863,7 @@ def ablation_verifier(
     dataset = make_dataset(n=size, u_max=2000.0)
     queries = query_points(dataset, n=n_queries)
     bundle = build_pv_bundle(dataset.copy())
-    verifier = VerifierEngine(bundle.index, dataset)
+    verifier = VerifierEngine(dataset, bundle.index)
     total_candidates = 0
     watch = Stopwatch()
     for q in queries:
@@ -948,7 +948,7 @@ def ablation_topk(
     bundle = build_pv_bundle(dataset.copy())
     queries = query_points(dataset, n=n_queries)
     for k in ks:
-        engine = TopKEngine(bundle.index, dataset)
+        engine = TopKEngine(dataset, bundle.index)
         pruned = RunningMean()
         candidates = RunningMean()
         watch = Stopwatch()

@@ -169,7 +169,7 @@ def build_pv_bundle(
         octree_config=_octree_config(),
         pager=pager,
     )
-    engine = PNNQEngine(index, dataset, secondary=index.secondary)
+    engine = PNNQEngine(dataset, index, secondary=index.secondary)
     return IndexBundle(
         name="PV-index",
         index=index,
@@ -189,7 +189,7 @@ def build_rtree_bundle(dataset: UncertainDataset) -> IndexBundle:
         index = RTreePNNQ.build(
             dataset, max_entries=SCALE.rtree_fanout, pager=pager
         )
-    engine = PNNQEngine(index, dataset)
+    engine = PNNQEngine(dataset, index)
     return IndexBundle(
         name="R-tree",
         index=index,
@@ -219,7 +219,7 @@ def build_uv_bundle(
     index = UVIndex.build(
         dataset, pager=pager, octree_config=_octree_config(), **kwargs
     )
-    engine = PNNQEngine(index, dataset)
+    engine = PNNQEngine(dataset, index)
     return IndexBundle(
         name="UV-index",
         index=index,

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine import BaseEngine
+from ..engine import BaseEngine, readonly_array
 from ..uncertain import UncertainDataset
 
 __all__ = ["expected_distance", "ExpectedNNResult", "ExpectedNNEngine"]
@@ -41,11 +41,15 @@ def expected_distance(
 
 @dataclass(frozen=True)
 class ExpectedNNResult:
-    """Answer of one expected-distance NN query."""
+    """Answer of one expected-distance NN query (deeply read-only)."""
 
     query: np.ndarray
     #: ``(oid, expected distance)`` ascending by distance.
     ranking: tuple[tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "query", readonly_array(self.query))
+        object.__setattr__(self, "ranking", tuple(self.ranking))
 
     @property
     def best(self) -> int:

@@ -31,11 +31,11 @@ the filter itself is cheap enough to run unindexed).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Literal
+from typing import Callable, Literal, Mapping
 
 import numpy as np
 
-from ..engine import BaseEngine
+from ..engine import BaseEngine, FrozenDict, readonly_array
 from ..geometry import maxdist_sq_point_rect, mindist_sq_point_rect
 
 __all__ = ["Aggregate", "GroupNNResult", "GroupNNEngine"]
@@ -51,12 +51,21 @@ _AGGREGATORS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
 
 @dataclass(frozen=True)
 class GroupNNResult:
-    """Answer of one probabilistic group NN query."""
+    """Answer of one probabilistic group NN query (deeply read-only)."""
 
     queries: np.ndarray
     aggregate: str
-    candidate_ids: list[int]
-    probabilities: dict[int, float]
+    candidate_ids: tuple[int, ...]
+    probabilities: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "queries", readonly_array(self.queries))
+        object.__setattr__(
+            self, "candidate_ids", tuple(self.candidate_ids)
+        )
+        object.__setattr__(
+            self, "probabilities", FrozenDict(self.probabilities)
+        )
 
     @property
     def best(self) -> int:

@@ -27,10 +27,11 @@ exactly ``min(k, |candidates|)`` — the expected size of the answer set.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
-from ..engine import BaseEngine
+from ..engine import BaseEngine, FrozenDict, readonly_array
 from ..engine.retrievers import minmax_sq_chunks
 
 __all__ = ["KNNResult", "KNNEngine"]
@@ -38,13 +39,22 @@ __all__ = ["KNNResult", "KNNEngine"]
 
 @dataclass(frozen=True)
 class KNNResult:
-    """Answer of one probabilistic k-NN query."""
+    """Answer of one probabilistic k-NN query (deeply read-only)."""
 
     query: np.ndarray
     k: int
-    candidate_ids: list[int]
+    candidate_ids: tuple[int, ...]
     #: oid -> Pr[object is among the k nearest neighbors of the query].
-    probabilities: dict[int, float]
+    probabilities: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "query", readonly_array(self.query))
+        object.__setattr__(
+            self, "candidate_ids", tuple(self.candidate_ids)
+        )
+        object.__setattr__(
+            self, "probabilities", FrozenDict(self.probabilities)
+        )
 
     def top(self, n: int | None = None) -> list[tuple[int, float]]:
         """``(oid, probability)`` pairs, most probable first."""

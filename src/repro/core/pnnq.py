@@ -20,15 +20,18 @@ candidate's pdf fetch is charged as secondary-index I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from ..engine import (
     BaseEngine,
     ExecutionStats,
+    FrozenDict,
     Retriever,
     batched_qualification_probabilities,
     group_by_candidates,
+    readonly_array,
 )
 from ..uncertain import UncertainDataset
 
@@ -49,11 +52,26 @@ StepTimes = ExecutionStats
 
 @dataclass(frozen=True)
 class PNNQResult:
-    """Answer of one PNNQ."""
+    """Answer of one PNNQ.
+
+    Deeply read-only (results are shared by the LRU cache and batch
+    dedup): ``candidate_ids`` is a tuple, ``probabilities`` a
+    :class:`~repro.engine.FrozenDict`, and ``query`` a non-writeable
+    copy.
+    """
 
     query: np.ndarray
-    candidate_ids: list[int]
-    probabilities: dict[int, float]
+    candidate_ids: tuple[int, ...]
+    probabilities: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "query", readonly_array(self.query))
+        object.__setattr__(
+            self, "candidate_ids", tuple(self.candidate_ids)
+        )
+        object.__setattr__(
+            self, "probabilities", FrozenDict(self.probabilities)
+        )
 
     @property
     def best(self) -> int:
@@ -100,38 +118,25 @@ class PNNQEngine(BaseEngine):
 
     Parameters
     ----------
+    dataset:
+        The uncertain database (pdf source for Step 2).
     retriever:
         The Step-1 index (must implement :meth:`candidates`); ``None``
         falls back to the exact brute-force min-max filter.
-    dataset:
-        The uncertain database (pdf source for Step 2).
     secondary:
         Optional extensible hash table; when provided, each candidate's
         pdf fetch is routed through it so Step-2 I/O is charged (the
         PV-index passes its own secondary index here).
+
+    The legacy ``PNNQEngine(retriever, dataset)`` argument order is
+    still accepted with a :class:`DeprecationWarning` (see
+    :func:`~repro.engine.normalize_engine_args`).
 
     Timing, page I/O, and cache behavior live on :attr:`stats` (an
     :class:`~repro.engine.ExecutionStats`); ``result_cache_size`` and
     ``memo_radius`` are forwarded to
     :class:`~repro.engine.BaseEngine`.
     """
-
-    def __init__(
-        self,
-        retriever: Retriever | None,
-        dataset: UncertainDataset,
-        secondary=None,
-        *,
-        result_cache_size: int = 0,
-        memo_radius: float = 0.0,
-    ) -> None:
-        super().__init__(
-            dataset,
-            retriever,
-            secondary=secondary,
-            result_cache_size=result_cache_size,
-            memo_radius=memo_radius,
-        )
 
     def query(self, query: np.ndarray) -> PNNQResult:
         """Evaluate one PNNQ, timing OR and PC separately."""

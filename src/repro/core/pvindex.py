@@ -26,11 +26,13 @@ implementation uses that logically forced direction.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.cost import CostEstimate
 from ..geometry import (
     Rect,
     maxdist_sq_point_rect,
@@ -191,6 +193,39 @@ class PVIndex:
         """The stored UBR of an object (one secondary-index probe)."""
         record: SecondaryRecord = self.secondary.get(oid)
         return record.ubr
+
+    def cost_estimate(self) -> CostEstimate:
+        """Per-query Step-1 cost from the index's own shape.
+
+        A point query is one in-memory octree descent plus one leaf
+        read plus a min-max filter over the leaf's entries, so the
+        estimate is calibrated from the primary index's real occupancy:
+        mean entries per leaf sets both the Python-level filter cost
+        (~1 µs/entry in this implementation) and the pages per leaf
+        chain; the descent depth follows from the leaf count and
+        fan-out ``2^d``.
+        """
+        dims = self.dataset.dims
+        leaves = max(1, self.primary.n_leaves)
+        entries_per_leaf = self.primary.n_entries / leaves
+        pages = max(
+            1.0,
+            math.ceil(
+                entries_per_leaf
+                * self.primary.entry_bytes
+                / self.pager.page_size
+            ),
+        )
+        depth = math.log(leaves, 2**dims) if leaves > 1 else 1.0
+        step1_us = 12.0 + 3.0 * depth + 1.1 * entries_per_leaf * dims
+        # The leaf's min-max filter keeps a fraction of its entries.
+        candidates = max(1.0, entries_per_leaf / 3.0)
+        return CostEstimate(
+            step1_us=step1_us,
+            page_reads=pages,
+            candidates=candidates,
+            source="index",
+        )
 
     # ------------------------------------------------------------------
     # Incremental maintenance (Section VI-B)

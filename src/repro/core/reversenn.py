@@ -28,10 +28,11 @@ surviving candidates are resolved exactly on the discrete pdfs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
-from ..engine import BaseEngine
+from ..engine import BaseEngine, FrozenDict
 from ..geometry import Rect
 from ..geometry.domination import margin_bounds_batch
 from ..uncertain import UncertainObject
@@ -41,11 +42,19 @@ __all__ = ["ReverseNNResult", "ReverseNNEngine"]
 
 @dataclass(frozen=True)
 class ReverseNNResult:
-    """Answer of one probabilistic reverse NN query."""
+    """Answer of one probabilistic reverse NN query (read-only)."""
 
     query_region: Rect
-    candidate_ids: list[int]
-    probabilities: dict[int, float]
+    candidate_ids: tuple[int, ...]
+    probabilities: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "candidate_ids", tuple(self.candidate_ids)
+        )
+        object.__setattr__(
+            self, "probabilities", FrozenDict(self.probabilities)
+        )
 
 
 class ReverseNNEngine(BaseEngine):

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine import BaseEngine
+from ..engine import BaseEngine, readonly_array
 from ..uncertain import UncertainDataset
 from .pnnq import Retriever, qualification_probabilities
 from .verifier import probability_bounds
@@ -40,7 +40,7 @@ _EXACT_THRESHOLD = 8
 
 @dataclass(frozen=True)
 class TopKResult:
-    """Answer of one top-k probable NN query."""
+    """Answer of one top-k probable NN query (deeply read-only)."""
 
     query: np.ndarray
     k: int
@@ -48,6 +48,10 @@ class TopKResult:
     ranking: tuple[tuple[int, float], ...]
     #: Candidates removed by bound-based pruning (never exactly evaluated).
     pruned: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "query", readonly_array(self.query))
+        object.__setattr__(self, "ranking", tuple(self.ranking))
 
     @property
     def ids(self) -> tuple[int, ...]:
@@ -60,26 +64,31 @@ class TopKEngine(BaseEngine):
 
     Parameters
     ----------
-    retriever:
-        The Step-1 index (``None`` falls back to brute force).
     dataset:
         The uncertain database (pdf source).
+    retriever:
+        The Step-1 index (``None`` falls back to brute force).
     n_bins:
         Histogram resolution for the pruning bounds.
+
+    The legacy ``TopKEngine(retriever, dataset, n_bins)`` order is
+    accepted with a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
-        retriever: Retriever | None,
         dataset: UncertainDataset,
+        retriever: Retriever | None = None,
         n_bins: int = 8,
         *,
+        secondary=None,
         result_cache_size: int = 0,
         memo_radius: float = 0.0,
     ) -> None:
         super().__init__(
             dataset,
             retriever,
+            secondary=secondary,
             result_cache_size=result_cache_size,
             memo_radius=memo_radius,
         )

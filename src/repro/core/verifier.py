@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine import BaseEngine
+from ..engine import BaseEngine, FrozenDict
 from ..uncertain import UncertainDataset
 from .pnnq import Retriever, qualification_probabilities
 
@@ -154,26 +154,33 @@ class VerifierEngine(BaseEngine):
 
     Parameters
     ----------
-    retriever:
-        Step-1 index (``None`` falls back to brute force).
     dataset:
         The uncertain database.
+    retriever:
+        Step-1 index (``None`` falls back to brute force).
     n_bins:
         Histogram resolution of the bounds.
+
+    The legacy ``VerifierEngine(retriever, dataset, n_bins)`` order is
+    accepted with a :class:`DeprecationWarning`.  Decision dicts are
+    returned as read-only :class:`~repro.engine.FrozenDict` objects
+    (they are shared by the LRU cache and batch dedup).
     """
 
     def __init__(
         self,
-        retriever: Retriever | None,
         dataset: UncertainDataset,
+        retriever: Retriever | None = None,
         n_bins: int = 8,
         *,
+        secondary=None,
         result_cache_size: int = 0,
         memo_radius: float = 0.0,
     ) -> None:
         super().__init__(
             dataset,
             retriever,
+            secondary=secondary,
             result_cache_size=result_cache_size,
             memo_radius=memo_radius,
         )
@@ -230,4 +237,5 @@ class VerifierEngine(BaseEngine):
             self.exact_evaluations += len(undecided)
             for oid in undecided:
                 decided[oid] = exact[oid] >= tau
-        return decided
+        # Frozen: this dict is shared by the result cache / batch dedup.
+        return FrozenDict(decided)

@@ -9,9 +9,11 @@ concrete engines in :mod:`repro.core` are thin subclasses implementing
 only their probability-computation step.
 """
 
-from .base import BaseEngine
+from .base import BaseEngine, normalize_engine_args
 from .batch import batched_qualification_probabilities, group_by_candidates
 from .cache import CandidateMemo, LRUCache
+from .cost import CostEstimate, expected_candidates
+from .frozen import FrozenDict, readonly_array
 from .retrievers import (
     BruteForceRetriever,
     Retriever,
@@ -22,6 +24,11 @@ from .stats import ExecutionStats
 
 __all__ = [
     "BaseEngine",
+    "normalize_engine_args",
+    "CostEstimate",
+    "expected_candidates",
+    "FrozenDict",
+    "readonly_array",
     "ExecutionStats",
     "Retriever",
     "BruteForceRetriever",

@@ -32,6 +32,7 @@ probability-computation step) and, where profitable, vectorized
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Any, Hashable, Sequence
 
 import numpy as np
@@ -42,7 +43,36 @@ from .cache import _MISS, CandidateMemo, LRUCache
 from .retrievers import Retriever, discover_pagers, resolve_retriever
 from .stats import ExecutionStats
 
-__all__ = ["BaseEngine"]
+__all__ = ["BaseEngine", "normalize_engine_args"]
+
+
+def normalize_engine_args(
+    engine_name: str, dataset: Any, retriever: Any
+) -> tuple[UncertainDataset, Retriever | None]:
+    """Resolve the uniform ``(dataset, retriever)`` constructor order.
+
+    Every engine now takes ``(dataset, retriever=None, ...)``.  The
+    seed's PNNQ-family engines took ``(retriever, dataset, ...)``; that
+    order is still accepted — detected by which argument is the
+    :class:`~repro.uncertain.UncertainDataset` — with a
+    :class:`DeprecationWarning`, so existing callers keep working while
+    new code reads uniformly.
+    """
+    if isinstance(dataset, UncertainDataset):
+        return dataset, retriever
+    if isinstance(retriever, UncertainDataset):
+        warnings.warn(
+            f"{engine_name}(retriever, dataset) is deprecated; "
+            f"use {engine_name}(dataset, retriever=...) — the uniform "
+            "constructor order shared by every engine",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return retriever, dataset
+    raise TypeError(
+        f"{engine_name} requires an UncertainDataset as its first "
+        f"argument (got {type(dataset).__name__!r})"
+    )
 
 
 class BaseEngine:
@@ -71,10 +101,12 @@ class BaseEngine:
         workloads (see :class:`~repro.engine.cache.CandidateMemo`).
 
     Results are shared, not copied: cache hits and batch-deduplicated
-    positions return the *same* result object, so callers must treat
-    every result as read-only — including its dict/list fields and
-    plain-dict results like ``VerifierEngine``'s, none of which are
-    defensively copied.
+    positions return the *same* result object.  They are also
+    *enforced* read-only — probability/decision mappings are
+    :class:`~repro.engine.frozen.FrozenDict`, id lists are tuples, and
+    stored query arrays are non-writeable — so sharing cannot be
+    corrupted by a caller (copy with ``dict(...)``/``list(...)`` to
+    modify).
     """
 
     def __init__(
@@ -86,6 +118,9 @@ class BaseEngine:
         result_cache_size: int = 0,
         memo_radius: float = 0.0,
     ) -> None:
+        dataset, retriever = normalize_engine_args(
+            type(self).__name__, dataset, retriever
+        )
         self.dataset = dataset
         self.retriever = resolve_retriever(dataset, retriever)
         #: True when the caller supplied an index (vs the fallback).

@@ -1,0 +1,73 @@
+"""Read-only containers for shared query results.
+
+Results flow out of the execution layer through *sharing*, not copying:
+an LRU-cache hit, a batch-deduplicated position, and the new
+``repro.api`` envelopes all hand the caller the same object another
+caller may also hold.  The seed code merely documented "treat results
+as read-only"; this module enforces it.  Every engine result freezes
+its containers at construction:
+
+* probability / decision mappings become :class:`FrozenDict` — a
+  ``dict`` subclass (so equality, iteration, and ``dict(...)`` copies
+  behave normally) whose mutators raise :class:`TypeError`;
+* id lists become tuples;
+* stored query arrays become non-writeable copies
+  (:func:`readonly_array`), so ``result.query[0] = ...`` raises.
+
+To modify a result, copy it out explicitly: ``dict(result.probabilities)``
+or ``list(result.candidate_ids)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NoReturn
+
+import numpy as np
+
+__all__ = ["FrozenDict", "readonly_array"]
+
+
+def _readonly(self, *args: Any, **kwargs: Any) -> NoReturn:
+    raise TypeError(
+        "engine results are shared between callers and read-only; "
+        "copy with dict(...) before modifying"
+    )
+
+
+class FrozenDict(dict):
+    """A ``dict`` whose mutating methods raise :class:`TypeError`.
+
+    Subclassing ``dict`` (rather than wrapping one) keeps equality with
+    plain dicts, ``len``/iteration/``in``, and JSON/pytest introspection
+    working unchanged — only mutation is blocked.
+    """
+
+    __slots__ = ()
+
+    __setitem__ = _readonly
+    __delitem__ = _readonly
+    __ior__ = _readonly
+    clear = _readonly
+    pop = _readonly
+    popitem = _readonly
+    setdefault = _readonly
+    update = _readonly
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FrozenDict({dict.__repr__(self)})"
+
+    def copy(self) -> dict:
+        """A *mutable* plain-dict copy (the one escape hatch)."""
+        return dict(self)
+
+
+def readonly_array(values: Any) -> np.ndarray:
+    """An independent, non-writeable float64 copy of ``values``.
+
+    Results store their query through this so neither the caller's
+    original array nor the shared result can be mutated through the
+    other; the copy also means the caller's array flags are untouched.
+    """
+    out = np.array(values, dtype=np.float64)
+    out.setflags(write=False)
+    return out

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..storage.pager import Pager
 from ..uncertain import UncertainDataset
+from .cost import CostEstimate, expected_candidates
 
 __all__ = [
     "Retriever",
@@ -99,6 +100,23 @@ class BruteForceRetriever:
         """Always the live epoch: the filter reads the dataset directly,
         so brute force can never be stale."""
         return getattr(self.dataset, "epoch", 0)
+
+    def cost_estimate(self) -> CostEstimate:
+        """Per-query cost: one broadcasted pass over all ``n`` regions.
+
+        Pure CPU — no index pages exist to read.  The linear ``n * d``
+        term is cheap per element (numpy) but unbounded, which is
+        exactly why the planner stops picking brute force once the
+        database outgrows an index's near-constant leaf cost.
+        """
+        n = len(self.dataset)
+        d = self.dataset.dims
+        return CostEstimate(
+            step1_us=20.0 + 0.012 * n * d,
+            page_reads=0.0,
+            candidates=expected_candidates(n, d),
+            source="index",
+        )
 
     def candidates(self, query: np.ndarray) -> list[int]:
         """Step-1 answer for one query point."""

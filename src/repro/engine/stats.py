@@ -23,6 +23,21 @@ from ..storage.pager import IOStats
 
 __all__ = ["ExecutionStats"]
 
+#: Scalar counters in :meth:`ExecutionStats.capture` tuple order — the
+#: single source of truth shared by ``capture``/``delta_since`` (a new
+#: counter is added here once; the I/O reads/writes follow at the end).
+_SCALAR_FIELDS = (
+    "object_retrieval",
+    "probability_computation",
+    "queries",
+    "batches",
+    "cache_hits",
+    "dedup_hits",
+    "memo_hits",
+    "invalidations",
+    "retriever_fallbacks",
+)
+
 
 @dataclass
 class ExecutionStats:
@@ -110,6 +125,43 @@ class ExecutionStats:
             retriever_fallbacks=self.retriever_fallbacks,
             or_io=self.or_io.snapshot(),
             pc_io=self.pc_io.snapshot(),
+        )
+
+    def capture(self) -> tuple:
+        """The counters as a flat tuple — a cheap pre-query marker.
+
+        Pair with :meth:`delta_since` on serving hot paths (one tuple
+        allocation instead of three objects per bracket); semantics
+        match ``snapshot()`` + ``delta()`` exactly (asserted by an
+        equivalence test), with :data:`_SCALAR_FIELDS` as the one
+        source of the tuple order.
+        """
+        return tuple(
+            getattr(self, name) for name in _SCALAR_FIELDS
+        ) + (
+            self.or_io.reads,
+            self.or_io.writes,
+            self.pc_io.reads,
+            self.pc_io.writes,
+        )
+
+    def delta_since(self, captured: tuple) -> "ExecutionStats":
+        """Counters accumulated since a :meth:`capture` marker."""
+        n = len(_SCALAR_FIELDS)
+        scalars = {
+            name: getattr(self, name) - captured[i]
+            for i, name in enumerate(_SCALAR_FIELDS)
+        }
+        return ExecutionStats(
+            **scalars,
+            or_io=IOStats(
+                reads=self.or_io.reads - captured[n],
+                writes=self.or_io.writes - captured[n + 1],
+            ),
+            pc_io=IOStats(
+                reads=self.pc_io.reads - captured[n + 2],
+                writes=self.pc_io.writes - captured[n + 3],
+            ),
         )
 
     def delta(self, earlier: "ExecutionStats") -> "ExecutionStats":

@@ -46,11 +46,13 @@ benchmarks and tests can assert the locality win over rebuilding.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine.cost import CostEstimate
 from ..geometry import Rect
 from ..storage import OctreeConfig, PagedOctree, Pager
 from ..uncertain import (
@@ -355,6 +357,39 @@ class UVIndex:
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
+    def cost_estimate(self) -> CostEstimate:
+        """Per-query Step-1 cost from the grid's own shape.
+
+        Query-time behaviour mirrors the PV-index (one descent + one
+        leaf read + circle filter), except :meth:`candidates` also
+        rebuilds an id→row map over *all* circles per query — an O(n)
+        Python dict comprehension that dominates for large databases
+        and is what keeps the planner from picking the UV-index off its
+        2D home turf even there.
+        """
+        n = max(1, len(self.dataset))
+        leaves = max(1, self.primary.n_leaves)
+        entries_per_leaf = self.primary.n_entries / leaves
+        pages = max(
+            1.0,
+            math.ceil(
+                entries_per_leaf
+                * self.primary.entry_bytes
+                / self.pager.page_size
+            ),
+        )
+        depth = math.log(leaves, 4) if leaves > 1 else 1.0
+        step1_us = (
+            15.0 + 3.0 * depth + 0.05 * n + 1.3 * entries_per_leaf
+        )
+        candidates = max(1.0, entries_per_leaf / 3.0)
+        return CostEstimate(
+            step1_us=step1_us,
+            page_reads=pages,
+            candidates=candidates,
+            source="index",
+        )
+
     def candidates(self, query: np.ndarray) -> list[int]:
         """PNNQ Step-1 answer under the circular uncertainty model.
 

@@ -1,0 +1,276 @@
+"""Planner tests: cost-model preferences, calibration, epoch drift.
+
+The satellite contract of the API PR: the planner must prefer the
+PV-index at low dimensionality on large databases, fall back to brute
+force (small or high-dimensional databases) or to the R-tree / UV-index
+where the cost model says so, replan after mutations (epoch drift), and
+report through ``db.explain`` exactly the retriever the query actually
+executes with.
+"""
+
+import numpy as np
+import pytest
+
+from repro import synthetic_dataset
+from repro.api import Database, Plan, Planner, PlanningError
+from repro.engine import CostEstimate
+
+
+def make_dataset(n, dims=2, seed=11):
+    # Two instances per object: plan-only tests never run Step 2, so
+    # generation stays cheap even at large n.
+    return synthetic_dataset(
+        n=n, dims=dims, u_max=60.0, n_samples=2, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# Static preferences (no index ever built: explain() is plan-only)
+# ----------------------------------------------------------------------
+class TestStaticPreferences:
+    @pytest.mark.parametrize("kind", ["nn", "topk", "threshold"])
+    def test_prefers_pv_at_low_dims_large_n(self, kind):
+        db = Database(make_dataset(8000, dims=2))
+        plan = db.explain(kind)
+        assert plan.retriever == "pv"
+        assert db.built_indexes == ()  # planning built nothing
+
+    @pytest.mark.parametrize("n", [50, 300])
+    def test_prefers_brute_force_on_small_databases(self, n):
+        db = Database(make_dataset(n, dims=2))
+        plan = db.explain("nn")
+        assert plan.retriever == "brute"
+        # Brute force reads no index pages; that is part of the story.
+        assert plan.estimates["brute"].page_reads == 0.0
+
+    def test_falls_back_to_brute_at_high_dims(self):
+        # Candidate sets blow up with dimensionality (Fig 9(e)/(f)):
+        # the vectorized full scan wins over any leaf-list filter.
+        db = Database(make_dataset(8000, dims=6))
+        assert db.explain("nn").retriever == "brute"
+
+    def test_prefers_rtree_when_pv_unavailable(self):
+        db = Database(make_dataset(8000, dims=2), indexes=("rtree",))
+        assert db.explain("nn").retriever == "rtree"
+
+    def test_uv_index_only_eligible_in_2d(self):
+        db3 = Database(make_dataset(200, dims=3))
+        assert "uv" not in db3.explain("nn").scores
+        with pytest.raises(KeyError):
+            db3.index("uv")
+        db2 = Database(make_dataset(200, dims=2))
+        assert "uv" in db2.explain("nn").scores
+
+    def test_scores_cover_every_eligible_handle(self):
+        db = Database(make_dataset(400, dims=2))
+        plan = db.explain("nn")
+        assert set(plan.scores) == {"pv", "rtree", "uv", "brute"}
+        assert set(plan.estimates) == set(plan.scores)
+        chosen = plan.scores[plan.retriever]
+        assert chosen == min(plan.scores.values())
+        assert plan.cost == chosen
+        assert "lowest estimated cost" in plan.reason
+
+
+# ----------------------------------------------------------------------
+# Fixed (policy) choices
+# ----------------------------------------------------------------------
+class TestFixedChoices:
+    def test_knn_k_gt_1_is_brute(self):
+        db = Database(make_dataset(8000, dims=2))
+        assert db.explain("knn", k=1).retriever == "pv"
+        plan = db.explain("knn", k=3)
+        assert plan.retriever == "brute"
+        assert "k > 1" in plan.reason
+
+    def test_group_nn_aggregate_policy(self):
+        db = Database(make_dataset(8000, dims=2))
+        assert db.explain("group_nn", aggregate="sum").retriever == "brute"
+        assert db.explain("group_nn", aggregate="min").retriever == "pv"
+
+    def test_reverse_nn_reports_domination_step1(self):
+        db = Database(make_dataset(300, dims=2))
+        plan = db.explain("reverse_nn")
+        assert plan.retriever == "none"
+        assert "domination" in plan.reason
+        assert plan.cost is not None and plan.cost > 0
+
+
+# ----------------------------------------------------------------------
+# Observed-cost calibration
+# ----------------------------------------------------------------------
+class TestCalibration:
+    def test_observation_changes_the_pick(self):
+        db = Database(make_dataset(300, dims=2))
+        assert db.explain("nn").retriever == "brute"
+        # Runtime feedback: the UV-index measured far cheaper, brute
+        # far more expensive, than their static estimates.
+        db.planner.observe("uv", "nn", 1e-6)
+        db.planner.observe("brute", "nn", 5e-3)
+        db.planner.invalidate()
+        plan = db.explain("nn")
+        assert plan.retriever == "uv"
+        assert plan.estimates["uv"].source == "observed"
+
+    def test_observation_is_an_ema(self):
+        planner = Planner(ema_alpha=0.5)
+        planner.observe("pv", "nn", 100e-6)
+        planner.observe("pv", "nn", 200e-6)
+        assert planner.observed_step1_us("pv", "nn") == pytest.approx(150.0)
+
+    def test_queries_feed_observations_back(self):
+        ds = make_dataset(60, seed=7)
+        db = Database(ds)
+        assert db.planner.observed_step1_us("brute", "nn") is None
+        db.nn(ds.domain.center)
+        assert db.planner.observed_step1_us("brute", "nn") is not None
+
+    def test_feedback_applies_without_epoch_drift(self):
+        # On a mutation-free session, observations must still reach
+        # the plans: every `replan_every` observations the calibration
+        # generation bumps and the next lookup re-scores.
+        ds = make_dataset(300, seed=15)
+        db = Database(ds, planner=Planner(replan_every=5))
+        assert db.explain("nn").retriever == "brute"
+        # Feed a decisive fake observation, then cross the replan
+        # window with *distinct* queries of a different kind (their
+        # observations land in other buckets, and distinct points
+        # dodge the result cache) — no mutation anywhere.
+        db.planner.observe("uv", "nn", 1e-6)
+        rng = np.random.default_rng(0)
+        for q in ds.domain.sample_points(6, rng):
+            db.expected_nn(q)
+        plan = db.explain("nn")
+        assert plan.retriever == "uv"
+        assert plan.estimates["uv"].source == "observed"
+
+    def test_built_index_estimates_reach_plans_without_drift(self):
+        # Building an index (lazily, via a forced query) bumps the
+        # calibration generation so its real shape replaces the
+        # static formula at the very next plan lookup.
+        ds = make_dataset(60, seed=16)
+        db = Database(ds)
+        static_plan = db.explain("nn")
+        assert static_plan.estimates["pv"].source == "static"
+        db.nn(ds.domain.center, retriever="pv")  # builds the PV-index
+        calibrated = db.explain("nn")
+        assert calibrated is not static_plan
+        # pv now reports from the built index (or the forced query's
+        # own observation, which is even fresher information).
+        assert calibrated.estimates["pv"].source in ("index", "observed")
+
+    def test_policy_fixed_timings_use_their_own_bucket(self):
+        # The exact k>1 Step-1 filter is structurally different from
+        # the k=1 min-max pass: its observations must not calibrate
+        # the cost-based "knn" template.
+        ds = make_dataset(60, seed=18)
+        db = Database(ds)
+        r = db.knn(ds.domain.center, k=3)
+        assert r.plan.cost_kind == "knn:exact"
+        assert db.planner.observed_step1_us("brute", "knn:exact") is not None
+        assert db.planner.observed_step1_us("brute", "knn") is None
+        g = db.group_nn(
+            np.stack([ds.domain.center, ds.domain.center + 5.0]), "sum"
+        )
+        assert g.plan.cost_kind == "group_nn:direct"
+        assert db.planner.observed_step1_us("brute", "group_nn") is None
+
+
+# ----------------------------------------------------------------------
+# Plan caching and epoch drift
+# ----------------------------------------------------------------------
+class TestPlanCacheAndEpochs:
+    def test_plan_cache_hit_returns_same_plan(self):
+        db = Database(make_dataset(200, dims=2))
+        first = db.explain("nn")
+        misses = db.planner.cache_misses
+        again = db.explain("nn")
+        assert again is first
+        assert db.planner.cache_misses == misses
+        assert db.planner.cache_hits >= 1
+
+    def test_distinct_templates_plan_separately(self):
+        db = Database(make_dataset(200, dims=2))
+        assert db.explain("knn", k=1) is not db.explain("knn", k=2)
+
+    def test_replans_after_mutation(self):
+        ds = make_dataset(60, seed=5)
+        db = Database(ds)
+        before = db.explain("nn")
+        assert before.epoch == 0
+        db.delete(ds.ids[0])
+        after = db.explain("nn")
+        assert after is not before
+        assert after.epoch == 1
+
+    def test_direct_dataset_mutation_also_replans(self):
+        # Mutating the dataset behind the session's back still drifts
+        # the epoch; the session must notice on its next entry point.
+        ds = make_dataset(60, seed=6)
+        db = Database(ds)
+        db.explain("nn")
+        ds.delete(ds.ids[0])
+        assert db.explain("nn").epoch == 1
+
+    def test_stale_built_index_is_dropped_and_rebuilt(self):
+        ds = make_dataset(50, seed=8)
+        db = Database(ds)
+        db.nn(ds.domain.center, retriever="rtree")
+        old = db.index("rtree")
+        # Bypass the session: the R-tree has no maintenance, so it is
+        # one epoch behind and must be dropped at the next sync.
+        ds.delete(ds.ids[0])
+        assert "rtree" not in db.built_indexes  # built_indexes syncs
+        result = db.nn(ds.domain.center, retriever="rtree")
+        assert result.plan.retriever == "rtree"
+        assert db.index("rtree") is not old  # fresh build
+
+    def test_maintained_pv_survives_session_mutations(self):
+        ds = make_dataset(50, seed=9)
+        db = Database(ds)
+        db.nn(ds.domain.center, retriever="pv")
+        pv = db.index("pv")
+        db.delete(ds.ids[0])
+        assert "pv" in db.built_indexes
+        assert db.index("pv") is pv  # incrementally maintained, kept
+
+
+# ----------------------------------------------------------------------
+# explain() matches execution
+# ----------------------------------------------------------------------
+class TestExplainMatchesExecution:
+    RETRIEVER_TYPES = {
+        "pv": "PVIndex",
+        "rtree": "RTreePNNQ",
+        "uv": "UVIndex",
+        "brute": "BruteForceRetriever",
+    }
+
+    @pytest.mark.parametrize("forced", [None, "pv", "rtree", "brute"])
+    def test_engine_uses_the_planned_retriever(self, forced):
+        ds = make_dataset(50, seed=10)
+        db = Database(ds)
+        explained = db.explain("nn", retriever=forced)
+        result = db.nn(ds.domain.center, retriever=forced)
+        assert result.plan is explained  # same cached plan object
+        engine = db._engines[("nn", result.plan.retriever)]
+        actual = type(engine.retriever).__name__
+        assert actual == self.RETRIEVER_TYPES[result.plan.retriever]
+
+    def test_forcing_an_ineligible_retriever_raises(self):
+        db = Database(make_dataset(50, dims=3, seed=12))
+        with pytest.raises(PlanningError):
+            db.explain("nn", retriever="uv")  # UV is 2D-only
+
+    def test_plans_are_frozen(self):
+        db = Database(make_dataset(50, seed=13))
+        plan = db.explain("nn")
+        assert isinstance(plan, Plan)
+        with pytest.raises(TypeError):
+            plan.scores["brute"] = 0.0
+        with pytest.raises(AttributeError):
+            plan.retriever = "rtree"
+        assert isinstance(plan.estimates["brute"], CostEstimate)
+        # describe() renders every scored handle plus the reason.
+        text = plan.describe()
+        assert plan.retriever in text and "reason" in text

@@ -136,7 +136,7 @@ class TestExpectedNNEngine:
         q = np.array([500.0])
 
         expected = ExpectedNNEngine(dataset).query(q).best
-        pnnq = PNNQEngine(PVIndex.build(dataset.copy()), dataset)
+        pnnq = PNNQEngine(dataset, PVIndex.build(dataset.copy()))
         probs = pnnq.query(q).probabilities
         most_probable = max(probs, key=probs.get)
 

@@ -130,7 +130,7 @@ class TestEngine:
     def test_engine_with_pv_index(self):
         ds = synthetic_dataset(n=60, dims=2, u_max=300, n_samples=20, seed=4)
         index = PVIndex.build(ds)
-        engine = PNNQEngine(index, ds, secondary=index.secondary)
+        engine = PNNQEngine(ds, index, secondary=index.secondary)
         result = engine.query(ds.domain.center)
         assert result.candidate_ids
         assert sum(result.probabilities.values()) == pytest.approx(1.0)
@@ -141,14 +141,14 @@ class TestEngine:
     def test_engine_with_rtree(self):
         ds = synthetic_dataset(n=60, dims=2, u_max=300, n_samples=20, seed=5)
         baseline = RTreePNNQ.build(ds)
-        engine = PNNQEngine(baseline, ds)
+        engine = PNNQEngine(ds, baseline)
         result = engine.query(ds.domain.center)
         assert sum(result.probabilities.values()) == pytest.approx(1.0)
 
     def test_engines_agree(self):
         ds = synthetic_dataset(n=80, dims=2, u_max=300, n_samples=15, seed=6)
-        pv = PNNQEngine(PVIndex.build(ds), ds)
-        rt = PNNQEngine(RTreePNNQ.build(ds), ds)
+        pv = PNNQEngine(ds, PVIndex.build(ds))
+        rt = PNNQEngine(ds, RTreePNNQ.build(ds))
         rng = np.random.default_rng(7)
         for _ in range(10):
             q = ds.domain.sample_points(1, rng)[0]
@@ -162,7 +162,7 @@ class TestEngine:
 
     def test_result_best(self):
         ds = synthetic_dataset(n=40, dims=2, n_samples=10, seed=8)
-        engine = PNNQEngine(RTreePNNQ.build(ds), ds)
+        engine = PNNQEngine(ds, RTreePNNQ.build(ds))
         result = engine.query(ds.domain.center)
         best = result.best
         assert result.probabilities[best] == max(
@@ -171,7 +171,7 @@ class TestEngine:
 
     def test_times_reset(self):
         ds = synthetic_dataset(n=20, dims=2, n_samples=5, seed=9)
-        engine = PNNQEngine(RTreePNNQ.build(ds), ds)
+        engine = PNNQEngine(ds, RTreePNNQ.build(ds))
         engine.query(ds.domain.center)
         engine.times.reset()
         assert engine.times.total == 0.0

@@ -29,7 +29,7 @@ class TestTopKCorrectness:
     @pytest.mark.parametrize("k", [1, 2, 3, 5])
     def test_matches_brute_force(self, dense, k):
         dataset, index = dense
-        engine = TopKEngine(index, dataset)
+        engine = TopKEngine(dataset, index)
         rng = np.random.default_rng(5)
         for query in rng.uniform(0, 10_000, size=(8, 2)):
             result = engine.query(query, k=k)
@@ -41,7 +41,7 @@ class TestTopKCorrectness:
 
     def test_k_larger_than_candidates(self, dense):
         dataset, index = dense
-        engine = TopKEngine(index, dataset)
+        engine = TopKEngine(dataset, index)
         query = np.array([5000.0, 5000.0])
         n_candidates = len(index.candidates(query))
         result = engine.query(query, k=n_candidates + 10)
@@ -49,7 +49,7 @@ class TestTopKCorrectness:
 
     def test_probabilities_descending(self, dense):
         dataset, index = dense
-        engine = TopKEngine(index, dataset)
+        engine = TopKEngine(dataset, index)
         result = engine.query(np.array([3000.0, 7000.0]), k=5)
         probs = [p for _oid, p in result.ranking]
         assert probs == sorted(probs, reverse=True)
@@ -58,8 +58,8 @@ class TestTopKCorrectness:
         dataset, index = dense
         from repro.core import PNNQEngine
 
-        topk = TopKEngine(index, dataset)
-        pnnq = PNNQEngine(index, dataset)
+        topk = TopKEngine(dataset, index)
+        pnnq = PNNQEngine(dataset, index)
         for query in np.random.default_rng(9).uniform(
             0, 10_000, size=(5, 2)
         ):
@@ -76,7 +76,7 @@ class TestTopKPruning:
     def test_pruned_candidates_cannot_reach_topk(self, dense):
         """Pruning must never change the returned ranking."""
         dataset, index = dense
-        eager = TopKEngine(index, dataset, n_bins=16)
+        eager = TopKEngine(dataset, index, n_bins=16)
         rng = np.random.default_rng(13)
         for query in rng.uniform(0, 10_000, size=(10, 2)):
             result = eager.query(query, k=2)
@@ -85,7 +85,7 @@ class TestTopKPruning:
 
     def test_pruned_counter_nonnegative(self, dense):
         dataset, index = dense
-        engine = TopKEngine(index, dataset)
+        engine = TopKEngine(dataset, index)
         result = engine.query(np.array([1234.0, 5678.0]), k=1)
         assert result.pruned >= 0
 
@@ -93,13 +93,13 @@ class TestTopKPruning:
 class TestTopKValidation:
     def test_k_zero_rejected(self, dense):
         dataset, index = dense
-        engine = TopKEngine(index, dataset)
+        engine = TopKEngine(dataset, index)
         with pytest.raises(ValueError, match="k must be >= 1"):
             engine.query(np.array([0.0, 0.0]), k=0)
 
     def test_times_accumulate(self, dense):
         dataset, index = dense
-        engine = TopKEngine(index, dataset)
+        engine = TopKEngine(dataset, index)
         engine.query(np.array([100.0, 100.0]), k=1)
         engine.query(np.array([200.0, 200.0]), k=1)
         assert engine.times.queries == 2

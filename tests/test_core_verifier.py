@@ -88,7 +88,7 @@ class TestVerifierEngine:
     def test_decisions_match_exact(self):
         ds = synthetic_dataset(n=60, dims=2, u_max=400, n_samples=25, seed=4)
         retriever = RTreePNNQ.build(ds)
-        engine = VerifierEngine(retriever, ds)
+        engine = VerifierEngine(ds, retriever)
         rng = np.random.default_rng(5)
         tau = 0.2
         for _ in range(10):
@@ -101,13 +101,13 @@ class TestVerifierEngine:
 
     def test_tau_validation(self):
         ds = synthetic_dataset(n=10, dims=2, n_samples=5, seed=6)
-        engine = VerifierEngine(RTreePNNQ.build(ds), ds)
+        engine = VerifierEngine(ds, RTreePNNQ.build(ds))
         with pytest.raises(ValueError):
             engine.query(ds.domain.center, tau=1.5)
 
     def test_verifier_avoids_some_exact_work(self):
         ds = synthetic_dataset(n=80, dims=2, u_max=400, n_samples=25, seed=7)
-        engine = VerifierEngine(RTreePNNQ.build(ds), ds)
+        engine = VerifierEngine(ds, RTreePNNQ.build(ds))
         rng = np.random.default_rng(8)
         for _ in range(15):
             q = ds.domain.sample_points(1, rng)[0]
@@ -117,6 +117,6 @@ class TestVerifierEngine:
 
     def test_works_with_pv_index(self):
         ds = synthetic_dataset(n=50, dims=2, u_max=300, n_samples=20, seed=9)
-        engine = VerifierEngine(PVIndex.build(ds), ds)
+        engine = VerifierEngine(ds, PVIndex.build(ds))
         decisions = engine.query(ds.domain.center, tau=0.1)
         assert decisions  # some candidate is always retrieved

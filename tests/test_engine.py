@@ -61,7 +61,7 @@ def assert_prob_maps_equal(a, b):
 # ----------------------------------------------------------------------
 class TestBatchLoopEquivalence:
     def test_pnnq(self, dataset, index, queries):
-        engine = PNNQEngine(index, dataset)
+        engine = PNNQEngine(dataset, index)
         singles = [engine.query(q) for q in queries]
         batched = engine.query_batch(queries)
         for s, b in zip(singles, batched):
@@ -69,7 +69,7 @@ class TestBatchLoopEquivalence:
             assert_prob_maps_equal(s.probabilities, b.probabilities)
 
     def test_pnnq_brute_force_fallback(self, dataset, queries):
-        engine = PNNQEngine(None, dataset)
+        engine = PNNQEngine(dataset)
         singles = [engine.query(q) for q in queries]
         batched = engine.query_batch(queries)
         for s, b in zip(singles, batched):
@@ -86,7 +86,7 @@ class TestBatchLoopEquivalence:
             assert_prob_maps_equal(s.probabilities, b.probabilities)
 
     def test_topk(self, dataset, index, queries):
-        engine = TopKEngine(index, dataset)
+        engine = TopKEngine(dataset, index)
         singles = [engine.query(q, k=3) for q in queries]
         batched = engine.query_batch(queries, k=3)
         for s, b in zip(singles, batched):
@@ -120,7 +120,7 @@ class TestBatchLoopEquivalence:
             assert_prob_maps_equal(s.probabilities, b.probabilities)
 
     def test_verifier(self, dataset, index, queries):
-        engine = VerifierEngine(index, dataset)
+        engine = VerifierEngine(dataset, index)
         singles = [engine.query(q, tau=0.2) for q in queries]
         batched = engine.query_batch(queries, tau=0.2)
         assert singles == batched
@@ -133,7 +133,7 @@ class TestBatchLoopEquivalence:
             assert s.ranking == b.ranking
 
     def test_batch_counts_dedup(self, dataset, index, queries):
-        engine = PNNQEngine(index, dataset)
+        engine = PNNQEngine(dataset, index)
         engine.query_batch(queries)
         assert engine.stats.batches == 1
         assert engine.stats.queries == len(queries)
@@ -186,6 +186,32 @@ class TestExecutionStats:
         assert delta.pc_io.writes == 2
         assert delta.probability_computation == 0.0
 
+    def test_capture_delta_since_matches_snapshot_delta(self):
+        # capture()/delta_since() are the hot-path twins of
+        # snapshot()/delta(): field-for-field equivalent, including
+        # the I/O tail (guards the shared tuple-order contract).
+        stats = ExecutionStats(
+            object_retrieval=1.5,
+            probability_computation=2.5,
+            queries=7,
+            batches=2,
+            cache_hits=3,
+            dedup_hits=1,
+            memo_hits=4,
+            invalidations=2,
+            retriever_fallbacks=1,
+            or_io=IOStats(reads=5, writes=6),
+            pc_io=IOStats(reads=7, writes=8),
+        )
+        captured = stats.capture()
+        snap = stats.snapshot()
+        stats.object_retrieval += 0.5
+        stats.queries += 2
+        stats.invalidations += 1
+        stats.or_io.reads += 3
+        stats.pc_io.writes += 4
+        assert stats.delta_since(captured) == stats.delta(snap)
+
     def test_io_properties_combine_phases(self):
         stats = ExecutionStats(
             or_io=IOStats(reads=2, writes=1),
@@ -196,7 +222,7 @@ class TestExecutionStats:
         assert stats.io.writes == 5
 
     def test_engine_reports_phase_io(self, dataset, index):
-        engine = PNNQEngine(index, dataset, secondary=index.secondary)
+        engine = PNNQEngine(dataset, index, secondary=index.secondary)
         engine.query(dataset.domain.center)
         assert engine.stats.queries == 1
         assert engine.stats.or_io.reads > 0  # octree leaf read
@@ -209,7 +235,7 @@ class TestExecutionStats:
     def test_stats_shared_across_query_and_batch(
         self, dataset, index, queries
     ):
-        engine = PNNQEngine(index, dataset)
+        engine = PNNQEngine(dataset, index)
         engine.query(queries[0])
         engine.query_batch(queries)
         assert engine.stats.queries == 1 + len(queries)
@@ -233,7 +259,7 @@ class TestResultCache:
         assert len(cache) == 2
 
     def test_engine_cache_hits(self, dataset, index):
-        engine = PNNQEngine(index, dataset, result_cache_size=8)
+        engine = PNNQEngine(dataset, index, result_cache_size=8)
         q = dataset.domain.center
         first = engine.query(q)
         again = engine.query(q)
@@ -242,7 +268,7 @@ class TestResultCache:
         assert engine.stats.queries == 2
 
     def test_cache_respects_params(self, dataset, index):
-        engine = TopKEngine(index, dataset, result_cache_size=8)
+        engine = TopKEngine(dataset, index, result_cache_size=8)
         q = dataset.domain.center
         r1 = engine.query(q, k=1)
         r3 = engine.query(q, k=3)
@@ -250,7 +276,7 @@ class TestResultCache:
         assert r1.k == 1 and r3.k == 3
 
     def test_cache_spans_batches(self, dataset, index, queries):
-        engine = PNNQEngine(index, dataset, result_cache_size=32)
+        engine = PNNQEngine(dataset, index, result_cache_size=32)
         warm = engine.query_batch(queries)
         engine.stats.reset()
         cached = engine.query_batch(queries)
@@ -259,8 +285,8 @@ class TestResultCache:
             assert w is c
 
     def test_cached_results_equal_fresh(self, dataset, index, queries):
-        cached_engine = PNNQEngine(index, dataset, result_cache_size=4)
-        plain_engine = PNNQEngine(index, dataset)
+        cached_engine = PNNQEngine(dataset, index, result_cache_size=4)
+        plain_engine = PNNQEngine(dataset, index)
         for q in list(queries) + list(queries):
             a = cached_engine.query(q)
             b = plain_engine.query(q)
@@ -316,7 +342,7 @@ class TestRetrievers:
         assert engine._retrieve_batch(list(block), {"k": 3}) == whole
 
     def test_memo_reuses_nearby_candidates(self, dataset, index):
-        engine = PNNQEngine(index, dataset, memo_radius=1e9)
+        engine = PNNQEngine(dataset, index, memo_radius=1e9)
         # With a cell larger than the domain every distinct query in a
         # batch shares one Step-1 retrieval.
         rng = np.random.default_rng(6)
@@ -329,7 +355,7 @@ class TestRetrievers:
         # A positive memo_radius must win over the candidates_batch
         # fast path — otherwise the knob would silently no-op for the
         # default retriever.
-        engine = PNNQEngine(None, dataset, memo_radius=1e9)
+        engine = PNNQEngine(dataset, memo_radius=1e9)
         rng = np.random.default_rng(13)
         block = dataset.domain.sample_points(6, rng)
         results = engine.query_batch(block)
@@ -414,7 +440,7 @@ def _dominating_object(dataset, q, oid=9_999):
 class TestEpochInvalidation:
     def test_result_cache_flushed_on_insert(self):
         dataset = _mutable_dataset()
-        engine = PNNQEngine(None, dataset, result_cache_size=8)
+        engine = PNNQEngine(dataset, result_cache_size=8)
         q = dataset.domain.center
         stale = engine.query(q)
         dataset.insert(_dominating_object(dataset, q))
@@ -434,7 +460,7 @@ class TestEpochInvalidation:
         # ``dataset.insert`` issued between batches.
         dataset = _mutable_dataset(seed=78)
         engine = PNNQEngine(
-            None, dataset, result_cache_size=16, memo_radius=1e9
+            dataset, result_cache_size=16, memo_radius=1e9
         )
         rng = np.random.default_rng(1)
         block = dataset.domain.sample_points(5, rng)
@@ -451,7 +477,7 @@ class TestEpochInvalidation:
         # Identically configured engine built fresh on the mutated
         # dataset (same memo radius: the memo's cell sharing is part of
         # the configured semantics being compared).
-        reference = PNNQEngine(None, dataset, memo_radius=1e9)
+        reference = PNNQEngine(dataset, memo_radius=1e9)
         for got, want, old in zip(
             after, reference.query_batch(block), before
         ):
@@ -460,7 +486,7 @@ class TestEpochInvalidation:
 
     def test_memo_persists_across_batches_within_epoch(self):
         dataset = _mutable_dataset(seed=79)
-        engine = PNNQEngine(None, dataset, memo_radius=1e9)
+        engine = PNNQEngine(dataset, memo_radius=1e9)
         rng = np.random.default_rng(2)
         engine.query_batch(dataset.domain.sample_points(3, rng))
         hits_before = engine.stats.memo_hits
@@ -475,7 +501,7 @@ class TestEpochInvalidation:
 
         dataset = _mutable_dataset(seed=80)
         index = RTreePNNQ.build(dataset)
-        engine = PNNQEngine(index, dataset)
+        engine = PNNQEngine(dataset, index)
         q = dataset.domain.center
         engine.query(q)
         assert engine.has_index
@@ -492,7 +518,7 @@ class TestEpochInvalidation:
     def test_maintained_pv_index_is_kept(self):
         dataset = _mutable_dataset(seed=81)
         index = PVIndex.build(dataset)
-        engine = PNNQEngine(index, dataset, result_cache_size=4)
+        engine = PNNQEngine(dataset, index, result_cache_size=4)
         q = dataset.domain.center
         engine.query(q)
         index.insert(_dominating_object(dataset, q))
@@ -523,7 +549,7 @@ class TestEpochInvalidation:
         # inserted after the index was built.
         dataset = _mutable_dataset(seed=82)
         index = PVIndex.build(dataset)
-        engine = PNNQEngine(index, dataset, secondary=index.secondary)
+        engine = PNNQEngine(dataset, index, secondary=index.secondary)
         q = dataset.domain.center
         engine.query(q)
         dataset.insert(_dominating_object(dataset, q))
@@ -542,7 +568,7 @@ class TestEpochInvalidation:
         index = RTreePNNQ.build(dataset)
         q = dataset.domain.center
         dataset.insert(_dominating_object(dataset, q))
-        engine = PNNQEngine(index, dataset)
+        engine = PNNQEngine(dataset, index)
         assert not engine.has_index
         assert engine.stats.retriever_fallbacks == 1
         assert engine.query(q).best == 9_999

@@ -258,13 +258,13 @@ def build_engines(dataset, pv_index):
     """
     cache = {"result_cache_size": 8}
     return {
-        "pnnq": PNNQEngine(None, dataset, **cache),
-        "pnnq_pv": PNNQEngine(pv_index, dataset, **cache),
+        "pnnq": PNNQEngine(dataset, **cache),
+        "pnnq_pv": PNNQEngine(dataset, pv_index, **cache),
         "knn": KNNEngine(dataset, **cache),
-        "topk": TopKEngine(None, dataset, **cache),
+        "topk": TopKEngine(dataset, **cache),
         "groupnn": GroupNNEngine(dataset, **cache),
         "reversenn": ReverseNNEngine(dataset, **cache),
-        "verifier": VerifierEngine(None, dataset, **cache),
+        "verifier": VerifierEngine(dataset, **cache),
         "expected": ExpectedNNEngine(dataset, **cache),
     }
 

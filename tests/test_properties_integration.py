@@ -144,8 +144,8 @@ def test_step2_retriever_agnostic(dataset, seed):
     """PNNQ probabilities are identical whichever index ran Step 1."""
     rng = np.random.default_rng(seed)
     q = rng.uniform(0.0, DOMAIN_SIDE, size=2)
-    pv = PNNQEngine(PVIndex.build(dataset.copy()), dataset)
-    rt = PNNQEngine(RTreePNNQ.build(dataset.copy()), dataset)
+    pv = PNNQEngine(dataset, PVIndex.build(dataset.copy()))
+    rt = PNNQEngine(dataset, RTreePNNQ.build(dataset.copy()))
     p1 = pv.query(q).probabilities
     p2 = rt.query(q).probabilities
     assert set(p1) == set(p2)
