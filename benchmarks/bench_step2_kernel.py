@@ -1,0 +1,139 @@
+"""Old-vs-new Step-2 kernel: the tensorization speedup, measured.
+
+Times the retained pre-tensorization reference
+(``tests/reference_step2.py``) against the packed-store global-sort
+kernel across an ``(n candidates, m samples, b queries)`` grid, checks
+the answers agree to 1e-9, and writes the machine-readable trajectory
+file ``benchmarks/results/BENCH_step2_kernel.json``.
+
+Gates (also enforced as the CI perf-smoke job):
+
+* answers match the reference to <= 1e-9 on every cell;
+* the tensorized kernel is faster than the reference everywhere, and
+  at least 5x faster on the pinned ``n=32, m=500, b=8`` cell (the
+  acceptance cell of the tensorization PR).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "tests")
+)
+from reference_step2 import (  # noqa: E402
+    reference_qualification_probabilities,
+)
+
+from repro import synthetic_dataset  # noqa: E402
+from repro.engine import (  # noqa: E402
+    batched_qualification_probabilities,
+)
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+#: The acceptance cell: >= 5x over the reference is required here.
+PINNED_CELL = (32, 500, 8)
+ROUNDS = 3
+
+SMOKE_GRID = [(8, 100, 4), PINNED_CELL]
+FULL_GRID = SMOKE_GRID + [
+    (64, 500, 8),
+    (32, 500, 32),
+    (16, 1000, 16),
+    (128, 200, 8),
+]
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def measure_cell(n: int, m: int, b: int, seed: int = 1) -> dict:
+    """One grid cell: both kernels on identical candidates/queries."""
+    ds = synthetic_dataset(
+        n=n + 8, dims=2, u_max=600.0, n_samples=m, seed=seed
+    )
+    ids = ds.ids[:n]
+    queries = ds.domain.sample_points(b, np.random.default_rng(seed))
+    ds.instance_store()  # build outside the timed region
+
+    ref_s, ref_rows = _best_of(
+        lambda: reference_qualification_probabilities(ds, ids, queries)
+    )
+    new_s, new_rows = _best_of(
+        lambda: batched_qualification_probabilities(ds, ids, queries)
+    )
+
+    max_diff = max(
+        abs(ref_row[oid] - new_row[oid])
+        for ref_row, new_row in zip(ref_rows, new_rows)
+        for oid in ref_row
+    )
+    return {
+        "n": n,
+        "m": m,
+        "b": b,
+        "reference_seconds": ref_s,
+        "tensorized_seconds": new_s,
+        "speedup": ref_s / new_s,
+        "max_abs_diff": max_diff,
+    }
+
+
+def test_step2_kernel_speedup(profile, record_figure):
+    from repro.bench.figures import FigureResult
+
+    grid = SMOKE_GRID if profile == "smoke" else FULL_GRID
+    cells = [measure_cell(n, m, b) for n, m, b in grid]
+
+    RESULTS.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "step2_kernel",
+        "profile": profile,
+        "pinned_cell": {"n": PINNED_CELL[0], "m": PINNED_CELL[1],
+                        "b": PINNED_CELL[2]},
+        "cells": cells,
+    }
+    (RESULTS / "BENCH_step2_kernel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    result = FigureResult(
+        figure="BENCH step2 kernel",
+        title="Step-2 kernel: packed-store tensorized vs reference",
+        columns=(
+            "n", "m", "b", "ref_ms", "new_ms", "speedup", "max_diff",
+        ),
+        notes=(
+            "best-of-3 wall clock on one shared candidate set; "
+            "max_diff is over all (query, candidate) probabilities."
+        ),
+    )
+    for cell in cells:
+        result.add(
+            n=cell["n"],
+            m=cell["m"],
+            b=cell["b"],
+            ref_ms=1e3 * cell["reference_seconds"],
+            new_ms=1e3 * cell["tensorized_seconds"],
+            speedup=cell["speedup"],
+            max_diff=cell["max_abs_diff"],
+        )
+    record_figure(result)
+
+    for cell in cells:
+        assert cell["max_abs_diff"] <= 1e-9, cell
+        assert cell["speedup"] >= 1.0, cell
+        if (cell["n"], cell["m"], cell["b"]) == PINNED_CELL:
+            assert cell["speedup"] >= 5.0, cell

@@ -452,14 +452,25 @@ class Database:
         )
 
     def _observe(self, plan: Plan, delta) -> None:
-        """Feed real Step-1 wall-clock back into the planner."""
+        """Feed real per-step wall-clock back into the planner."""
         executed = delta.queries - delta.cache_hits - delta.dedup_hits
-        if executed > 0 and plan.retriever != _NONE:
+        if executed <= 0:
+            return
+        if plan.retriever != _NONE:
             self.planner.observe(
                 plan.retriever,
                 plan.cost_kind,
                 delta.object_retrieval / executed,
             )
+        # Step 2 is retriever-independent; its observed cost (with the
+        # kernel's gather/eval split) calibrates the shared term of
+        # every retriever's score and shows up in ``db.explain``.
+        self.planner.observe_step2(
+            plan.cost_kind,
+            delta.probability_computation / executed,
+            delta.kernel_gather_seconds / executed,
+            delta.kernel_eval_seconds / executed,
+        )
 
     def _engine_for(self, kind: str, retriever_name: str) -> BaseEngine:
         key = (kind, retriever_name)

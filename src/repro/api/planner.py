@@ -102,14 +102,19 @@ STATIC_ESTIMATES: dict[str, Callable[[int, int], CostEstimate]] = {
     "uv": _static_uv,
 }
 
-#: Per-candidate Step-2 weight by query kind (µs); Step 2 is dominated
-#: by the pairwise survival products, hence the quadratic terms.
+#: Per-candidate Step-2 weight by query kind (µs).  Step 2 is still
+#: quadratic in the candidate count (every candidate's instances are
+#: ranked against every competitor), but the tensorized kernel
+#: amortizes it across one global sort + log-walk, so the per-pair
+#: constants are a fraction of the pre-tensorization values.  These
+#: are cold-start seeds only: once queries run, the planner's observed
+#: Step-2 EMA (see :meth:`Planner.observe_step2`) supersedes them.
 _STEP2_QUADRATIC_US = {
-    "nn": 1.5,
-    "knn": 2.0,
-    "topk": 1.0,
-    "threshold": 1.0,
-    "group_nn": 2.5,
+    "nn": 0.3,
+    "knn": 0.5,
+    "topk": 0.2,
+    "threshold": 0.2,
+    "group_nn": 0.5,
 }
 
 
@@ -165,10 +170,20 @@ class Plan:
     #: distinct bucket so their timings cannot skew the cost-based
     #: variant's estimates.
     cost_kind: str = ""
+    #: Observed Step-2 calibration backing this plan's scores, in µs
+    #: per query: ``{"step2": total, "gather": pdf-fetch share,
+    #: "eval": kernel share}`` — the planner-side view of the engines'
+    #: ``kernel_gather_seconds`` / ``kernel_eval_seconds`` counters,
+    #: surfaced by ``db.explain``.  Empty until queries of this kind
+    #: have run.
+    step2_observed: Mapping[str, float] = field(default_factory=FrozenDict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scores", FrozenDict(self.scores))
         object.__setattr__(self, "estimates", FrozenDict(self.estimates))
+        object.__setattr__(
+            self, "step2_observed", FrozenDict(self.step2_observed)
+        )
         if not self.cost_kind:
             object.__setattr__(self, "cost_kind", self.kind)
 
@@ -192,6 +207,13 @@ class Plan:
                 f"(step1 {est.step1_us:.1f} us, "
                 f"{est.page_reads:.1f} pages, "
                 f"~{est.candidates:.0f} candidates, {est.source})"
+            )
+        if self.step2_observed:
+            lines.append(
+                "  step2 {step2:.1f} us observed "
+                "(gather {gather:.1f} us, kernel {eval:.1f} us)".format(
+                    **self.step2_observed
+                )
             )
         return "\n".join(lines)
 
@@ -234,6 +256,13 @@ class Planner:
         self.replan_every = int(replan_every)
         self._cache: dict[Hashable, Plan] = {}
         self._observed: dict[tuple[str, str], float] = {}
+        #: Observed Step-2 µs per query by cost_kind: [total, gather,
+        #: eval] EMAs fed by the engines' kernel counters (a mutable
+        #: list updated in place — :meth:`observe_step2` runs once per
+        #: served query).  Step 2 is retriever-independent, so one
+        #: bucket per kind calibrates the shared term of every
+        #: retriever's score.
+        self._observed_step2: dict[str, list[float]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
         #: Calibration generation: baked into every cache key; bumped
@@ -300,7 +329,9 @@ class Planner:
             estimates: dict[str, CostEstimate] = {}
             if est is not None:
                 estimates[name] = est
-                scores[name] = self._score(kind, dict(params), est)
+                scores[name] = self._score(
+                    kind, dict(params), est, cost_kind
+                )
             return Plan(
                 kind=kind,
                 params=params,
@@ -310,6 +341,7 @@ class Planner:
                 scores=scores,
                 estimates=estimates,
                 cost_kind=cost_kind,
+                step2_observed=self._step2_breakdown(cost_kind),
             )
         if not handles:
             raise PlanningError(f"no eligible retriever for {kind!r}")
@@ -325,7 +357,7 @@ class Planner:
         # static dimensionality rule.  Per-handle estimates keep their
         # own candidate figure for explain() honesty.
         shared = min(est.candidates for est in estimates.values())
-        step2 = step2_us(kind, param_map, shared)
+        step2 = self._step2_term(kind, kind, param_map, shared)
         scores = {
             name: est.step1_us
             + self.page_cost_us * est.page_reads
@@ -351,6 +383,7 @@ class Planner:
                 # A forced override of a policy-fixed template still
                 # runs that template's Step 1 — keep its bucket.
                 cost_kind=fixed[3] if fixed is not None else kind,
+                step2_observed=self._step2_breakdown(kind),
             )
 
         best = min(scores, key=lambda name: (scores[name], name))
@@ -372,6 +405,7 @@ class Planner:
             epoch=epoch,
             scores=scores,
             estimates=estimates,
+            step2_observed=self._step2_breakdown(kind),
         )
 
     # ------------------------------------------------------------------
@@ -390,11 +424,86 @@ class Planner:
         kind: str,
         params: Mapping[str, Any],
         est: CostEstimate,
+        cost_kind: str | None = None,
     ) -> float:
         return (
             est.step1_us
             + self.page_cost_us * est.page_reads
-            + step2_us(kind, params, est.candidates)
+            + self._step2_term(
+                kind, cost_kind or kind, params, est.candidates
+            )
+        )
+
+    def _step2_term(
+        self,
+        kind: str,
+        cost_kind: str,
+        params: Mapping[str, Any],
+        candidates: float,
+    ) -> float:
+        """Shared Step-2 µs: observed EMA once available, static seed
+        before (see :data:`_STEP2_QUADRATIC_US`).
+
+        The EMA is a flat per-kind per-query average — once calibrated
+        it deliberately ignores ``candidates`` (the kernel's real cost
+        varies per query; the average over the served workload is what
+        the score should charge).  Step 2 is identical across
+        retrievers, so this never changes the ranking — only how
+        honestly ``db.explain`` reports total per-query cost.
+        """
+        observed = self._observed_step2.get(cost_kind)
+        if observed is not None:
+            return observed[0]
+        return step2_us(kind, params, candidates)
+
+    def observe_step2(
+        self,
+        kind: str,
+        step2_seconds: float,
+        gather_seconds: float = 0.0,
+        eval_seconds: float = 0.0,
+    ) -> None:
+        """Fold one observed Step-2 wall-clock into the per-kind EMA.
+
+        ``gather_seconds`` / ``eval_seconds`` carry the kernel's
+        instance-store fetch vs probability-evaluation split (the
+        engines' ``kernel_gather_seconds`` / ``kernel_eval_seconds``
+        counters); the breakdown is surfaced on plans via
+        :attr:`Plan.step2_observed` and ``db.explain``.  Runs on every
+        served query, so the update is in place with no allocation.
+        """
+        prev = self._observed_step2.get(kind)
+        if prev is None:
+            self._observed_step2[kind] = [
+                max(step2_seconds, 0.0) * 1e6,
+                max(gather_seconds, 0.0) * 1e6,
+                max(eval_seconds, 0.0) * 1e6,
+            ]
+        else:
+            a = self.ema_alpha
+            keep = 1.0 - a
+            prev[0] = keep * prev[0] + a * max(step2_seconds, 0.0) * 1e6
+            prev[1] = keep * prev[1] + a * max(gather_seconds, 0.0) * 1e6
+            prev[2] = keep * prev[2] + a * max(eval_seconds, 0.0) * 1e6
+
+    def _step2_breakdown(self, cost_kind: str) -> dict[str, float]:
+        """The observed EMA as the mapping plans/explain surface."""
+        observed = self._observed_step2.get(cost_kind)
+        if observed is None:
+            return {}
+        return {
+            "step2": observed[0],
+            "gather": observed[1],
+            "eval": observed[2],
+        }
+
+    def observed_step2_us(self, kind: str) -> Mapping[str, float] | None:
+        """Current observed Step-2 breakdown for a cost kind (µs)."""
+        observed = self._observed_step2.get(kind)
+        return (
+            None
+            if observed is None
+            else FrozenDict(self._step2_breakdown(kind))
         )
 
     def observe(

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine import BaseEngine, readonly_array
+from ..engine import BaseEngine, instance_distance_matrix, readonly_array
 from ..uncertain import UncertainDataset
 
 __all__ = ["expected_distance", "ExpectedNNResult", "ExpectedNNEngine"]
@@ -116,9 +116,16 @@ class ExpectedNNEngine(BaseEngine):
     def _compute(
         self, q: np.ndarray, ids: list[int], params: dict
     ) -> ExpectedNNResult:
+        if not ids:
+            return ExpectedNNResult(query=q, ranking=())
+        # One packed gather: E[dist] for all candidates is a single
+        # weighted row sum of the distance matrix (padding weighs 0).
+        D, W = instance_distance_matrix(
+            self.dataset, ids, q, stats=self.stats
+        )
+        expected = np.einsum("nm,nm->n", D, W)
         ranked = sorted(
-            ((oid, expected_distance(self.dataset, oid, q))
-             for oid in ids),
+            zip(ids, (float(e) for e in expected)),
             key=lambda pair: (pair[1], pair[0]),
         )
         top = params["top"]

@@ -30,12 +30,18 @@ the filter itself is cheap enough to run unindexed).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Literal, Mapping
 
 import numpy as np
 
-from ..engine import BaseEngine, FrozenDict, readonly_array
+from ..engine import (
+    BaseEngine,
+    FrozenDict,
+    element_survival_probabilities,
+    readonly_array,
+)
 from ..geometry import maxdist_sq_point_rect, mindist_sq_point_rect
 
 __all__ = ["Aggregate", "GroupNNResult", "GroupNNEngine"]
@@ -184,42 +190,19 @@ class GroupNNEngine(BaseEngine):
             return {ids[0]: 1.0}
         agg = _AGGREGATORS[aggregate]
 
-        adists: dict[int, np.ndarray] = {}
-        weights: dict[int, np.ndarray] = {}
-        sorted_d: dict[int, np.ndarray] = {}
-        cum_w: dict[int, np.ndarray] = {}
-        for oid in ids:
-            obj = self.dataset[oid]
-            # (m, |Q|) pairwise distances -> (m,) aggregate distances.
-            diff = obj.instances[:, None, :] - q[None, :, :]
-            d = agg(np.sqrt(np.einsum("mqd,mqd->mq", diff, diff)))
-            order = np.argsort(d)
-            adists[oid] = d
-            weights[oid] = obj.weights
-            sorted_d[oid] = d[order]
-            cum_w[oid] = np.concatenate(
-                ([0.0], np.cumsum(obj.weights[order]))
-            )
+        # One packed gather; each instance's scalar distance is its
+        # aggregate distance to Q, then the shared survival-product
+        # kernel runs unchanged (padded entries carry weight 0).
+        t0 = time.perf_counter()
+        block = self.dataset.instance_store().gather(ids)
+        self.stats.kernel_gather_seconds += time.perf_counter() - t0
 
-        def survival(oid: int, radii: np.ndarray) -> np.ndarray:
-            sd = sorted_d[oid]
-            cw = cum_w[oid]
-            le = cw[np.searchsorted(sd, radii, side="right")]
-            lt = cw[np.searchsorted(sd, radii, side="left")]
-            return 1.0 - 0.5 * (le + lt)
-
-        out: dict[int, float] = {}
-        for oid in ids:
-            radii = adists[oid]
-            prod = np.ones(len(radii))
-            for other in ids:
-                if other == oid:
-                    continue
-                prod *= survival(other, radii)
-            out[oid] = float(
-                np.clip(np.dot(weights[oid], prod), 0.0, 1.0)
-            )
-        return out
+        t1 = time.perf_counter()
+        diff = block.instances[:, :, None, :] - q[None, None, :, :]
+        D = agg(np.sqrt(np.einsum("nmqd,nmqd->nmq", diff, diff)))
+        P = element_survival_probabilities(D[None], block.weights)[0]
+        self.stats.kernel_eval_seconds += time.perf_counter() - t1
+        return {oid: float(P[i]) for i, oid in enumerate(ids)}
 
     # ------------------------------------------------------------------
     def _validate_queries(self, queries: np.ndarray) -> np.ndarray:

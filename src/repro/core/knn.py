@@ -26,12 +26,19 @@ exactly ``min(k, |candidates|)`` — the expected size of the answer set.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
-from ..engine import BaseEngine, FrozenDict, readonly_array
+from ..engine import (
+    BaseEngine,
+    FrozenDict,
+    element_survivals,
+    readonly_array,
+)
+from ..engine.batch import _distance_tensor
 from ..engine.retrievers import minmax_sq_chunks
 
 __all__ = ["KNNResult", "KNNEngine"]
@@ -155,51 +162,41 @@ class KNNEngine(BaseEngine):
         if len(ids) <= k:
             return {oid: 1.0 for oid in ids}
 
-        # Per-candidate sorted distances + cumulative weights, reused
-        # for every "Pr[dist(x, q) < r]" lookup.
-        sorted_d: dict[int, np.ndarray] = {}
-        cum_w: dict[int, np.ndarray] = {}
-        dists: dict[int, np.ndarray] = {}
-        weights: dict[int, np.ndarray] = {}
-        for oid in ids:
-            obj = self.dataset[oid]
-            d = obj.distance_samples(q)
-            order = np.argsort(d)
-            dists[oid] = d
-            weights[oid] = obj.weights
-            sorted_d[oid] = d[order]
-            cum_w[oid] = np.concatenate(
-                ([0.0], np.cumsum(obj.weights[order]))
-            )
+        # One packed-store gather + one distance einsum for the whole
+        # candidate set; padded entries carry weight exactly 0.
+        t0 = time.perf_counter()
+        block = self.dataset.instance_store().gather(ids)
+        self.stats.kernel_gather_seconds += time.perf_counter() - t0
 
-        def closer_prob(oid: int, radii: np.ndarray) -> np.ndarray:
-            """Pr[dist(oid, q) < r] per radius, half-weight on ties."""
-            sd = sorted_d[oid]
-            cw = cum_w[oid]
-            lt = cw[np.searchsorted(sd, radii, side="left")]
-            le = cw[np.searchsorted(sd, radii, side="right")]
-            return 0.5 * (lt + le)
-
+        t1 = time.perf_counter()
+        D = _distance_tensor(
+            block.instances, np.asarray(q, dtype=np.float64)[None, :]
+        )
+        n, m = block.weights.shape
+        W = block.weights
+        # All "Pr[dist(x, q) < r]" factors in one pass: the survival
+        # tensor of every candidate at every instance distance (the
+        # self column is excluded below and never consumed).
+        closer = 1.0 - element_survivals(D, W)[0].reshape(n, n, m)
         out: dict[int, float] = {}
-        for oid in ids:
-            radii = dists[oid]  # (m,) instance distances of o
-            m = len(radii)
-            others = [x for x in ids if x != oid]
-            # Bernoulli success probabilities: (n_others, m).
-            p = np.stack([closer_prob(x, radii) for x in others])
+        for i in range(n):
+            # Bernoulli success probabilities of the *other*
+            # candidates at candidate i's instance distances.
+            p = np.delete(closer[:, i, :], i, axis=0)
             # Poisson-binomial DP, vectorized over instances:
-            # dp[j, i] = Pr[exactly j of the first t others closer than
-            # instance i]; we only need j <= k-1.
+            # dp[j, s] = Pr[exactly j of the first t others closer
+            # than instance s]; we only need j <= k-1.
             dp = np.zeros((k, m))
             dp[0] = 1.0
-            for t in range(len(others)):
+            for t in range(len(p)):
                 pt = p[t]
                 # Update in place from high j to low (knapsack style).
                 for j in range(min(t + 1, k - 1), 0, -1):
                     dp[j] = dp[j] * (1.0 - pt) + dp[j - 1] * pt
                 dp[0] = dp[0] * (1.0 - pt)
             tail = dp.sum(axis=0)  # Pr[at most k-1 others closer]
-            out[oid] = float(
-                np.clip(np.dot(weights[oid], tail), 0.0, 1.0)
+            out[ids[i]] = float(
+                np.clip(np.dot(W[i], tail), 0.0, 1.0)
             )
+        self.stats.kernel_eval_seconds += time.perf_counter() - t1
         return out

@@ -86,6 +86,8 @@ def qualification_probabilities(
     candidate_ids: list[int],
     query: np.ndarray,
     evaluate_ids: list[int] | None = None,
+    *,
+    stats: ExecutionStats | None = None,
 ) -> dict[int, float]:
     """Step 2 for a given candidate set (discrete-pdf evaluation of [8]).
 
@@ -109,7 +111,7 @@ def qualification_probabilities(
     q = np.asarray(query, dtype=np.float64)
     return batched_qualification_probabilities(
         dataset, candidate_ids, np.atleast_2d(q),
-        evaluate_ids=evaluate_ids,
+        evaluate_ids=evaluate_ids, stats=stats,
     )[0]
 
 
@@ -151,7 +153,9 @@ class PNNQEngine(BaseEngine):
     def _compute(
         self, q: np.ndarray, ids: list[int], params: dict
     ) -> PNNQResult:
-        probabilities = qualification_probabilities(self.dataset, ids, q)
+        probabilities = qualification_probabilities(
+            self.dataset, ids, q, stats=self.stats
+        )
         return PNNQResult(
             query=q, candidate_ids=ids, probabilities=probabilities
         )
@@ -172,7 +176,7 @@ class PNNQEngine(BaseEngine):
                 continue
             block = np.stack([qs[pos] for pos in positions])
             prob_maps = batched_qualification_probabilities(
-                self.dataset, ids, block
+                self.dataset, ids, block, stats=self.stats
             )
             for pos, probs in zip(positions, prob_maps):
                 results[pos] = PNNQResult(

@@ -27,12 +27,19 @@ surviving candidates are resolved exactly on the discrete pdfs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
 
-from ..engine import BaseEngine, FrozenDict
+from ..engine import (
+    KERNEL_CHUNK_BYTES,
+    BaseEngine,
+    FrozenDict,
+    survival_products,
+)
+from ..engine.batch import _chunk_rows, _distance_tensor
 from ..geometry import Rect
 from ..geometry.domination import margin_bounds_batch
 from ..uncertain import UncertainObject
@@ -164,8 +171,8 @@ class ReverseNNEngine(BaseEngine):
     ) -> float:
         """Exact Pr[query is the NN of object ``oid``] on discrete pdfs."""
         obj = self.dataset[oid]
-        others = [
-            x
+        other_ids = [
+            x.oid
             for x in self.dataset
             if x.oid != oid and x.oid != query.oid
         ]
@@ -173,28 +180,34 @@ class ReverseNNEngine(BaseEngine):
         # Distances from each instance of o to each instance of q.
         diff = obj.instances[:, None, :] - query.instances[None, :, :]
         dq = np.sqrt(np.einsum("mnd,mnd->mn", diff, diff))  # (m, nq)
+        if not other_ids:
+            # Empty competitor product: q is o's NN with certainty.
+            total = float(obj.weights.sum() * query.weights.sum())
+            return float(np.clip(total, 0.0, 1.0))
 
+        # o's instances play the kernel's query-row axis: one gather of
+        # every competitor pdf, one (m, n_others, m_x) distance tensor,
+        # and the survival products evaluated at the query-instance
+        # radii — chunked over o's instances to bound peak memory.
+        t0 = time.perf_counter()
+        block = self.dataset.instance_store().gather(other_ids)
+        self.stats.kernel_gather_seconds += time.perf_counter() - t0
+
+        t1 = time.perf_counter()
+        n_o, m_x = block.weights.shape
+        # Same sizing as the main kernel: the budget must cover the
+        # tie fallback's materialized survival tensors, not just the
+        # log walk (tied coordinates are exactly when it matters).
+        step = _chunk_rows(
+            len(obj.instances), n_o, m_x, KERNEL_CHUNK_BYTES
+        )
         total = 0.0
-        for m, (p, w) in enumerate(zip(obj.instances, obj.weights)):
-            # Survival per competitor: Pr[dist(x, p) > r] as a step
-            # function of r; evaluated at each query-instance distance.
-            radii = dq[m]  # (nq,)
-            prod = np.ones(len(radii))
-            for x in others:
-                dx = np.sqrt(
-                    np.einsum(
-                        "nd,nd->n", x.instances - p, x.instances - p
-                    )
-                )
-                order = np.argsort(dx)
-                sd = dx[order]
-                cw = np.concatenate(
-                    ([0.0], np.cumsum(x.weights[order]))
-                )
-                le = cw[np.searchsorted(sd, radii, side="right")]
-                lt = cw[np.searchsorted(sd, radii, side="left")]
-                prod *= 1.0 - 0.5 * (le + lt)
-                if not prod.any():
-                    break
-            total += w * float(np.dot(query.weights, prod))
+        for lo in range(0, len(obj.instances), step):
+            points = obj.instances[lo : lo + step]
+            D = _distance_tensor(block.instances, points)
+            prod = survival_products(D, block.weights, dq[lo : lo + step])
+            total += float(
+                np.dot(obj.weights[lo : lo + step], prod @ query.weights)
+            )
+        self.stats.kernel_eval_seconds += time.perf_counter() - t1
         return float(np.clip(total, 0.0, 1.0))

@@ -119,7 +119,7 @@ class TopKEngine(BaseEngine):
         survivors = list(ids)
         if len(ids) > max(k, _EXACT_THRESHOLD):
             bounds = probability_bounds(
-                self.dataset, ids, q, self.n_bins
+                self.dataset, ids, q, self.n_bins, stats=self.stats
             )
             # The k-th highest lower bound is a floor for the answer set;
             # anything whose upper bound falls below it is out.
@@ -136,7 +136,7 @@ class TopKEngine(BaseEngine):
         # distributions shape every survival product); only survivors
         # get the per-candidate evaluation loop.
         probabilities = qualification_probabilities(
-            self.dataset, ids, q, evaluate_ids=survivors
+            self.dataset, ids, q, evaluate_ids=survivors, stats=self.stats
         )
         ranking = sorted(
             probabilities.items(), key=lambda kv: (-kv[1], kv[0])

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..engine import BaseEngine, FrozenDict
+from ..engine import BaseEngine, ExecutionStats, FrozenDict
+from ..engine.batch import _rank_cumweights, instance_distance_matrix
 from ..uncertain import UncertainDataset
 from .pnnq import Retriever, qualification_probabilities
 
@@ -56,6 +57,8 @@ def probability_bounds(
     candidate_ids: list[int],
     query: np.ndarray,
     n_bins: int = 8,
+    *,
+    stats: ExecutionStats | None = None,
 ) -> dict[int, ProbabilityBounds]:
     """Bound each candidate's qualification probability with histograms.
 
@@ -70,7 +73,10 @@ def probability_bounds(
 
     The result brackets the exact value computed by
     :func:`qualification_probabilities` (asserted by property tests) at
-    a fraction of its cost for large instance counts.
+    a fraction of its cost for large instance counts.  Distances come
+    from one packed-store gather, and both the bin masses and all
+    ``surv_above`` factors are evaluated with the kernel's batched rank
+    primitive — no per-pair Python loops.
     """
     q = np.asarray(query, dtype=np.float64)
     if not candidate_ids:
@@ -80,69 +86,57 @@ def probability_bounds(
     if n_bins < 1:
         raise ValueError("n_bins must be >= 1")
 
-    edges: dict[int, np.ndarray] = {}
-    masses: dict[int, np.ndarray] = {}
-    for oid in candidate_ids:
-        obj = dataset[oid]
-        d = np.sort(obj.distance_samples(q))
-        # Quantile edges; weights assumed uniform enough for binning —
-        # mass per bin is computed exactly below.
-        qs = np.linspace(0.0, 1.0, n_bins + 1)
-        e = np.quantile(d, qs)
-        e[0] = d[0]
-        e[-1] = d[-1]
-        w = np.asarray(obj.weights)
-        order = np.argsort(obj.distance_samples(q))
-        dw = w[order]
-        ds = obj.distance_samples(q)[order]
-        mass = np.empty(n_bins)
-        for b in range(n_bins):
-            lo, hi = e[b], e[b + 1]
-            if b == n_bins - 1:
-                sel = (ds >= lo) & (ds <= hi)
-            else:
-                sel = (ds >= lo) & (ds < hi)
-            mass[b] = dw[sel].sum()
-        edges[oid] = e
-        masses[oid] = mass
+    D, W = instance_distance_matrix(dataset, candidate_ids, q, stats)
+    n = len(candidate_ids)
+    order = np.argsort(D, axis=1)
+    SD = np.take_along_axis(D, order, axis=1)
+    SW = np.take_along_axis(W, order, axis=1)
 
-    def surv_above(oid: int, r: float, optimistic: bool) -> float:
-        """Bound on Pr[dist(oid) > r] from the histogram."""
-        e = edges[oid]
-        m = masses[oid]
-        total = 0.0
-        for b in range(len(m)):
-            lo, hi = e[b], e[b + 1]
-            if optimistic:
-                if hi > r:  # bin may be entirely above r
-                    total += m[b]
-            else:
-                if lo > r:  # bin certainly above r
-                    total += m[b]
-        return min(1.0, total)
+    # Quantile edges per candidate, endpoints pinned to the support
+    # (padded entries replicate real values, so min/max are exact).
+    E = np.quantile(D, np.linspace(0.0, 1.0, n_bins + 1), axis=1).T
+    E[:, 0] = SD[:, 0]
+    E[:, -1] = SD[:, -1]
 
-    out: dict[int, ProbabilityBounds] = {}
-    for oid in candidate_ids:
-        e = edges[oid]
-        m = masses[oid]
-        lo_total = 0.0
-        hi_total = 0.0
-        for b in range(len(m)):
-            r_lo, r_hi = e[b], e[b + 1]
-            opt = 1.0
-            pes = 1.0
-            for other in candidate_ids:
-                if other == oid:
-                    continue
-                opt *= surv_above(other, r_lo, optimistic=True)
-                pes *= surv_above(other, r_hi, optimistic=False)
-            hi_total += m[b] * opt
-            lo_total += m[b] * pes
-        out[oid] = ProbabilityBounds(
-            lower=float(min(lo_total, 1.0)),
-            upper=float(min(hi_total, 1.0)),
+    # Exact bin masses from cumulative weights at the edges: bins are
+    # [lo, hi) except the last, which closes at the support maximum.
+    lt_w = _rank_cumweights(SD, SW, E, needles_first=True)
+    le_w = _rank_cumweights(SD, SW, E, needles_first=False)
+    mass = np.diff(lt_w, axis=1)
+    mass[:, -1] = le_w[:, -1] - lt_w[:, -2]
+
+    # surv_above for every (competitor, radius) pair at once.  The
+    # optimistic factor counts bins whose hi edge exceeds r, the
+    # pessimistic one bins whose lo edge does; both are one rank pass
+    # of the radii grid against the competitor's sorted edge rows.
+    total = mass.sum(axis=1, keepdims=True)
+    R_lo = np.broadcast_to(E[:, :-1].reshape(1, -1), (n, n * n_bins))
+    R_hi = np.broadcast_to(E[:, 1:].reshape(1, -1), (n, n * n_bins))
+    hi_edges = E[:, 1:]
+    lo_edges = E[:, :-1]
+    opt = np.minimum(
+        1.0,
+        total - _rank_cumweights(hi_edges, mass, R_lo, needles_first=False),
+    ).reshape(n, n, n_bins)
+    pes = np.minimum(
+        1.0,
+        total - _rank_cumweights(lo_edges, mass, R_hi, needles_first=False),
+    ).reshape(n, n, n_bins)
+
+    # Products over rivals (self excluded), then mass-weighted sums.
+    self_idx = np.arange(n)
+    opt[self_idx, self_idx, :] = 1.0
+    pes[self_idx, self_idx, :] = 1.0
+    hi_total = (mass * opt.prod(axis=0)).sum(axis=1)
+    lo_total = (mass * pes.prod(axis=0)).sum(axis=1)
+
+    return {
+        oid: ProbabilityBounds(
+            lower=float(min(lo_total[i], 1.0)),
+            upper=float(min(hi_total[i], 1.0)),
         )
-    return out
+        for i, oid in enumerate(candidate_ids)
+    }
 
 
 class VerifierEngine(BaseEngine):
@@ -219,21 +213,29 @@ class VerifierEngine(BaseEngine):
         self, q: np.ndarray, ids: list[int], params: dict
     ) -> dict[int, bool]:
         tau = params["tau"]
-        bounds = probability_bounds(self.dataset, ids, q, self.n_bins)
+        bounds = probability_bounds(
+            self.dataset, ids, q, self.n_bins, stats=self.stats
+        )
         undecided = [
             oid
             for oid in ids
             if bounds[oid].lower < tau <= bounds[oid].upper
         ]
+        undecided_set = set(undecided)
         decided = {
             oid: bounds[oid].lower >= tau
             for oid in ids
-            if oid not in set(undecided)
+            if oid not in undecided_set
         }
         self.verified_only += len(decided)
         if undecided:
-            # Exact fallback over the full candidate set (rivals matter).
-            exact = qualification_probabilities(self.dataset, ids, q)
+            # Exact fallback: every candidate stays in the survival
+            # products (rivals matter), but only the undecided are
+            # evaluated.
+            exact = qualification_probabilities(
+                self.dataset, ids, q,
+                evaluate_ids=undecided, stats=self.stats,
+            )
             self.exact_evaluations += len(undecided)
             for oid in undecided:
                 decided[oid] = exact[oid] >= tau

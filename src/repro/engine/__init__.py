@@ -10,7 +10,15 @@ only their probability-computation step.
 """
 
 from .base import BaseEngine, normalize_engine_args
-from .batch import batched_qualification_probabilities, group_by_candidates
+from .batch import (
+    KERNEL_CHUNK_BYTES,
+    batched_qualification_probabilities,
+    element_survival_probabilities,
+    element_survivals,
+    group_by_candidates,
+    instance_distance_matrix,
+    survival_products,
+)
 from .cache import CandidateMemo, LRUCache
 from .cost import CostEstimate, expected_candidates
 from .frozen import FrozenDict, readonly_array
@@ -37,5 +45,10 @@ __all__ = [
     "LRUCache",
     "CandidateMemo",
     "batched_qualification_probabilities",
+    "element_survival_probabilities",
+    "element_survivals",
     "group_by_candidates",
+    "instance_distance_matrix",
+    "survival_products",
+    "KERNEL_CHUNK_BYTES",
 ]

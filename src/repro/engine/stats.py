@@ -23,9 +23,11 @@ from ..storage.pager import IOStats
 
 __all__ = ["ExecutionStats"]
 
-#: Scalar counters in :meth:`ExecutionStats.capture` tuple order — the
-#: single source of truth shared by ``capture``/``delta_since`` (a new
-#: counter is added here once; the I/O reads/writes follow at the end).
+#: Scalar counters in :meth:`ExecutionStats.capture` tuple order (the
+#: I/O reads/writes follow at the end).  ``capture``/``delta_since``
+#: spell the attributes out for speed; keep all three in sync when
+#: adding a counter (the capture/delta equivalence test catches
+#: drift).
 _SCALAR_FIELDS = (
     "object_retrieval",
     "probability_computation",
@@ -36,6 +38,8 @@ _SCALAR_FIELDS = (
     "memo_hits",
     "invalidations",
     "retriever_fallbacks",
+    "kernel_gather_seconds",
+    "kernel_eval_seconds",
 )
 
 
@@ -72,6 +76,14 @@ class ExecutionStats:
     #: Epoch drifts where the configured index retriever was itself
     #: stale and the engine swapped in the exact brute-force fallback.
     retriever_fallbacks: int = 0
+    #: Step-2 seconds spent gathering candidate pdfs from the packed
+    #: :class:`~repro.uncertain.InstanceStore` (a subset of
+    #: :attr:`probability_computation`).
+    kernel_gather_seconds: float = 0.0
+    #: Step-2 seconds spent in the tensorized probability kernel itself
+    #: (distances, sorts, survival products — the other subset of
+    #: :attr:`probability_computation`).
+    kernel_eval_seconds: float = 0.0
     #: Simulated page traffic of Step 1 (index descent / leaf reads).
     or_io: IOStats = field(default_factory=IOStats)
     #: Simulated page traffic of Step 2 (secondary pdf fetches).
@@ -108,6 +120,8 @@ class ExecutionStats:
         self.memo_hits = 0
         self.invalidations = 0
         self.retriever_fallbacks = 0
+        self.kernel_gather_seconds = 0.0
+        self.kernel_eval_seconds = 0.0
         self.or_io.reset()
         self.pc_io.reset()
 
@@ -123,6 +137,8 @@ class ExecutionStats:
             memo_hits=self.memo_hits,
             invalidations=self.invalidations,
             retriever_fallbacks=self.retriever_fallbacks,
+            kernel_gather_seconds=self.kernel_gather_seconds,
+            kernel_eval_seconds=self.kernel_eval_seconds,
             or_io=self.or_io.snapshot(),
             pc_io=self.pc_io.snapshot(),
         )
@@ -133,12 +149,24 @@ class ExecutionStats:
         Pair with :meth:`delta_since` on serving hot paths (one tuple
         allocation instead of three objects per bracket); semantics
         match ``snapshot()`` + ``delta()`` exactly (asserted by an
-        equivalence test), with :data:`_SCALAR_FIELDS` as the one
-        source of the tuple order.
+        equivalence test).  The attribute order is
+        :data:`_SCALAR_FIELDS` then the I/O reads/writes — spelled out
+        here (not via getattr over the field list) because this runs
+        once per served query and the direct tuple is several times
+        cheaper.
         """
-        return tuple(
-            getattr(self, name) for name in _SCALAR_FIELDS
-        ) + (
+        return (
+            self.object_retrieval,
+            self.probability_computation,
+            self.queries,
+            self.batches,
+            self.cache_hits,
+            self.dedup_hits,
+            self.memo_hits,
+            self.invalidations,
+            self.retriever_fallbacks,
+            self.kernel_gather_seconds,
+            self.kernel_eval_seconds,
             self.or_io.reads,
             self.or_io.writes,
             self.pc_io.reads,
@@ -147,20 +175,27 @@ class ExecutionStats:
 
     def delta_since(self, captured: tuple) -> "ExecutionStats":
         """Counters accumulated since a :meth:`capture` marker."""
-        n = len(_SCALAR_FIELDS)
-        scalars = {
-            name: getattr(self, name) - captured[i]
-            for i, name in enumerate(_SCALAR_FIELDS)
-        }
         return ExecutionStats(
-            **scalars,
+            object_retrieval=self.object_retrieval - captured[0],
+            probability_computation=self.probability_computation
+            - captured[1],
+            queries=self.queries - captured[2],
+            batches=self.batches - captured[3],
+            cache_hits=self.cache_hits - captured[4],
+            dedup_hits=self.dedup_hits - captured[5],
+            memo_hits=self.memo_hits - captured[6],
+            invalidations=self.invalidations - captured[7],
+            retriever_fallbacks=self.retriever_fallbacks - captured[8],
+            kernel_gather_seconds=self.kernel_gather_seconds
+            - captured[9],
+            kernel_eval_seconds=self.kernel_eval_seconds - captured[10],
             or_io=IOStats(
-                reads=self.or_io.reads - captured[n],
-                writes=self.or_io.writes - captured[n + 1],
+                reads=self.or_io.reads - captured[11],
+                writes=self.or_io.writes - captured[12],
             ),
             pc_io=IOStats(
-                reads=self.pc_io.reads - captured[n + 2],
-                writes=self.pc_io.writes - captured[n + 3],
+                reads=self.pc_io.reads - captured[13],
+                writes=self.pc_io.writes - captured[14],
             ),
         )
 
@@ -179,6 +214,10 @@ class ExecutionStats:
             invalidations=self.invalidations - earlier.invalidations,
             retriever_fallbacks=self.retriever_fallbacks
             - earlier.retriever_fallbacks,
+            kernel_gather_seconds=self.kernel_gather_seconds
+            - earlier.kernel_gather_seconds,
+            kernel_eval_seconds=self.kernel_eval_seconds
+            - earlier.kernel_eval_seconds,
             or_io=self.or_io.delta(earlier.or_io),
             pc_io=self.pc_io.delta(earlier.pc_io),
         )

@@ -10,11 +10,14 @@ from .generators import (
 )
 from .objects import UncertainObject
 from .pdfs import gaussian_pdf, point_pdf, uniform_pdf
+from .store import GatherBlock, InstanceStore
 
 __all__ = [
     "UncertainObject",
     "UncertainDataset",
     "check_index_in_sync",
+    "InstanceStore",
+    "GatherBlock",
     "uniform_pdf",
     "gaussian_pdf",
     "point_pdf",

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..geometry import Rect
 from .objects import UncertainObject
+from .store import InstanceStore
 
 __all__ = ["UncertainDataset", "check_index_in_sync"]
 
@@ -91,6 +92,7 @@ class UncertainDataset:
         self._epoch = 0
         self._rows: dict[int, int] = {o.oid: i for i, o in enumerate(objs)}
         self._next_row = len(objs)
+        self._store: InstanceStore | None = None
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -165,6 +167,18 @@ class UncertainDataset:
         __, los, his = self.packed_regions()
         return (los + his) / 2.0
 
+    def instance_store(self) -> InstanceStore:
+        """The packed pdf store backing the Step-2 kernels.
+
+        Built lazily on first use and thereafter maintained
+        incrementally through :meth:`insert` / :meth:`delete`, so it is
+        always at the dataset's live epoch — the kernels gather
+        candidate pdfs from it without any staleness window.
+        """
+        if self._store is None:
+            self._store = InstanceStore(self, _owned=True)
+        return self._store
+
     # ------------------------------------------------------------------
     # Mutation (used by the update experiments)
     # ------------------------------------------------------------------
@@ -181,6 +195,8 @@ class UncertainDataset:
         self._rows[obj.oid] = self._next_row
         self._next_row += 1
         self._epoch += 1
+        if self._store is not None:
+            self._store.apply_insert(obj, self._epoch)
 
     def delete(self, oid: int) -> UncertainObject:
         """Remove and return the object with id ``oid``."""
@@ -194,6 +210,8 @@ class UncertainDataset:
         self._packed_cache = None
         del self._rows[oid]
         self._epoch += 1
+        if self._store is not None:
+            self._store.apply_delete(oid, self._epoch)
         return obj
 
     def copy(self) -> "UncertainDataset":

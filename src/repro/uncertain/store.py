@@ -1,0 +1,269 @@
+"""Packed instance storage — the Step-2 kernel's data layout.
+
+Step 2 (probability computation) touches every candidate's discrete
+pdf.  Reading those through per-object ``UncertainObject.instances``
+arrays costs a dict lookup, an attribute fetch, and a separate numpy
+dispatch per object per query — the Python-level overhead that made PC
+wall-clock swamp OR in the paper's Figure 9(b) split.  The
+:class:`InstanceStore` packs every object's instances into one
+contiguous ``(total_samples, d)`` matrix with an offsets table (the
+classic variable-length-rows layout), so a whole candidate set is
+gathered with one fancy-index operation and the kernel runs on a dense
+``(n, m, d)`` block.
+
+The store is **epoch-aware** and **incrementally maintained**: the
+owning :class:`~repro.uncertain.dataset.UncertainDataset` applies every
+:meth:`insert` / :meth:`delete` to it in the same mutation (appends are
+amortized O(m) via capacity doubling; deletes compact the packed
+arrays), and the store records the epoch it is valid for.  A store
+built standalone against a dataset that has since mutated refuses to
+gather — the same ``check_index_in_sync`` contract the maintained
+Step-1 indexes follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .objects import UncertainObject
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .dataset import UncertainDataset
+
+__all__ = ["GatherBlock", "InstanceStore"]
+
+
+@dataclass(frozen=True)
+class GatherBlock:
+    """One candidate set's pdfs as dense padded arrays.
+
+    Objects may carry different instance counts; rows are padded to the
+    longest by replicating the object's last instance with **zero
+    weight**, which is invisible to every downstream computation
+    (padded entries add nothing to cumulative weights or final dot
+    products).  ``lengths`` records the true per-object counts.
+    """
+
+    #: ``(n, m_max, d)`` padded instance coordinates.
+    instances: np.ndarray
+    #: ``(n, m_max)`` instance weights; exactly 0.0 on padding.
+    weights: np.ndarray
+    #: ``(n,)`` true instance counts per object.
+    lengths: np.ndarray
+
+    @property
+    def uniform(self) -> bool:
+        """True when no padding was needed (all objects share one m)."""
+        return bool(
+            (self.lengths == self.instances.shape[1]).all()
+        )
+
+
+class InstanceStore:
+    """Contiguous instance matrix + offsets over one dataset.
+
+    Layout (the ``querytorque`` packed-rows idiom):
+
+    * ``instances`` — ``(total_samples, d)`` float64, all objects'
+      pdf sample points back to back in slot order;
+    * ``weights`` — ``(total_samples,)`` float64, aligned;
+    * ``offsets`` — ``(n_objects + 1,)`` int64, object ``s`` owns rows
+      ``offsets[s]:offsets[s + 1]``.
+
+    Appends amortize to O(m) through capacity doubling; deletes shift
+    the tail down in one slice move (O(total) worst case, same as any
+    compacting array).  ``epoch`` stamps the dataset mutation epoch the
+    contents reflect.
+    """
+
+    def __init__(
+        self,
+        dataset: "UncertainDataset",
+        *,
+        _owned: bool = False,
+    ) -> None:
+        self._dataset = dataset
+        #: True when the dataset itself maintains this store through
+        #: its ``insert`` / ``delete`` (then it can never go stale).
+        self._owned = _owned
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _rebuild(self) -> None:
+        """Pack every object from scratch (build and resync path)."""
+        ds = self._dataset
+        objs = list(ds)
+        counts = np.fromiter(
+            (o.n_instances for o in objs), dtype=np.int64, count=len(objs)
+        )
+        total = int(counts.sum())
+        self._n = len(objs)
+        self._size = total
+        self._instances = np.empty((total, ds.dims), dtype=np.float64)
+        self._weights = np.empty(total, dtype=np.float64)
+        self._offsets = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._offsets[1:])
+        self._slot_of: dict[int, int] = {}
+        for slot, obj in enumerate(objs):
+            start, end = self._offsets[slot], self._offsets[slot + 1]
+            self._instances[start:end] = obj.instances
+            self._weights[start:end] = obj.weights
+            self._slot_of[obj.oid] = slot
+        self._oids: list[int] = [o.oid for o in objs]
+        self.epoch = ds.epoch
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def total_samples(self) -> int:
+        """Total packed instance rows across all objects."""
+        return self._size
+
+    @property
+    def dims(self) -> int:
+        return self._instances.shape[1]
+
+    @property
+    def instances(self) -> np.ndarray:
+        """The live ``(total_samples, d)`` packed matrix (read view)."""
+        return self._instances[: self._size]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The live ``(total_samples,)`` aligned weights (read view)."""
+        return self._weights[: self._size]
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """The live ``(n_objects + 1,)`` offsets table (read view)."""
+        return self._offsets[: self._n + 1]
+
+    def slot_of(self, oid: int) -> int:
+        """Packed slot of an object (its row range in ``offsets``)."""
+        return self._slot_of[oid]
+
+    def nbytes(self) -> int:
+        """Allocated bytes of the packed arrays (capacity included)."""
+        return (
+            self._instances.nbytes
+            + self._weights.nbytes
+            + self._offsets.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (called by UncertainDataset mutation)
+    # ------------------------------------------------------------------
+    def apply_insert(self, obj: UncertainObject, epoch: int) -> None:
+        """Append one object's rows; O(m) amortized via doubling."""
+        m = obj.n_instances
+        need = self._size + m
+        if need > len(self._weights):
+            cap = max(need, 2 * len(self._weights), 64)
+            grown_i = np.empty((cap, self.dims), dtype=np.float64)
+            grown_i[: self._size] = self._instances[: self._size]
+            grown_w = np.empty(cap, dtype=np.float64)
+            grown_w[: self._size] = self._weights[: self._size]
+            self._instances, self._weights = grown_i, grown_w
+        self._instances[self._size : need] = obj.instances
+        self._weights[self._size : need] = obj.weights
+        if self._n + 2 > len(self._offsets):
+            grown_o = np.zeros(
+                max(self._n + 2, 2 * len(self._offsets)), dtype=np.int64
+            )
+            grown_o[: self._n + 1] = self._offsets[: self._n + 1]
+            self._offsets = grown_o
+        self._offsets[self._n + 1] = need
+        self._slot_of[obj.oid] = self._n
+        self._oids.append(obj.oid)
+        self._n += 1
+        self._size = need
+        self.epoch = epoch
+
+    def apply_delete(self, oid: int, epoch: int) -> None:
+        """Remove one object's rows, shifting the tail down once."""
+        slot = self._slot_of.pop(oid)
+        start = int(self._offsets[slot])
+        end = int(self._offsets[slot + 1])
+        m = end - start
+        self._instances[start : self._size - m] = self._instances[
+            end : self._size
+        ]
+        self._weights[start : self._size - m] = self._weights[
+            end : self._size
+        ]
+        self._offsets[slot : self._n] = self._offsets[slot + 1 : self._n + 1]
+        self._offsets[slot : self._n] -= m
+        del self._oids[slot]
+        for moved in self._oids[slot:]:
+            self._slot_of[moved] -= 1
+        self._n -= 1
+        self._size -= m
+        self.epoch = epoch
+
+    # ------------------------------------------------------------------
+    # The kernel's entry point
+    # ------------------------------------------------------------------
+    def gather(self, ids: Sequence[int]) -> GatherBlock:
+        """Dense padded ``(n, m_max, d)`` block for a candidate set.
+
+        One fancy-index into the packed matrix replaces per-object
+        attribute walks.  Raises when the store no longer reflects the
+        dataset (mutated without maintenance) — stale pdfs must never
+        feed a probability computation.
+        """
+        from .dataset import check_index_in_sync
+
+        if not self._owned:
+            check_index_in_sync(self.epoch, self._dataset, "InstanceStore")
+        slots = np.fromiter(
+            (self._slot_of[oid] for oid in ids),
+            dtype=np.int64,
+            count=len(ids),
+        )
+        starts = self._offsets[slots]
+        lengths = self._offsets[slots + 1] - starts
+        m_max = int(lengths.max()) if len(lengths) else 0
+        # Padding replicates each object's last row; its weight is
+        # zeroed below, making the pad invisible to every consumer.
+        span = np.arange(m_max, dtype=np.int64)
+        rows = starts[:, None] + np.minimum(span[None, :], lengths[:, None] - 1)
+        block = self._instances[rows]
+        weights = self._weights[rows]
+        if not bool((lengths == m_max).all()):
+            weights = weights * (span[None, :] < lengths[:, None])
+        return GatherBlock(
+            instances=block, weights=weights, lengths=lengths
+        )
+
+    def matches_dataset(self) -> bool:
+        """Exact content check against a scratch rebuild (test hook)."""
+        ds = self._dataset
+        if self._n != len(ds) or self._oids != ds.ids:
+            return False
+        for oid in ds.ids:
+            slot = self._slot_of[oid]
+            start, end = self._offsets[slot], self._offsets[slot + 1]
+            obj = ds[oid]
+            if end - start != obj.n_instances:
+                return False
+            if not (
+                np.array_equal(self._instances[start:end], obj.instances)
+                and np.array_equal(self._weights[start:end], obj.weights)
+            ):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"InstanceStore(n={self._n}, total={self._size}, "
+            f"dims={self.dims}, epoch={self.epoch})"
+        )

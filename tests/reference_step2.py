@@ -1,0 +1,291 @@
+"""Pre-tensorization Step-2 implementations, kept as test oracles.
+
+These are the dict-of-arrays, per-pair-``searchsorted`` kernels the
+engines ran before the packed :class:`~repro.uncertain.InstanceStore`
+and the global-sort kernel replaced them.  They are deliberately
+retained verbatim (modulo imports) so the differential property tests
+in ``tests/test_step2_kernel.py`` — and the old-vs-new benchmark in
+``benchmarks/bench_step2_kernel.py`` — can pin the tensorized paths
+against the original math: same half-weight tie convention, same
+clamp, answers within 1e-9.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "reference_qualification_probabilities",
+    "reference_knn_probabilities",
+    "reference_groupnn_probabilities",
+    "reference_reverse_instance_probability",
+    "reference_probability_bounds",
+]
+
+
+def reference_qualification_probabilities(
+    dataset,
+    candidate_ids,
+    queries,
+    evaluate_ids=None,
+):
+    """The seed ``batched_qualification_probabilities`` (PR 1–3 era)."""
+    Q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    b = len(Q)
+    if not candidate_ids:
+        return [{} for _ in range(b)]
+    if evaluate_ids is None:
+        evaluate_ids = candidate_ids
+    else:
+        missing = set(evaluate_ids) - set(candidate_ids)
+        if missing:
+            raise ValueError(
+                f"evaluate_ids not among candidates: {sorted(missing)}"
+            )
+    if len(candidate_ids) == 1:
+        only = candidate_ids[0]
+        row = {only: 1.0} if only in evaluate_ids else {}
+        return [dict(row) for _ in range(b)]
+
+    dists: dict[int, np.ndarray] = {}
+    weights: dict[int, np.ndarray] = {}
+    sorted_dists: dict[int, np.ndarray] = {}
+    cum_weights: dict[int, np.ndarray] = {}
+    for oid in candidate_ids:
+        obj = dataset[oid]
+        diff = obj.instances[None, :, :] - Q[:, None, :]
+        d = np.sqrt(np.einsum("bmd,bmd->bm", diff, diff))
+        order = np.argsort(d, axis=1)
+        w = np.broadcast_to(obj.weights, d.shape)
+        dists[oid] = d
+        weights[oid] = obj.weights
+        sorted_dists[oid] = np.take_along_axis(d, order, axis=1)
+        cum_weights[oid] = np.concatenate(
+            [
+                np.zeros((b, 1)),
+                np.cumsum(np.take_along_axis(w, order, axis=1), axis=1),
+            ],
+            axis=1,
+        )
+
+    def survival(oid: int, row: int, radii: np.ndarray) -> np.ndarray:
+        sd = sorted_dists[oid][row]
+        cw = cum_weights[oid][row]
+        le = cw[np.searchsorted(sd, radii, side="right")]
+        lt = cw[np.searchsorted(sd, radii, side="left")]
+        return 1.0 - 0.5 * (le + lt)
+
+    out: list[dict[int, float]] = []
+    for row in range(b):
+        probs: dict[int, float] = {}
+        for oid in evaluate_ids:
+            radii = dists[oid][row]
+            prod = np.ones(len(radii))
+            for other in candidate_ids:
+                if other == oid:
+                    continue
+                prod *= survival(other, row, radii)
+            probs[oid] = float(
+                np.clip(np.dot(weights[oid], prod), 0.0, 1.0)
+            )
+        out.append(probs)
+    return out
+
+
+def reference_knn_probabilities(dataset, ids, q, k):
+    """The seed ``KNNEngine._probabilities`` (Poisson-binomial DP)."""
+    q = np.asarray(q, dtype=np.float64)
+    if not ids:
+        return {}
+    if len(ids) <= k:
+        return {oid: 1.0 for oid in ids}
+
+    sorted_d: dict[int, np.ndarray] = {}
+    cum_w: dict[int, np.ndarray] = {}
+    dists: dict[int, np.ndarray] = {}
+    weights: dict[int, np.ndarray] = {}
+    for oid in ids:
+        obj = dataset[oid]
+        d = obj.distance_samples(q)
+        order = np.argsort(d)
+        dists[oid] = d
+        weights[oid] = obj.weights
+        sorted_d[oid] = d[order]
+        cum_w[oid] = np.concatenate(
+            ([0.0], np.cumsum(obj.weights[order]))
+        )
+
+    def closer_prob(oid: int, radii: np.ndarray) -> np.ndarray:
+        sd = sorted_d[oid]
+        cw = cum_w[oid]
+        lt = cw[np.searchsorted(sd, radii, side="left")]
+        le = cw[np.searchsorted(sd, radii, side="right")]
+        return 0.5 * (lt + le)
+
+    out: dict[int, float] = {}
+    for oid in ids:
+        radii = dists[oid]
+        m = len(radii)
+        others = [x for x in ids if x != oid]
+        p = np.stack([closer_prob(x, radii) for x in others])
+        dp = np.zeros((k, m))
+        dp[0] = 1.0
+        for t in range(len(others)):
+            pt = p[t]
+            for j in range(min(t + 1, k - 1), 0, -1):
+                dp[j] = dp[j] * (1.0 - pt) + dp[j - 1] * pt
+            dp[0] = dp[0] * (1.0 - pt)
+        tail = dp.sum(axis=0)
+        out[oid] = float(np.clip(np.dot(weights[oid], tail), 0.0, 1.0))
+    return out
+
+
+def reference_groupnn_probabilities(dataset, ids, q, aggregate):
+    """The seed ``GroupNNEngine._probabilities``."""
+    aggregators = {
+        "sum": lambda d: d.sum(axis=-1),
+        "max": lambda d: d.max(axis=-1),
+        "min": lambda d: d.min(axis=-1),
+    }
+    if not ids:
+        return {}
+    if len(ids) == 1:
+        return {ids[0]: 1.0}
+    agg = aggregators[aggregate]
+
+    adists: dict[int, np.ndarray] = {}
+    weights: dict[int, np.ndarray] = {}
+    sorted_d: dict[int, np.ndarray] = {}
+    cum_w: dict[int, np.ndarray] = {}
+    for oid in ids:
+        obj = dataset[oid]
+        diff = obj.instances[:, None, :] - q[None, :, :]
+        d = agg(np.sqrt(np.einsum("mqd,mqd->mq", diff, diff)))
+        order = np.argsort(d)
+        adists[oid] = d
+        weights[oid] = obj.weights
+        sorted_d[oid] = d[order]
+        cum_w[oid] = np.concatenate(
+            ([0.0], np.cumsum(obj.weights[order]))
+        )
+
+    def survival(oid: int, radii: np.ndarray) -> np.ndarray:
+        sd = sorted_d[oid]
+        cw = cum_w[oid]
+        le = cw[np.searchsorted(sd, radii, side="right")]
+        lt = cw[np.searchsorted(sd, radii, side="left")]
+        return 1.0 - 0.5 * (le + lt)
+
+    out: dict[int, float] = {}
+    for oid in ids:
+        radii = adists[oid]
+        prod = np.ones(len(radii))
+        for other in ids:
+            if other == oid:
+                continue
+            prod *= survival(other, radii)
+        out[oid] = float(np.clip(np.dot(weights[oid], prod), 0.0, 1.0))
+    return out
+
+
+def reference_reverse_instance_probability(dataset, oid, query):
+    """The seed ``ReverseNNEngine._instance_probability``."""
+    obj = dataset[oid]
+    others = [
+        x for x in dataset if x.oid != oid and x.oid != query.oid
+    ]
+
+    diff = obj.instances[:, None, :] - query.instances[None, :, :]
+    dq = np.sqrt(np.einsum("mnd,mnd->mn", diff, diff))
+
+    total = 0.0
+    for m, (p, w) in enumerate(zip(obj.instances, obj.weights)):
+        radii = dq[m]
+        prod = np.ones(len(radii))
+        for x in others:
+            dx = np.sqrt(
+                np.einsum("nd,nd->n", x.instances - p, x.instances - p)
+            )
+            order = np.argsort(dx)
+            sd = dx[order]
+            cw = np.concatenate(([0.0], np.cumsum(x.weights[order])))
+            le = cw[np.searchsorted(sd, radii, side="right")]
+            lt = cw[np.searchsorted(sd, radii, side="left")]
+            prod *= 1.0 - 0.5 * (le + lt)
+            if not prod.any():
+                break
+        total += w * float(np.dot(query.weights, prod))
+    return float(np.clip(total, 0.0, 1.0))
+
+
+def reference_probability_bounds(dataset, candidate_ids, query, n_bins=8):
+    """The seed ``probability_bounds`` (pure-Python surv_above loops).
+
+    Returns ``oid -> (lower, upper)`` tuples so the oracle has no
+    dependency on the library's ``ProbabilityBounds`` validation.
+    """
+    q = np.asarray(query, dtype=np.float64)
+    if not candidate_ids:
+        return {}
+    if len(candidate_ids) == 1:
+        return {candidate_ids[0]: (1.0, 1.0)}
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+
+    edges: dict[int, np.ndarray] = {}
+    masses: dict[int, np.ndarray] = {}
+    for oid in candidate_ids:
+        obj = dataset[oid]
+        d = np.sort(obj.distance_samples(q))
+        qs = np.linspace(0.0, 1.0, n_bins + 1)
+        e = np.quantile(d, qs)
+        e[0] = d[0]
+        e[-1] = d[-1]
+        w = np.asarray(obj.weights)
+        order = np.argsort(obj.distance_samples(q))
+        dw = w[order]
+        ds = obj.distance_samples(q)[order]
+        mass = np.empty(n_bins)
+        for b in range(n_bins):
+            lo, hi = e[b], e[b + 1]
+            if b == n_bins - 1:
+                sel = (ds >= lo) & (ds <= hi)
+            else:
+                sel = (ds >= lo) & (ds < hi)
+            mass[b] = dw[sel].sum()
+        edges[oid] = e
+        masses[oid] = mass
+
+    def surv_above(oid: int, r: float, optimistic: bool) -> float:
+        e = edges[oid]
+        m = masses[oid]
+        total = 0.0
+        for b in range(len(m)):
+            lo, hi = e[b], e[b + 1]
+            if optimistic:
+                if hi > r:
+                    total += m[b]
+            else:
+                if lo > r:
+                    total += m[b]
+        return min(1.0, total)
+
+    out: dict[int, tuple[float, float]] = {}
+    for oid in candidate_ids:
+        e = edges[oid]
+        m = masses[oid]
+        lo_total = 0.0
+        hi_total = 0.0
+        for b in range(len(m)):
+            r_lo, r_hi = e[b], e[b + 1]
+            opt = 1.0
+            pes = 1.0
+            for other in candidate_ids:
+                if other == oid:
+                    continue
+                opt *= surv_above(other, r_lo, optimistic=True)
+                pes *= surv_above(other, r_hi, optimistic=False)
+            hi_total += m[b] * opt
+            lo_total += m[b] * pes
+        out[oid] = (float(min(lo_total, 1.0)), float(min(hi_total, 1.0)))
+    return out

@@ -125,6 +125,56 @@ class TestCalibration:
         db.nn(ds.domain.center)
         assert db.planner.observed_step1_us("brute", "nn") is not None
 
+    def test_step2_observation_is_an_ema(self):
+        planner = Planner(ema_alpha=0.5)
+        assert planner.observed_step2_us("nn") is None
+        planner.observe_step2(
+            "nn", 100e-6, gather_seconds=20e-6, eval_seconds=60e-6
+        )
+        planner.observe_step2(
+            "nn", 200e-6, gather_seconds=40e-6, eval_seconds=120e-6
+        )
+        observed = planner.observed_step2_us("nn")
+        assert observed["step2"] == pytest.approx(150.0)
+        assert observed["gather"] == pytest.approx(30.0)
+        assert observed["eval"] == pytest.approx(90.0)
+
+    def test_observed_step2_replaces_the_static_seed(self):
+        # Before any observation the score carries the static
+        # quadratic seed; after, the observed EMA — visible as a
+        # change in every retriever's total while the ranking basis
+        # (step1) is untouched.
+        db = Database(make_dataset(300, dims=2))
+        before = db.explain("nn")
+        assert before.step2_observed == {}
+        db.planner.observe_step2(
+            "nn", 1.0, gather_seconds=0.25, eval_seconds=0.75
+        )
+        db.planner.invalidate()
+        after = db.explain("nn")
+        assert after.step2_observed["step2"] == pytest.approx(1e6)
+        assert after.step2_observed["gather"] == pytest.approx(0.25e6)
+        assert after.step2_observed["eval"] == pytest.approx(0.75e6)
+        # The (shared) step2 term moved every score by the same delta.
+        deltas = {
+            name: after.scores[name] - before.scores[name]
+            for name in after.scores
+        }
+        assert len(set(round(d, 6) for d in deltas.values())) == 1
+        # ... and the breakdown is surfaced by describe()/db.explain.
+        assert "step2 1000000.0 us observed" in after.describe()
+
+    def test_queries_feed_step2_observations_back(self):
+        ds = make_dataset(60, seed=7)
+        db = Database(ds)
+        assert db.planner.observed_step2_us("nn") is None
+        db.nn(ds.domain.center)
+        observed = db.planner.observed_step2_us("nn")
+        assert observed is not None
+        assert observed["step2"] >= 0.0
+        assert observed["gather"] >= 0.0
+        assert observed["eval"] >= 0.0
+
     def test_feedback_applies_without_epoch_drift(self):
         # On a mutation-free session, observations must still reach
         # the plans: every `replan_every` observations the calibration

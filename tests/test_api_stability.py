@@ -85,6 +85,9 @@ PINNED = {
     Database.delete: "(self, oid: 'int') -> 'UncertainObject'",
     Planner.observe: "(self, retriever: 'str', kind: 'str', "
     "step1_seconds: 'float') -> 'None'",
+    Planner.observe_step2: "(self, kind: 'str', "
+    "step2_seconds: 'float', gather_seconds: 'float' = 0.0, "
+    "eval_seconds: 'float' = 0.0) -> 'None'",
 }
 
 

@@ -190,6 +190,9 @@ class TestExecutionStats:
         # capture()/delta_since() are the hot-path twins of
         # snapshot()/delta(): field-for-field equivalent, including
         # the I/O tail (guards the shared tuple-order contract).
+        # Every scalar starts at a distinct non-zero value and every
+        # scalar is perturbed by a distinct amount, so any index
+        # mix-up between capture() and delta_since() shows up.
         stats = ExecutionStats(
             object_retrieval=1.5,
             probability_computation=2.5,
@@ -200,17 +203,30 @@ class TestExecutionStats:
             memo_hits=4,
             invalidations=2,
             retriever_fallbacks=1,
+            kernel_gather_seconds=0.25,
+            kernel_eval_seconds=0.75,
             or_io=IOStats(reads=5, writes=6),
             pc_io=IOStats(reads=7, writes=8),
         )
         captured = stats.capture()
         snap = stats.snapshot()
         stats.object_retrieval += 0.5
+        stats.probability_computation += 1.25
         stats.queries += 2
+        stats.batches += 6
+        stats.cache_hits += 7
+        stats.dedup_hits += 8
+        stats.memo_hits += 9
         stats.invalidations += 1
+        stats.retriever_fallbacks += 5
+        stats.kernel_gather_seconds += 0.0625
+        stats.kernel_eval_seconds += 0.125
         stats.or_io.reads += 3
         stats.pc_io.writes += 4
-        assert stats.delta_since(captured) == stats.delta(snap)
+        delta = stats.delta_since(captured)
+        assert delta == stats.delta(snap)
+        assert delta.kernel_gather_seconds == 0.0625
+        assert delta.kernel_eval_seconds == 0.125
 
     def test_io_properties_combine_phases(self):
         stats = ExecutionStats(

@@ -1,0 +1,320 @@
+"""Differential tests: tensorized Step-2 kernel vs the retained reference.
+
+The packed-store kernel in :mod:`repro.engine.batch` must agree with
+the pre-tensorization implementations (``tests/reference_step2.py``)
+to 1e-9 across the whole parameter space the engines exercise: 1–50
+candidates, batched query blocks, duplicated/tied distances, objects
+with differing instance counts (exercising the store's zero-weight
+padding), ``evaluate_ids`` subsets, and the degenerate empty/single
+candidate cases — and through all seven engines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from reference_step2 import (
+    reference_groupnn_probabilities,
+    reference_knn_probabilities,
+    reference_probability_bounds,
+    reference_qualification_probabilities,
+    reference_reverse_instance_probability,
+)
+from repro import synthetic_dataset
+from repro.core import (
+    ExpectedNNEngine,
+    GroupNNEngine,
+    KNNEngine,
+    PNNQEngine,
+    ReverseNNEngine,
+    TopKEngine,
+    VerifierEngine,
+    probability_bounds,
+    qualification_probabilities,
+)
+from repro.engine import batched_qualification_probabilities
+from repro.geometry import Rect
+from repro.uncertain import UncertainDataset, UncertainObject
+
+TOL = 1e-9
+
+
+def _assert_close(new: dict, ref: dict) -> None:
+    assert new.keys() == ref.keys()
+    for oid in ref:
+        assert new[oid] == pytest.approx(ref[oid], abs=TOL), oid
+
+
+def variable_m_dataset(seed: int, n: int = 12) -> UncertainDataset:
+    """Objects with differing instance counts (forces store padding)."""
+    rng = np.random.default_rng(seed)
+    objs = []
+    for oid in range(n):
+        m = int(rng.integers(1, 12))
+        center = rng.uniform(0.0, 100.0, 2)
+        inst = center + rng.uniform(-4.0, 4.0, (m, 2))
+        w = rng.uniform(0.1, 1.0, m)
+        w /= w.sum()
+        objs.append(
+            UncertainObject(
+                oid,
+                Rect(inst.min(axis=0), inst.max(axis=0)),
+                inst,
+                w,
+            )
+        )
+    return UncertainDataset(objs, domain=Rect([-20, -20], [120, 120]))
+
+
+def tied_dataset(seed: int) -> UncertainDataset:
+    """Duplicated instances within and across objects (tie paths)."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.0, 10.0, (6, 2))
+    base[3] = base[1]  # internal duplicate
+    objs = []
+    for oid in range(6):
+        inst = base if oid < 2 else base + float(oid)
+        objs.append(
+            UncertainObject(
+                oid,
+                Rect(inst.min(axis=0), inst.max(axis=0)),
+                inst.copy(),
+            )
+        )
+    return UncertainDataset(objs, domain=Rect([-5, -5], [25, 25]))
+
+
+class TestKernelDifferential:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("b", [1, 3, 8])
+    def test_matches_reference(self, seed, b):
+        ds = synthetic_dataset(
+            n=40, dims=2, u_max=700, n_samples=23, seed=seed
+        )
+        q = ds.domain.sample_points(b, np.random.default_rng(seed))
+        ids = ds.ids[: 10 + 5 * seed]
+        new = batched_qualification_probabilities(ds, ids, q)
+        ref = reference_qualification_probabilities(ds, ids, q)
+        for row_new, row_ref in zip(new, ref):
+            _assert_close(row_new, row_ref)
+
+    @pytest.mark.parametrize("n_cand", [1, 2, 3, 50])
+    def test_candidate_count_extremes(self, n_cand):
+        ds = synthetic_dataset(
+            n=60, dims=2, u_max=600, n_samples=15, seed=9
+        )
+        q = ds.domain.sample_points(2, np.random.default_rng(9))
+        ids = ds.ids[:n_cand]
+        new = batched_qualification_probabilities(ds, ids, q)
+        ref = reference_qualification_probabilities(ds, ids, q)
+        for row_new, row_ref in zip(new, ref):
+            _assert_close(row_new, row_ref)
+
+    def test_empty_candidates(self):
+        ds = synthetic_dataset(n=5, dims=2, n_samples=5, seed=0)
+        q = np.zeros((3, 2))
+        assert batched_qualification_probabilities(ds, [], q) == [
+            {},
+            {},
+            {},
+        ]
+
+    def test_evaluate_subset(self):
+        ds = synthetic_dataset(
+            n=30, dims=2, u_max=600, n_samples=20, seed=3
+        )
+        q = ds.domain.sample_points(4, np.random.default_rng(3))
+        ids = ds.ids[:14]
+        for ev in (ids[2:7], [ids[0]], ids):
+            new = batched_qualification_probabilities(
+                ds, ids, q, evaluate_ids=ev
+            )
+            ref = reference_qualification_probabilities(
+                ds, ids, q, evaluate_ids=ev
+            )
+            for row_new, row_ref in zip(new, ref):
+                _assert_close(row_new, row_ref)
+
+    def test_evaluate_subset_validation(self):
+        ds = synthetic_dataset(n=10, dims=2, n_samples=5, seed=1)
+        with pytest.raises(ValueError):
+            batched_qualification_probabilities(
+                ds, ds.ids[:3], np.zeros((1, 2)), evaluate_ids=[999]
+            )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_tied_distances(self, seed):
+        ds = tied_dataset(seed)
+        q = np.array([[1.0, 2.0], [5.0, 5.0], [0.0, 0.0]])
+        new = batched_qualification_probabilities(ds, ds.ids, q)
+        ref = reference_qualification_probabilities(ds, ds.ids, q)
+        for row_new, row_ref in zip(new, ref):
+            _assert_close(row_new, row_ref)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_variable_instance_counts(self, seed):
+        ds = variable_m_dataset(seed)
+        q = ds.domain.sample_points(5, np.random.default_rng(seed))
+        new = batched_qualification_probabilities(ds, ds.ids, q)
+        ref = reference_qualification_probabilities(ds, ds.ids, q)
+        for row_new, row_ref in zip(new, ref):
+            _assert_close(row_new, row_ref)
+
+    def test_single_query_view(self):
+        ds = synthetic_dataset(
+            n=25, dims=3, u_max=500, n_samples=12, seed=5
+        )
+        q = ds.domain.center
+        ids = ds.ids[:8]
+        _assert_close(
+            qualification_probabilities(ds, ids, q),
+            reference_qualification_probabilities(ds, ids, q[None, :])[0],
+        )
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=12, deadline=None)
+    def test_differential_property(self, seed):
+        rng = np.random.default_rng(seed)
+        ds = variable_m_dataset(seed, n=int(rng.integers(2, 20)))
+        b = int(rng.integers(1, 5))
+        q = ds.domain.sample_points(b, rng)
+        n_cand = int(rng.integers(1, len(ds.ids) + 1))
+        ids = list(rng.choice(ds.ids, size=n_cand, replace=False))
+        ids = [int(i) for i in ids]
+        new = batched_qualification_probabilities(ds, ids, q)
+        ref = reference_qualification_probabilities(ds, ids, q)
+        for row_new, row_ref in zip(new, ref):
+            _assert_close(row_new, row_ref)
+
+
+class TestEnginesDifferential:
+    """All seven engines against the retained reference math."""
+
+    def _queries(self, ds, k=6, seed=11):
+        return ds.domain.sample_points(k, np.random.default_rng(seed))
+
+    def test_pnnq_engine(self):
+        ds = synthetic_dataset(
+            n=50, dims=2, u_max=600, n_samples=25, seed=21
+        )
+        engine = PNNQEngine(ds)
+        for q in self._queries(ds):
+            result = engine.query(q)
+            ref = reference_qualification_probabilities(
+                ds, list(result.candidate_ids), q[None, :]
+            )[0]
+            _assert_close(dict(result.probabilities), ref)
+
+    def test_knn_engine(self):
+        ds = synthetic_dataset(
+            n=40, dims=2, u_max=600, n_samples=20, seed=22
+        )
+        engine = KNNEngine(ds)
+        for k in (1, 2, 4):
+            for q in self._queries(ds, 3):
+                result = engine.query(q, k=k)
+                ref = reference_knn_probabilities(
+                    ds, list(result.candidate_ids), q, k
+                )
+                _assert_close(dict(result.probabilities), ref)
+
+    def test_topk_engine(self):
+        ds = synthetic_dataset(
+            n=60, dims=2, u_max=500, n_samples=20, seed=23
+        )
+        engine = TopKEngine(ds)
+        for q in self._queries(ds):
+            result = engine.query(q, k=3)
+            ids = engine.retriever.candidates(q)
+            ref = reference_qualification_probabilities(
+                ds, ids, q[None, :]
+            )[0]
+            for oid, prob in result.ranking:
+                assert prob == pytest.approx(ref[oid], abs=TOL)
+
+    def test_verifier_engine(self):
+        ds = synthetic_dataset(
+            n=60, dims=2, u_max=500, n_samples=20, seed=24
+        )
+        engine = VerifierEngine(ds)
+        tau = 0.15
+        for q in self._queries(ds):
+            decisions = engine.query(q, tau=tau)
+            ref = reference_qualification_probabilities(
+                ds, sorted(decisions), q[None, :]
+            )[0]
+            for oid, verdict in decisions.items():
+                assert verdict == (ref[oid] >= tau)
+
+    def test_verifier_bounds_bracket_and_match(self):
+        ds = synthetic_dataset(
+            n=40, dims=2, u_max=500, n_samples=30, seed=25
+        )
+        q = ds.domain.center
+        ids = ds.ids[:15]
+        new = probability_bounds(ds, ids, q, n_bins=6)
+        ref = reference_probability_bounds(ds, ids, q, n_bins=6)
+        exact = reference_qualification_probabilities(
+            ds, ids, q[None, :]
+        )[0]
+        for oid in ids:
+            lo, hi = ref[oid]
+            assert new[oid].lower == pytest.approx(lo, abs=TOL)
+            assert new[oid].upper == pytest.approx(hi, abs=TOL)
+            assert new[oid].contains(exact[oid])
+
+    def test_groupnn_engine(self):
+        ds = synthetic_dataset(
+            n=40, dims=2, u_max=600, n_samples=15, seed=26
+        )
+        Q = ds.domain.sample_points(3, np.random.default_rng(26))
+        engine = GroupNNEngine(ds)
+        for aggregate in ("sum", "max", "min"):
+            result = engine.query(Q, aggregate=aggregate)
+            ref = reference_groupnn_probabilities(
+                ds, list(result.candidate_ids), Q, aggregate
+            )
+            _assert_close(dict(result.probabilities), ref)
+
+    def test_reversenn_engine(self):
+        ds = synthetic_dataset(
+            n=15, dims=2, u_max=800, n_samples=8, seed=27
+        )
+        engine = ReverseNNEngine(ds)
+        query = ds[ds.ids[0]]
+        result = engine.query(query)
+        for oid in result.candidate_ids:
+            ref = reference_reverse_instance_probability(ds, oid, query)
+            got = dict(result.probabilities).get(oid, 0.0)
+            assert got == pytest.approx(ref, abs=TOL)
+
+    def test_expected_engine(self):
+        ds = synthetic_dataset(
+            n=40, dims=2, u_max=500, n_samples=20, seed=28
+        )
+        engine = ExpectedNNEngine(ds)
+        for q in self._queries(ds):
+            result = engine.query(q)
+            for oid, dist in result.ranking:
+                obj = ds[oid]
+                ref = float(
+                    np.dot(obj.weights, obj.distance_samples(q))
+                )
+                assert dist == pytest.approx(ref, abs=TOL)
+
+    def test_kernel_stats_counters_accumulate(self):
+        ds = synthetic_dataset(
+            n=60, dims=2, u_max=600, n_samples=30, seed=29
+        )
+        engine = PNNQEngine(ds)
+        for q in self._queries(ds, 4):
+            engine.query(q)
+        assert engine.stats.kernel_gather_seconds > 0.0
+        assert engine.stats.kernel_eval_seconds > 0.0
+        # The kernel split is a subset of the Step-2 wall-clock.
+        assert (
+            engine.stats.kernel_gather_seconds
+            + engine.stats.kernel_eval_seconds
+            <= engine.stats.probability_computation + 1e-6
+        )
