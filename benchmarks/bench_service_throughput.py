@@ -1,0 +1,195 @@
+"""Serving throughput: the coalescing scheduler vs per-query calls.
+
+M concurrent sessions issue a hot-spot PNNQ workload (the serving
+regime: heavy traffic concentrated on a small set of popular
+locations, so identical in-flight queries are common) through
+``db.serve()``; the same workload is then issued sequentially, one
+synchronous ``db.nn`` call per query, against an identically
+configured database.  The result cache is disabled in **both** paths
+so the comparison isolates the scheduler itself — in-flight
+coalescing (single-flight dedup of identical queued queries) plus
+batched Step-1/Step-2 dispatch — rather than completed-result reuse,
+which would benefit both paths equally.
+
+Writes ``benchmarks/results/BENCH_service_throughput.json`` and
+enforces the serving-layer acceptance gate (also run by the CI
+perf-smoke job):
+
+* answers from the served path match the sequential path exactly;
+* coalesced throughput is at least 2x sequential throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+
+import numpy as np
+
+from repro import synthetic_dataset
+from repro.api import Database
+from repro.bench.workloads import hotspot_query_points
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: The acceptance bar: served QPS must be >= 2x sequential QPS.
+REQUIRED_SPEEDUP = 2.0
+
+SMOKE = {"n_objects": 300, "n_samples": 96, "u_max": 900.0,
+         "sessions": 6, "queries_per_session": 40, "n_hot": 12,
+         "workers": 2}
+FULL = {"n_objects": 400, "n_samples": 128, "u_max": 1200.0,
+        "sessions": 12, "queries_per_session": 60, "n_hot": 16,
+        "workers": 2}
+
+
+def make_db(n_objects: int, n_samples: int, u_max: float) -> Database:
+    dataset = synthetic_dataset(
+        n=n_objects, dims=2, u_max=u_max, n_samples=n_samples, seed=7
+    )
+    # Cache off: isolate scheduling, not result reuse (see module doc).
+    return Database(dataset, indexes=(), result_cache_size=0)
+
+
+def make_workload(
+    db: Database, sessions: int, queries_per_session: int, n_hot: int
+) -> list[np.ndarray]:
+    """Per-session query arrays over one shared hot-spot set."""
+    return [
+        hotspot_query_points(
+            db.dataset,
+            n=queries_per_session,
+            n_hot=n_hot,
+            seed=100 + i,
+        )
+        for i in range(sessions)
+    ]
+
+
+def run_sequential(db: Database, workload: list[np.ndarray]):
+    """The baseline: every query its own synchronous call."""
+    answers = {}
+    t0 = time.perf_counter()
+    for sid, queries in enumerate(workload):
+        for qid, q in enumerate(queries):
+            answers[(sid, qid)] = db.nn(q)
+    return time.perf_counter() - t0, answers
+
+
+def run_served(db: Database, workload: list[np.ndarray], workers: int):
+    """M client threads submitting through coalescing sessions."""
+    server = db.serve(workers=workers)
+    answers = {}
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(workload))
+
+    def client(sid: int, queries: np.ndarray) -> None:
+        session = server.session()
+        barrier.wait(timeout=60)
+        futures = [session.nn(q) for q in queries]
+        resolved = [future.result(timeout=120) for future in futures]
+        with lock:
+            for qid, result in enumerate(resolved):
+                answers[(sid, qid)] = result
+
+    threads = [
+        threading.Thread(target=client, args=(sid, queries))
+        for sid, queries in enumerate(workload)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300)
+    elapsed = time.perf_counter() - t0
+    stats = server.stats
+    server.close()
+    return elapsed, answers, stats
+
+
+def measure(profile_params: dict) -> dict:
+    params = dict(profile_params)
+    workers = params.pop("workers")
+    sessions = params.pop("sessions")
+    queries_per_session = params.pop("queries_per_session")
+    n_hot = params.pop("n_hot")
+
+    seq_db = make_db(**params)
+    workload = make_workload(seq_db, sessions, queries_per_session, n_hot)
+    seq_seconds, seq_answers = run_sequential(seq_db, workload)
+
+    srv_db = make_db(**params)
+    srv_seconds, srv_answers, stats = run_served(
+        srv_db, workload, workers
+    )
+
+    assert seq_answers.keys() == srv_answers.keys()
+    for key, want in seq_answers.items():
+        got = srv_answers[key]
+        assert dict(got.probabilities) == dict(want.probabilities), key
+
+    n_queries = sessions * queries_per_session
+    return {
+        "n_objects": params["n_objects"],
+        "n_samples": params["n_samples"],
+        "u_max": params["u_max"],
+        "sessions": sessions,
+        "queries_per_session": queries_per_session,
+        "n_hot": n_hot,
+        "workers": workers,
+        "n_queries": n_queries,
+        "sequential_seconds": seq_seconds,
+        "served_seconds": srv_seconds,
+        "sequential_qps": n_queries / seq_seconds,
+        "served_qps": n_queries / srv_seconds,
+        "speedup": seq_seconds / srv_seconds,
+        "groups_dispatched": stats.groups_dispatched,
+        "coalesced": stats.coalesced,
+        "largest_group": stats.largest_group,
+    }
+
+
+def test_service_throughput(profile, record_figure):
+    from repro.bench.figures import FigureResult
+
+    cell = measure(SMOKE if profile == "smoke" else FULL)
+
+    RESULTS.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "service_throughput",
+        "profile": profile,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "cell": cell,
+    }
+    (RESULTS / "BENCH_service_throughput.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    result = FigureResult(
+        figure="BENCH service throughput",
+        title="Coalescing scheduler vs sequential per-query execution",
+        columns=(
+            "sessions", "queries", "seq_qps", "served_qps", "speedup",
+            "groups", "coalesced", "max_group",
+        ),
+        notes=(
+            "hot-spot PNNQ workload, result cache off in both paths; "
+            "served = M client threads through db.serve() sessions."
+        ),
+    )
+    result.add(
+        sessions=cell["sessions"],
+        queries=cell["n_queries"],
+        seq_qps=cell["sequential_qps"],
+        served_qps=cell["served_qps"],
+        speedup=cell["speedup"],
+        groups=cell["groups_dispatched"],
+        coalesced=cell["coalesced"],
+        max_group=cell["largest_group"],
+    )
+    record_figure(result)
+
+    assert cell["coalesced"] > 0, "scheduler never coalesced anything"
+    assert cell["speedup"] >= REQUIRED_SPEEDUP, cell

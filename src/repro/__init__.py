@@ -22,9 +22,10 @@ research code that wants to hold a specific index in hand; they now
 share the uniform ``Engine(dataset, retriever=None, ...)`` constructor.
 """
 
-from . import api
+from . import api, service
 from .api import Database, Plan, Planner, Q, QueryResult, QuerySpec
 from .engine import BaseEngine, BruteForceRetriever, ExecutionStats
+from .service import QueryFuture, Session, UncertainDBServer, as_completed
 from .geometry import Rect
 from .uncertain import (
     UncertainDataset,
@@ -57,10 +58,15 @@ from .core import (
 from .rtree import RStarTree, RTreePNNQ
 from .uvindex import UVIndex
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "api",
+    "service",
+    "as_completed",
+    "QueryFuture",
+    "Session",
+    "UncertainDBServer",
     "Database",
     "Plan",
     "Planner",

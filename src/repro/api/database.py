@@ -28,8 +28,9 @@ All seven query classes of the repository are one method each —
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from ..core import (
     ExpectedNNEngine,
@@ -43,10 +44,14 @@ from ..core import (
 )
 from ..engine import BaseEngine, BruteForceRetriever, CostEstimate
 from ..rtree import RTreePNNQ
+from ..service.scheduler import SchedulerClosed
 from ..uncertain import UncertainDataset, UncertainObject
 from ..uvindex import UVIndex
 from .planner import Plan, Planner, PlanningError, STATIC_ESTIMATES
 from .result import QueryResult, QuerySpec, _params_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..service import UncertainDBServer
 
 __all__ = ["Database", "IndexHandle"]
 
@@ -99,6 +104,7 @@ class IndexHandle:
         self.maintainable = maintainable
         self.index: Any = None
         self.secondary: Any = None
+        self._build_lock = threading.Lock()
 
     def cost_estimate(self) -> CostEstimate:
         if self.index is not None and hasattr(self.index, "cost_estimate"):
@@ -108,11 +114,22 @@ class IndexHandle:
         )
 
     def ensure_built(self) -> Any:
-        """The built index, constructing it on first use."""
-        if self.index is None:
-            self.index = self.builder(self.dataset)
-            self.secondary = getattr(self.index, "secondary", None)
-        return self.index
+        """The built index, constructing it on first use.
+
+        Once-guarded: concurrent first touches from a cold database
+        build exactly one index (double-checked under a per-handle
+        lock; ``secondary`` is published before ``index`` becomes
+        visible, so no reader ever sees a half-initialized handle).
+        """
+        index = self.index
+        if index is None:
+            with self._build_lock:
+                index = self.index
+                if index is None:
+                    index = self.builder(self.dataset)
+                    self.secondary = getattr(index, "secondary", None)
+                    self.index = index
+        return index
 
     def in_sync(self) -> bool:
         """Built and maintained through every dataset mutation."""
@@ -158,6 +175,15 @@ class Database:
     index_options:
         Per-handle builder keyword overrides, e.g.
         ``{"uv": {"k_cand": 64}}``.
+
+    A Database is a context manager (``with Database(ds) as db: ...``);
+    :meth:`close` drains any attached server and releases derived
+    state.  For concurrent clients, :meth:`serve` attaches the
+    submit-and-serve layer (:mod:`repro.service`): sessions submit the
+    same seven verbs and receive :class:`~repro.service.QueryFuture`
+    values, while the scheduler coalesces same-template queries into
+    batched kernel dispatches and serializes mutations as epoch
+    barriers.
     """
 
     def __init__(
@@ -194,6 +220,14 @@ class Database:
         )
         self._engines: dict[tuple[str, str], BaseEngine] = {}
         self._epoch_seen = dataset.epoch
+        #: Guards planning, handle, and engine-table bookkeeping so
+        #: concurrent callers (direct threads or the serving layer's
+        #: workers) see consistent derived state.  Engine *execution*
+        #: happens outside this lock, under each engine's own lock —
+        #: different query kinds run concurrently.
+        self._lock = threading.RLock()
+        self._server: "UncertainDBServer | None" = None
+        self._closed = False
 
     @classmethod
     def from_objects(
@@ -222,23 +256,25 @@ class Database:
     def built_indexes(self) -> tuple[str, ...]:
         """Names of handles whose index is currently built (stale
         handles are reconciled first, like every other entry point)."""
-        self._sync()
-        return tuple(
-            name
-            for name, handle in self._handles.items()
-            if handle.index is not None
-        )
+        with self._lock:
+            self._sync()
+            return tuple(
+                name
+                for name, handle in self._handles.items()
+                if handle.index is not None
+            )
 
     def index(self, name: str) -> Any:
         """The named index, building it if needed (power-user escape
         hatch; ``"brute"`` returns the exact fallback retriever)."""
-        self._sync()
-        handle = self._handles.get(name)
-        if handle is None:
-            raise KeyError(
-                f"unknown or ineligible index {name!r} "
-                f"(available: {sorted(self._handles)})"
-            )
+        with self._lock:
+            self._sync()
+            handle = self._handles.get(name)
+            if handle is None:
+                raise KeyError(
+                    f"unknown or ineligible index {name!r} "
+                    f"(available: {sorted(self._handles)})"
+                )
         return handle.ensure_built()
 
     def __len__(self) -> int:
@@ -317,8 +353,41 @@ class Database:
         results return in input order.  Each envelope in a group
         carries the same :class:`~repro.engine.ExecutionStats` delta
         (batched work is not separable per query).
+
+        On a served database the specs are submitted through the
+        scheduler (where they may coalesce with other sessions'
+        in-flight queries) and this call blocks until all complete.
         """
-        self._sync()
+        server = self._server
+        if server is not None:
+            futures = []
+            try:
+                for spec in specs:
+                    futures.append(
+                        server.submit(
+                            spec.kind, spec.query, spec.params, retriever
+                        )
+                    )
+            except SchedulerClosed:
+                # Server shut down mid-submission.  The accepted
+                # futures still complete (drain guarantee) — wait for
+                # the drain, harvest them, and run only the rejected
+                # remainder inline.  Nothing executes twice.
+                server.close()
+            if len(futures) == len(specs):
+                return [future.result() for future in futures]
+            head = [future.result() for future in futures]
+            return head + self._batch_direct(
+                list(specs[len(futures):]), retriever
+            )
+        return self._batch_direct(list(specs), retriever)
+
+    def _batch_direct(
+        self,
+        specs: Sequence[QuerySpec],
+        retriever: str | None,
+    ) -> list[QueryResult]:
+        """The unserved :meth:`batch` path: group and execute inline."""
         results: list[QueryResult | None] = [None] * len(specs)
         groups: dict[tuple[str, tuple], list[int]] = {}
         for i, spec in enumerate(specs):
@@ -326,18 +395,11 @@ class Database:
                 raise KeyError(f"unknown query kind {spec.kind!r}")
             groups.setdefault((spec.kind, spec.params), []).append(i)
         for (kind, params), positions in groups.items():
-            plan = self._plan(kind, params, forced=retriever)
-            engine = self._engine_for(kind, plan.retriever)
-            before = engine.stats.capture()
-            answers = engine.query_batch(
-                [specs[i].query for i in positions], **dict(params)
+            envelopes = self._execute_group(
+                kind, [specs[i].query for i in positions], params, retriever
             )
-            delta = engine.stats.delta_since(before)
-            self._observe(plan, delta)
-            for i, answer in zip(positions, answers):
-                results[i] = QueryResult(
-                    kind=kind, answer=answer, plan=plan, stats=delta
-                )
+            for i, envelope in zip(positions, envelopes):
+                results[i] = envelope
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -356,12 +418,13 @@ class Database:
         k=3)``) or a ready :class:`QuerySpec`.  Pure planning: no
         query runs and no index is built.
         """
-        self._sync()
-        if isinstance(kind, QuerySpec):
-            return self._plan(kind.kind, kind.params, forced=retriever)
-        if kind == "threshold" and "p" in params:
-            params["tau"] = params.pop("p")
-        return self._plan(kind, _params_key(params), forced=retriever)
+        with self._lock:
+            self._sync()
+            if isinstance(kind, QuerySpec):
+                return self._plan(kind.kind, kind.params, forced=retriever)
+            if kind == "threshold" and "p" in params:
+                params["tau"] = params.pop("p")
+            return self._plan(kind, _params_key(params), forced=retriever)
 
     def _plan(
         self,
@@ -437,19 +500,66 @@ class Database:
         params: tuple[tuple[str, Any], ...],
         retriever: str | None,
     ) -> QueryResult:
-        self._sync()
-        plan = self._plan(kind, params, forced=retriever)
+        """One query through the front door.
+
+        On a served database this is a thin one-shot session: the
+        query is submitted to the coalescing scheduler (where it may
+        ride a batched kernel dispatch with other sessions' queries)
+        and this call blocks on its future.  Unserved, it runs the
+        same group-execution path inline with a single-element group.
+        """
+        server = self._server
+        if server is not None:
+            try:
+                return server.submit(
+                    kind, query, params, retriever
+                ).result()
+            except SchedulerClosed:
+                # Server shut down mid-call.  Wait for its queue to
+                # drain fully (close() is idempotent and joins the
+                # workers) before running inline — an inline execution
+                # overlapping the drain would break the barrier
+                # contract the scheduler enforces.
+                server.close()
+        return self._execute_group(kind, [query], params, retriever)[0]
+
+    def _execute_group(
+        self,
+        kind: str,
+        queries: Sequence[Any],
+        params: tuple[tuple[str, Any], ...],
+        retriever: str | None,
+    ) -> list[QueryResult]:
+        """Plan once and execute one coalesced (kind, params) group.
+
+        The single execution path beneath the synchronous verbs,
+        :meth:`batch`, and the serving scheduler's dispatch.  Planning
+        and bookkeeping run under the database lock; the engine call
+        itself runs outside it (under the engine's own lock), so
+        groups of different kinds execute concurrently.
+        """
+        with self._lock:
+            self._sync()
+            plan = self._plan(kind, params, forced=retriever)
+        # Outside the database lock: a cold plan may build its index
+        # here (once-guarded per handle), and the engine call runs
+        # under the engine's own lock — other templates keep planning
+        # and executing meanwhile.
         engine = self._engine_for(kind, plan.retriever)
-        before = engine.stats.capture()
-        if params:
-            answer = engine.query(query, **dict(params))
+        kwargs = dict(params)
+        if len(queries) == 1:
+            answer, delta = engine.query_measured(queries[0], **kwargs)
+            answers = [answer]
         else:
-            answer = engine.query(query)
-        delta = engine.stats.delta_since(before)
-        self._observe(plan, delta)
-        return QueryResult(
-            kind=kind, answer=answer, plan=plan, stats=delta
-        )
+            answers, delta = engine.query_batch_measured(
+                list(queries), **kwargs
+            )
+        with self._lock:
+            self._observe(plan, delta)
+        return [
+            QueryResult(kind=kind, answer=answer, plan=plan, stats=delta)
+            for answer in answers
+        ]
 
     def _observe(self, plan: Plan, delta) -> None:
         """Feed real per-step wall-clock back into the planner."""
@@ -473,21 +583,38 @@ class Database:
         )
 
     def _engine_for(self, kind: str, retriever_name: str) -> BaseEngine:
+        """The cached engine for a (kind, retriever) pair.
+
+        A cold pair's index build runs *outside* the database lock —
+        the per-handle once-guard serializes concurrent builders, so a
+        slow PV build never blocks planning of other templates.  Only
+        the dict probes and the engine registration hold ``_lock``.
+        """
         key = (kind, retriever_name)
-        engine = self._engines.get(key)
-        if engine is None:
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine
+            handle = (
+                None
+                if retriever_name in (_NONE, _BRUTE)
+                else self._handles[retriever_name]
+            )
+        index, secondary = None, None
+        freshly_built = False
+        if handle is not None:
+            freshly_built = handle.index is None
+            index = handle.ensure_built()
+            secondary = handle.secondary
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine
+            if freshly_built:
+                # The index's calibrated cost_estimate() now
+                # supersedes the static formula: revisit plans.
+                self.planner.bump_generation()
             spec = _KINDS[kind]
-            if retriever_name in (_NONE, _BRUTE):
-                index, secondary = None, None
-            else:
-                handle = self._handles[retriever_name]
-                freshly_built = handle.index is None
-                index = handle.ensure_built()
-                secondary = handle.secondary
-                if freshly_built:
-                    # The index's calibrated cost_estimate() now
-                    # supersedes the static formula: revisit plans.
-                    self.planner.bump_generation()
             kwargs: dict[str, Any] = {
                 "secondary": secondary,
                 "result_cache_size": self.result_cache_size,
@@ -497,7 +624,7 @@ class Database:
                 kwargs["n_bins"] = self.n_bins
             engine = spec.engine_cls(self.dataset, index, **kwargs)
             self._engines[key] = engine
-        return engine
+            return engine
 
     # ------------------------------------------------------------------
     # Mutation: incremental maintenance behind the session
@@ -511,24 +638,53 @@ class Database:
         one epoch behind by that single mutation and therefore dropped
         (rebuilt lazily if the planner picks it again); the plan cache
         is invalidated so the next query replans.
+
+        On a served database the mutation is submitted as an **epoch
+        barrier**: every read queued before it completes first (at the
+        pre-mutation epoch), then the mutation applies alone, then
+        later reads see the new epoch.  This call blocks until the
+        barrier has been applied.
         """
-        carrier = self._maintenance_carrier()
-        if carrier is not None:
-            carrier.index.insert(obj)
-        else:
-            self.dataset.insert(obj)
-        self._sync()
+        server = self._server
+        if server is not None:
+            try:
+                server.submit_mutation("insert", obj).result()
+                return
+            except SchedulerClosed:
+                server.close()  # drain fully, then apply inline
+        self._apply_insert(obj)
 
     def delete(self, oid: int) -> UncertainObject:
         """Remove and return an object (see :meth:`insert`)."""
-        removed = self.dataset[oid]
-        carrier = self._maintenance_carrier()
-        if carrier is not None:
-            carrier.index.delete(oid)
-        else:
-            self.dataset.delete(oid)
-        self._sync()
-        return removed
+        server = self._server
+        if server is not None:
+            try:
+                return server.submit_mutation("delete", oid).result()
+            except SchedulerClosed:
+                server.close()  # drain fully, then apply inline
+        return self._apply_delete(oid)
+
+    def _apply_insert(self, obj: UncertainObject) -> None:
+        """The mutation itself (scheduler barrier entry point)."""
+        with self._lock:
+            carrier = self._maintenance_carrier()
+            if carrier is not None:
+                carrier.index.insert(obj)
+            else:
+                self.dataset.insert(obj)
+            self._sync()
+
+    def _apply_delete(self, oid: int) -> UncertainObject:
+        """The mutation itself (scheduler barrier entry point)."""
+        with self._lock:
+            removed = self.dataset[oid]
+            carrier = self._maintenance_carrier()
+            if carrier is not None:
+                carrier.index.delete(oid)
+            else:
+                self.dataset.delete(oid)
+            self._sync()
+            return removed
 
     def _maintenance_carrier(self) -> IndexHandle | None:
         """The built, in-sync index that will absorb the mutation."""
@@ -537,6 +693,91 @@ class Database:
             if handle is not None and handle.maintainable and handle.in_sync():
                 return handle
         return None
+
+    # ------------------------------------------------------------------
+    # Serving: the concurrent submit-and-serve surface
+    # ------------------------------------------------------------------
+    def serve(self, **options: Any) -> UncertainDBServer:
+        """Attach (or return) the concurrent serving layer.
+
+        Starts an :class:`~repro.service.UncertainDBServer` over this
+        database — worker threads plus a scheduler that coalesces
+        concurrent same-template point queries into one batched kernel
+        dispatch and serializes mutations as epoch barriers.  Client
+        code opens :class:`~repro.service.Session` objects via
+        ``db.serve().session()``; while a server is attached the
+        synchronous verbs (``db.nn`` etc.) become thin one-shot
+        sessions — they submit into the same scheduler and block on
+        the future, so they obey the same consistency contract.
+
+        Idempotent while a server is live: a second ``serve()`` call
+        returns the running server (``options`` must then be empty).
+        ``options`` are forwarded to the server constructor
+        (``workers``, ``max_group``).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("Database is closed")
+            if self._server is not None:
+                if options:
+                    raise ValueError(
+                        "a server is already attached; close() it "
+                        "before re-serving with different options"
+                    )
+                return self._server
+            from ..service import UncertainDBServer
+
+            self._server = UncertainDBServer(self, **options)
+            return self._server
+
+    @property
+    def server(self) -> UncertainDBServer | None:
+        """The attached serving layer, if :meth:`serve` was called."""
+        return self._server
+
+    def _detach_server(self, server: UncertainDBServer) -> None:
+        """Forget a server that shut itself down (server.close path)."""
+        with self._lock:
+            if self._server is server:
+                self._server = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release everything the session owns.
+
+        Shuts down an attached server (draining queued queries),
+        drops every built index handle and engine, and detaches the
+        dataset's packed instance store.  Idempotent: double-close is
+        a no-op.  The database object itself remains usable — a later
+        query lazily rebuilds what it needs — but ``serve()`` refuses
+        after close.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            server = self._server
+        if server is not None:
+            # Drain before detaching: verbs that still hold the server
+            # reference either ride the drain or hit SchedulerClosed
+            # and themselves wait on close() — nothing executes inline
+            # beside the draining queue.  The server detaches itself
+            # (sets ``_server`` to None) once fully stopped.
+            server.close()
+        with self._lock:
+            for handle in self._handles.values():
+                handle.drop()
+            self._engines.clear()
+            self.planner.invalidate()
+            self.dataset.release_instance_store()
+
+    def __enter__(self) -> Database:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _sync(self) -> None:

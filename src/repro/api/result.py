@@ -110,6 +110,16 @@ class QueryResult:
     stats: ExecutionStats
 
     @property
+    def epoch(self) -> int:
+        """The dataset mutation epoch this answer is consistent with.
+
+        Under the serving layer's mutation barriers every read executes
+        against exactly one epoch; this is that epoch (the one the plan
+        was made — and the query ran — at).
+        """
+        return self.plan.epoch
+
+    @property
     def probabilities(self) -> Mapping[int, float] | None:
         """Per-object probabilities, uniformly across query classes.
 

@@ -13,6 +13,12 @@ discrete pdfs.  :class:`BaseEngine` owns that template once:
   one shared :class:`~repro.engine.stats.ExecutionStats`;
 * secondary-index pdf-fetch charging (Step-2 I/O);
 * an optional LRU result cache;
+* **thread safety** — a per-engine re-entrant lock serializes query
+  execution, cache access, and epoch reconciliation, and the measured
+  entry points (:meth:`BaseEngine.query_measured` /
+  :meth:`BaseEngine.query_batch_measured`) return a result together
+  with the exact :class:`ExecutionStats` delta of that execution even
+  when several threads share one engine;
 * a batched API — :meth:`BaseEngine.query_batch` — that deduplicates
   identical queries, memoizes Step-1 candidate retrieval across nearby
   queries, and hands whole candidate groups to vectorized Step-2 kernels;
@@ -31,6 +37,7 @@ probability-computation step) and, where profitable, vectorized
 
 from __future__ import annotations
 
+import threading
 import time
 import warnings
 from typing import Any, Hashable, Sequence
@@ -140,6 +147,13 @@ class BaseEngine:
         )
         self._pagers = discover_pagers(self.retriever, secondary)
         self._dataset_epoch = getattr(dataset, "epoch", 0)
+        #: Serializes query execution and stats bracketing on this
+        #: engine so concurrent callers (the serving scheduler's worker
+        #: threads) never interleave mid-query.  Re-entrant because the
+        #: measured entry points wrap ``query``/``query_batch``, which
+        #: re-acquire it inside ``_run``/``_run_batch`` — and because
+        #: ``_sync_epoch`` may run under an outer bracket.
+        self._lock = threading.RLock()
         # A retriever built before mutations that bypassed it is stale
         # from the start — catch that here, not just on later drift.
         self._drop_stale_retriever()
@@ -276,8 +290,40 @@ class BaseEngine:
     # ------------------------------------------------------------------
     # Template methods
     # ------------------------------------------------------------------
+    def query_measured(
+        self, query: Any, **params: Any
+    ) -> tuple[Any, ExecutionStats]:
+        """One query plus the stats delta it produced, atomically.
+
+        ``stats.capture()`` / ``delta_since`` bracketing around a bare
+        ``query`` call is only correct single-threaded — a concurrent
+        query on the same engine lands its counters inside the bracket.
+        This entry point takes the engine lock around the whole
+        bracket, so the serving layer (and :class:`repro.api.Database`)
+        get per-execution deltas that are exact under concurrency.
+        """
+        with self._lock:
+            before = self.stats.capture()
+            result = self.query(query, **params)  # type: ignore[attr-defined]
+            return result, self.stats.delta_since(before)
+
+    def query_batch_measured(
+        self, queries: Sequence[Any], **params: Any
+    ) -> tuple[list, ExecutionStats]:
+        """Batch variant of :meth:`query_measured` (one shared delta)."""
+        with self._lock:
+            before = self.stats.capture()
+            results = self.query_batch(  # type: ignore[attr-defined]
+                queries, **params
+            )
+            return results, self.stats.delta_since(before)
+
     def _run(self, query: Any, params: dict) -> Any:
         """Answer one query: cache → OR (timed) → PC (timed)."""
+        with self._lock:
+            return self._run_locked(query, params)
+
+    def _run_locked(self, query: Any, params: dict) -> Any:
         self._sync_epoch()
         q = self._prepare(query, params)
         key: Hashable | None = None
@@ -308,6 +354,12 @@ class BaseEngine:
 
     def _run_batch(self, queries: Sequence[Any], params: dict) -> list:
         """Answer a block of queries with dedup, memo, and batched PC."""
+        with self._lock:
+            return self._run_batch_locked(queries, params)
+
+    def _run_batch_locked(
+        self, queries: Sequence[Any], params: dict
+    ) -> list:
         self._sync_epoch()
         prepared = [self._prepare(q, params) for q in queries]
         n = len(prepared)

@@ -1,0 +1,187 @@
+"""Futures for the submit-and-serve query surface.
+
+A :class:`QueryFuture` is the handle a :class:`~repro.service.Session`
+returns the instant a query is submitted.  It completes when the
+scheduler's worker threads execute the (possibly coalesced) group the
+query rode in on, carrying either a frozen
+:class:`~repro.api.QueryResult` (reads), the mutation's return value
+(``insert`` -> ``None``, ``delete`` -> the removed object), or the
+exception the execution raised.
+
+Every completed future is **epoch-tagged**: :attr:`QueryFuture.epoch`
+names the dataset mutation epoch the answer is consistent with — for a
+read, the epoch it executed at (fixed for the whole group by the
+scheduler's mutation barriers); for a mutation, the epoch it produced.
+
+:func:`as_completed` iterates a set of futures in completion order,
+like its :mod:`concurrent.futures` namesake.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator
+
+__all__ = ["FutureTimeout", "QueryFuture", "as_completed"]
+
+
+class FutureTimeout(TimeoutError):
+    """``result()``/``exception()`` timed out before completion."""
+
+
+#: Sentinel for "not yet completed" (``None`` is a valid result).
+_PENDING = object()
+
+
+class QueryFuture:
+    """One submitted query's eventual result.
+
+    Completion is one-shot and happens on a scheduler worker thread;
+    any number of client threads may block in :meth:`result` /
+    :meth:`exception` or poll :meth:`done`.
+    """
+
+    __slots__ = (
+        "kind",
+        "_event",
+        "_lock",
+        "_value",
+        "_error",
+        "_epoch",
+        "_callbacks",
+    )
+
+    def __init__(self, kind: str) -> None:
+        #: The query kind submitted (``"nn"``, ..., or ``"insert"`` /
+        #: ``"delete"`` for mutation barriers).
+        self.kind = kind
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._value: Any = _PENDING
+        self._error: BaseException | None = None
+        self._epoch: int | None = None
+        self._callbacks: list[Callable[["QueryFuture"], None]] = []
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """True once a result or exception has been set."""
+        return self._event.is_set()
+
+    @property
+    def epoch(self) -> int | None:
+        """The epoch this answer is consistent with (None while pending,
+        and on futures that completed with an exception)."""
+        return self._epoch
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block until completion; the result, or raise its exception.
+
+        Raises :class:`FutureTimeout` when ``timeout`` (seconds)
+        elapses first — the future stays valid and can be waited on
+        again.
+        """
+        if not self._event.wait(timeout):
+            raise FutureTimeout(
+                f"query {self.kind!r} did not complete within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """Block until completion; the exception, or ``None``."""
+        if not self._event.wait(timeout):
+            raise FutureTimeout(
+                f"query {self.kind!r} did not complete within {timeout}s"
+            )
+        return self._error
+
+    # ------------------------------------------------------------------
+    # Completion (scheduler side)
+    # ------------------------------------------------------------------
+    def _set_result(self, value: Any, epoch: int | None) -> None:
+        with self._lock:
+            self._value = value
+            self._epoch = epoch
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _set_exception(self, error: BaseException) -> None:
+        with self._lock:
+            self._error = error
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def _on_done(self, callback: Callable[["QueryFuture"], None]) -> None:
+        """Run ``callback(self)`` at completion (immediately if done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def _discard_callback(
+        self, callback: Callable[["QueryFuture"], None]
+    ) -> None:
+        """Unregister a pending completion callback (no-op if gone)."""
+        with self._lock:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"QueryFuture({self.kind!r}, {state}, epoch={self._epoch})"
+
+
+def as_completed(
+    futures: Iterable[QueryFuture], timeout: float | None = None
+) -> Iterator[QueryFuture]:
+    """Yield futures as they complete, in completion order.
+
+    Raises :class:`FutureTimeout` if ``timeout`` seconds pass with
+    futures still pending (already-yielded futures stay completed).
+    """
+    import time
+
+    pending = list(futures)
+    done_queue: list[QueryFuture] = []
+    cv = threading.Condition()
+
+    def mark(future: QueryFuture) -> None:
+        with cv:
+            done_queue.append(future)
+            cv.notify()
+
+    for future in pending:
+        future._on_done(mark)
+
+    deadline = None if timeout is None else time.monotonic() + timeout
+    yielded = 0
+    try:
+        while yielded < len(pending):
+            with cv:
+                while not done_queue:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise FutureTimeout(
+                                f"{len(pending) - yielded} futures "
+                                f"still pending after {timeout}s"
+                            )
+                    cv.wait(remaining)
+                future = done_queue.pop(0)
+            yielded += 1
+            yield future
+    finally:
+        # On timeout or an abandoned iterator, unhook the still-pending
+        # futures so their callback lists do not pin this waiter (and
+        # its queue) for the rest of the futures' lifetimes.
+        for future in pending:
+            future._discard_callback(mark)

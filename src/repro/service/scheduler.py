@@ -1,0 +1,259 @@
+"""The auto-coalescing query scheduler behind the serving layer.
+
+Concurrent point queries are worth little one at a time: the
+tensorized Step-2 kernel (and the batched Step-1 filters) pay off in
+proportion to how many queries share one dispatch.  The scheduler
+turns submission concurrency into batch width:
+
+* **Coalescing** — queued reads are grouped by ``(kind, params,
+  forced retriever)``.  A worker thread that becomes free takes one
+  whole group and executes it through the database's single
+  group-execution path (``Database._execute_group`` ->
+  ``BaseEngine.query_batch`` -> the packed-store kernel), so ten
+  concurrent ``nn`` queries cost one plan probe and one kernel
+  dispatch, not ten.
+* **Mutation barriers** — ``insert`` / ``delete`` submissions close
+  the open read *segment*.  The queue is an ordered sequence of
+  segments: reads coalesce freely within a segment, a mutation
+  segment executes only once every earlier read has completed, and
+  reads submitted after the mutation land in a fresh segment that
+  only starts once the mutation applied.  Every read therefore
+  executes against exactly one dataset epoch, and its future is
+  tagged with that epoch.
+
+The scheduler is pure queue discipline — it owns no threads.  The
+:class:`~repro.service.server.UncertainDBServer` runs worker threads
+that loop ``next_work()`` / ``work_done()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from .future import QueryFuture
+
+__all__ = [
+    "CoalescingScheduler",
+    "MutationWork",
+    "ReadGroup",
+    "SchedulerClosed",
+    "SchedulerStats",
+]
+
+
+class SchedulerClosed(RuntimeError):
+    """Submission refused: the scheduler is shutting down."""
+
+
+@dataclass
+class SchedulerStats:
+    """Counters describing how much concurrency became batch width."""
+
+    #: Queries and mutations accepted by ``submit_*``.
+    submitted: int = 0
+    #: Futures completed (result or exception).
+    completed: int = 0
+    #: Read groups handed to workers.
+    groups_dispatched: int = 0
+    #: Queries that rode an already-queued group instead of opening
+    #: one — ``sum(len(group) - 1)``; the coalescing win.
+    coalesced: int = 0
+    #: Mutation barriers applied.
+    barriers: int = 0
+    #: Widest group ever dispatched.
+    largest_group: int = 0
+
+    def snapshot(self) -> "SchedulerStats":
+        return SchedulerStats(
+            submitted=self.submitted,
+            completed=self.completed,
+            groups_dispatched=self.groups_dispatched,
+            coalesced=self.coalesced,
+            barriers=self.barriers,
+            largest_group=self.largest_group,
+        )
+
+
+@dataclass
+class ReadGroup:
+    """One coalesced (kind, params, retriever) group of queued reads."""
+
+    kind: str
+    params: tuple[tuple[str, Any], ...]
+    forced: str | None
+    queries: list[Any] = field(default_factory=list)
+    futures: list[QueryFuture] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.futures)
+
+
+@dataclass
+class MutationWork:
+    """One queued mutation barrier."""
+
+    op: str
+    payload: Any
+    future: QueryFuture
+
+
+class _ReadSegment:
+    """An epoch-coherent run of reads between two mutation barriers."""
+
+    __slots__ = ("groups",)
+
+    def __init__(self) -> None:
+        self.groups: dict[tuple, ReadGroup] = {}
+
+
+class CoalescingScheduler:
+    """Segment queue + condition variable; see the module docstring.
+
+    ``max_group`` bounds how many queries one dispatch may carry (a
+    full group is closed — later submissions of the same template
+    open a fresh one), keeping worst-case kernel temporaries and
+    per-dispatch latency bounded.
+    """
+
+    def __init__(self, *, max_group: int = 256) -> None:
+        if max_group < 1:
+            raise ValueError("max_group must be >= 1")
+        self.max_group = int(max_group)
+        self.stats = SchedulerStats()
+        self._cv = threading.Condition()
+        self._queue: deque[_ReadSegment | MutationWork] = deque()
+        #: Read groups taken by workers from the head segment and not
+        #: yet finished — a mutation barrier waits for this to reach 0.
+        self._inflight = 0
+        #: True while a worker is applying a mutation (blocks all else).
+        self._mutating = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission (client side)
+    # ------------------------------------------------------------------
+    def submit_read(
+        self,
+        kind: str,
+        query: Any,
+        params: tuple[tuple[str, Any], ...],
+        forced: str | None,
+    ) -> QueryFuture:
+        future = QueryFuture(kind)
+        key = (kind, params, forced)
+        with self._cv:
+            self._check_open()
+            tail = self._queue[-1] if self._queue else None
+            if not isinstance(tail, _ReadSegment):
+                tail = _ReadSegment()
+                self._queue.append(tail)
+            group = tail.groups.get(key)
+            if group is None or len(group) >= self.max_group:
+                if group is not None:
+                    # Full: dispatchable under a fresh key alias so the
+                    # template can keep coalescing into the new group.
+                    tail.groups[(kind, params, forced, id(group))] = group
+                group = ReadGroup(kind=kind, params=params, forced=forced)
+                tail.groups[key] = group
+            else:
+                self.stats.coalesced += 1
+            group.queries.append(query)
+            group.futures.append(future)
+            self.stats.submitted += 1
+            self._cv.notify()
+        return future
+
+    def submit_mutation(self, op: str, payload: Any) -> QueryFuture:
+        future = QueryFuture(op)
+        with self._cv:
+            self._check_open()
+            self._queue.append(MutationWork(op=op, payload=payload, future=future))
+            self.stats.submitted += 1
+            self._cv.notify_all()
+        return future
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SchedulerClosed("scheduler is closed to new submissions")
+
+    # ------------------------------------------------------------------
+    # Dispatch (worker side)
+    # ------------------------------------------------------------------
+    def next_work(self) -> ReadGroup | MutationWork | None:
+        """Block for the next dispatchable unit; ``None`` = shut down.
+
+        Hands out whole read groups from the head segment (concurrent
+        workers may each hold one), or — once the head segment has
+        fully completed — a mutation, exclusively.
+        """
+        with self._cv:
+            while True:
+                work = self._next_locked()
+                if work is not None:
+                    return work
+                if self._closed and not self._queue and self._inflight == 0:
+                    return None
+                self._cv.wait()
+
+    def _next_locked(self) -> ReadGroup | MutationWork | None:
+        if self._mutating:
+            # A barrier is applying: nothing may run beside it — not
+            # even reads submitted after it was dispatched (they must
+            # observe the post-mutation epoch).
+            return None
+        while self._queue:
+            head = self._queue[0]
+            if isinstance(head, _ReadSegment):
+                if head.groups:
+                    __, group = head.groups.popitem()
+                    self._inflight += 1
+                    self.stats.groups_dispatched += 1
+                    if len(group) > self.stats.largest_group:
+                        self.stats.largest_group = len(group)
+                    return group
+                if self._inflight == 0:
+                    self._queue.popleft()
+                    continue
+                return None  # drained but groups still executing
+            # Mutation barrier: wait for the previous segment to finish.
+            if self._inflight == 0:
+                self._mutating = True
+                self._queue.popleft()
+                return head
+            return None
+        return None
+
+    def work_done(self, work: ReadGroup | MutationWork) -> None:
+        """Mark a dispatched unit finished, waking waiters."""
+        with self._cv:
+            if isinstance(work, MutationWork):
+                self._mutating = False
+                self.stats.barriers += 1
+                self.stats.completed += 1
+            else:
+                self._inflight -= 1
+                self.stats.completed += len(work)
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new submissions; queued work still drains."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    def pending(self) -> int:
+        """Queued-but-undispatched queries and mutations (diagnostic)."""
+        with self._cv:
+            count = 0
+            for segment in self._queue:
+                if isinstance(segment, _ReadSegment):
+                    count += sum(
+                        len(group) for group in segment.groups.values()
+                    )
+                else:
+                    count += 1
+            return count

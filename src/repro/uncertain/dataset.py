@@ -18,6 +18,7 @@ Mutation is observable through two mechanisms:
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Mapping
 
 import numpy as np
@@ -93,6 +94,7 @@ class UncertainDataset:
         self._rows: dict[int, int] = {o.oid: i for i, o in enumerate(objs)}
         self._next_row = len(objs)
         self._store: InstanceStore | None = None
+        self._store_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -174,10 +176,30 @@ class UncertainDataset:
         incrementally through :meth:`insert` / :meth:`delete`, so it is
         always at the dataset's live epoch — the kernels gather
         candidate pdfs from it without any staleness window.
+
+        The lazy build is once-guarded: concurrent first touches (a
+        cold database hammered from many threads) race to the lock,
+        one thread packs, and every caller receives the same store —
+        never a half-built or duplicate one.
         """
-        if self._store is None:
-            self._store = InstanceStore(self, _owned=True)
-        return self._store
+        store = self._store
+        if store is None:
+            with self._store_lock:
+                store = self._store
+                if store is None:
+                    store = InstanceStore(self, _owned=True)
+                    self._store = store
+        return store
+
+    def release_instance_store(self) -> None:
+        """Detach the packed store, freeing its arrays.
+
+        The next :meth:`instance_store` call rebuilds from scratch.
+        Used by ``Database.close()`` to drop the largest piece of
+        derived state along with the index handles.
+        """
+        with self._store_lock:
+            self._store = None
 
     # ------------------------------------------------------------------
     # Mutation (used by the update experiments)
@@ -190,29 +212,37 @@ class UncertainDataset:
             raise ValueError("object dimensionality mismatch")
         if not self.domain.contains_rect(obj.region):
             raise ValueError(f"object {obj.oid} lies outside the domain")
-        self._objects[obj.oid] = obj
-        self._packed_cache = None
-        self._rows[obj.oid] = self._next_row
-        self._next_row += 1
-        self._epoch += 1
-        if self._store is not None:
-            self._store.apply_insert(obj, self._epoch)
+        # Mutations exclude the instance store's lazy build: packing
+        # iterates ``_objects``, so a build racing this write would
+        # either crash or silently produce an owned store missing the
+        # new object (owned stores skip the staleness check forever).
+        with self._store_lock:
+            self._objects[obj.oid] = obj
+            self._packed_cache = None
+            self._rows[obj.oid] = self._next_row
+            self._next_row += 1
+            self._epoch += 1
+            if self._store is not None:
+                self._store.apply_insert(obj, self._epoch)
 
     def delete(self, oid: int) -> UncertainObject:
         """Remove and return the object with id ``oid``."""
-        try:
-            obj = self._objects.pop(oid)
-        except KeyError:
-            raise KeyError(f"no object with id {oid}") from None
-        if not self._objects:
-            self._objects[obj.oid] = obj
-            raise ValueError("cannot delete the last object of a dataset")
-        self._packed_cache = None
-        del self._rows[oid]
-        self._epoch += 1
-        if self._store is not None:
-            self._store.apply_delete(oid, self._epoch)
-        return obj
+        with self._store_lock:  # exclude a racing store build
+            try:
+                obj = self._objects.pop(oid)
+            except KeyError:
+                raise KeyError(f"no object with id {oid}") from None
+            if not self._objects:
+                self._objects[obj.oid] = obj
+                raise ValueError(
+                    "cannot delete the last object of a dataset"
+                )
+            self._packed_cache = None
+            del self._rows[oid]
+            self._epoch += 1
+            if self._store is not None:
+                self._store.apply_delete(oid, self._epoch)
+            return obj
 
     def copy(self) -> "UncertainDataset":
         """A shallow copy (objects are immutable and safely shared)."""

@@ -21,7 +21,9 @@ import pytest
 import repro
 import repro.api as api
 import repro.engine as engine_pkg
+import repro.service as service_pkg
 from repro.api import Database, Planner, Q
+from repro.service import QueryFuture, Session, UncertainDBServer
 from repro.core import (
     ExpectedNNEngine,
     GroupNNEngine,
@@ -38,7 +40,7 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 # ----------------------------------------------------------------------
 # Exports resolve
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("module", [api, engine_pkg, repro])
+@pytest.mark.parametrize("module", [api, engine_pkg, service_pkg, repro])
 def test_all_exports_resolve(module):
     assert module.__all__, f"{module.__name__} has no __all__"
     for name in module.__all__:
@@ -88,6 +90,21 @@ PINNED = {
     Planner.observe_step2: "(self, kind: 'str', "
     "step2_seconds: 'float', gather_seconds: 'float' = 0.0, "
     "eval_seconds: 'float' = 0.0) -> 'None'",
+    # The submit-and-serve surface (PR 5).
+    Database.serve: "(self, **options: 'Any') -> 'UncertainDBServer'",
+    Database.close: "(self) -> 'None'",
+    UncertainDBServer.session: "(self) -> 'Session'",
+    UncertainDBServer.submit: "(self, kind: 'str', query: 'Any', "
+    "params: 'tuple[tuple[str, Any], ...]' = (), "
+    "retriever: 'str | None' = None) -> 'QueryFuture'",
+    QueryFuture.result: "(self, timeout: 'float | None' = None) -> 'Any'",
+    QueryFuture.done: "(self) -> 'bool'",
+    Session.nn: "(self, query: 'Any', *, "
+    "retriever: 'str | None' = None) -> 'QueryFuture'",
+    Session.knn: "(self, query: 'Any', k: 'int' = 1, *, "
+    "retriever: 'str | None' = None) -> 'QueryFuture'",
+    Session.insert: "(self, obj: 'Any') -> 'QueryFuture'",
+    Session.delete: "(self, oid: 'int') -> 'QueryFuture'",
 }
 
 
@@ -129,6 +146,14 @@ def test_engine_constructors_stay_uniform(engine_cls):
         if p.kind is inspect.Parameter.KEYWORD_ONLY
     }
     assert ENGINE_KEYWORD_ONLY <= keyword_only
+
+
+def test_session_mirrors_every_query_verb():
+    from repro.api.database import _KINDS
+
+    for kind in _KINDS:
+        verb = getattr(Session, kind, None)
+        assert callable(verb), f"Session.{kind} missing"
 
 
 def test_q_constructors_cover_every_kind():

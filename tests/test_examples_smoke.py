@@ -74,6 +74,13 @@ class TestExamplesSmoke:
         assert "cells re-derived" in out
         assert "all dynamic-update checks passed" in out
 
+    def test_concurrent_clients(self, capsys):
+        module = load_example("concurrent_clients")
+        module.main(n=60, clients=3, queries_each=8)
+        out = capsys.readouterr().out
+        assert "mutation barrier(s)" in out
+        assert "database closed; server drained and detached" in out
+
 
 class TestExamplesHygiene:
     @pytest.mark.parametrize(
@@ -85,6 +92,7 @@ class TestExamplesHygiene:
             "privacy_aware_poi",
             "advanced_queries",
             "dynamic_updates",
+            "concurrent_clients",
         ],
     )
     def test_has_module_docstring_and_main(self, name):

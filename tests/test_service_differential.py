@@ -1,0 +1,209 @@
+"""Differential concurrency stress test for the serving layer.
+
+N client threads issue mixed queries interleaved with inserts and
+deletes through concurrent sessions.  Every completed read future is
+tagged with the dataset epoch it executed at; the test then rebuilds
+the object set of each epoch from the (serially applied) mutation log
+and replays every query on a fresh snapshot dataset at its reported
+epoch, through direct single-query engines.
+
+The acceptance bar is **bit-identical** answers: the coalescing
+scheduler may have executed a read in any batch grouping, on any
+worker, interleaved with any other template — but its probabilities,
+rankings, and decisions must match the serial replay exactly (`==` on
+floats, not approx).  This pins down the whole consistency contract
+at once: mutation barriers (no read straddles an epoch), epoch
+tagging (the reported epoch is the one the answer reflects), and the
+kernel's per-query-row independence (batched execution introduces no
+floating-point drift).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import Rect, UncertainObject
+from repro.api import Database
+from repro.core import (
+    KNNEngine,
+    PNNQEngine,
+    TopKEngine,
+    VerifierEngine,
+)
+from repro.uncertain import UncertainDataset, uniform_pdf
+
+DOMAIN = Rect.cube(0.0, 1000.0, 2)
+N_CLIENTS = 5
+OPS_PER_CLIENT = 12
+N_OBJECTS = 30
+N_INSTANCES = 6
+
+
+def make_object(oid: int, rng: np.random.Generator) -> UncertainObject:
+    center = rng.uniform(100.0, 900.0, size=2)
+    half = rng.uniform(5.0, 40.0)
+    region = Rect(
+        np.maximum(center - half, DOMAIN.lo),
+        np.minimum(center + half, DOMAIN.hi),
+    )
+    instances, weights = uniform_pdf(region, N_INSTANCES, rng)
+    return UncertainObject(oid, region, instances, weights)
+
+
+def make_initial(seed: int = 11) -> list[UncertainObject]:
+    rng = np.random.default_rng(seed)
+    return [make_object(i, rng) for i in range(N_OBJECTS)]
+
+
+class Client:
+    """One session-holding client thread's scripted mixed workload."""
+
+    def __init__(self, tid: int, server) -> None:
+        self.tid = tid
+        self.session = server.session()
+        self.rng = np.random.default_rng(1000 + tid)
+        self.reads: list[tuple] = []  # (future, kind, query, params)
+        self.mutations: list[tuple] = []  # (future, op, payload)
+        self.error: BaseException | None = None
+        self._next_oid = 10_000 + tid * 1_000
+        self._my_oids: list[int] = []
+
+    def run(self) -> None:
+        try:
+            for _ in range(OPS_PER_CLIENT):
+                self._one_op()
+        except BaseException as error:  # noqa: BLE001 - reported by test
+            self.error = error
+
+    def _one_op(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.15:
+            obj = make_object(self._next_oid, self.rng)
+            self._next_oid += 1
+            self._my_oids.append(obj.oid)
+            future = self.session.insert(obj)
+            self.mutations.append((future, "insert", obj))
+        elif roll < 0.25 and self._my_oids:
+            oid = self._my_oids.pop()
+            future = self.session.delete(oid)
+            self.mutations.append((future, "delete", oid))
+        else:
+            q = DOMAIN.sample_points(1, self.rng)[0]
+            kind_roll = self.rng.random()
+            if kind_roll < 0.4:
+                future = self.session.nn(q, retriever="brute")
+                self.reads.append((future, "nn", q, {}))
+            elif kind_roll < 0.6:
+                future = self.session.knn(q, k=2, retriever="brute")
+                self.reads.append((future, "knn", q, {"k": 2}))
+            elif kind_roll < 0.8:
+                future = self.session.topk(q, k=3, retriever="brute")
+                self.reads.append((future, "topk", q, {"k": 3}))
+            else:
+                future = self.session.threshold(
+                    q, p=0.2, retriever="brute"
+                )
+                self.reads.append((future, "threshold", q, {"tau": 0.2}))
+
+
+ENGINE_OF = {
+    "nn": PNNQEngine,
+    "knn": KNNEngine,
+    "topk": TopKEngine,
+    "threshold": VerifierEngine,
+}
+
+
+def replay_engine(cache: dict, states: dict, epoch: int, kind: str):
+    key = (epoch, kind)
+    engine = cache.get(key)
+    if engine is None:
+        dataset = UncertainDataset(states[epoch], domain=DOMAIN)
+        engine = ENGINE_OF[kind](dataset)
+        cache[key] = engine
+    return engine
+
+
+def assert_bit_identical(kind: str, got, want) -> None:
+    if kind == "topk":
+        assert got.answer.ranking == want.ranking
+        return
+    if kind == "threshold":
+        assert dict(got.answer) == dict(want)
+        return
+    got_probs = dict(got.probabilities)
+    want_probs = dict(want.probabilities)
+    assert set(got_probs) == set(want_probs)
+    for oid, value in want_probs.items():
+        assert got_probs[oid] == value, (
+            f"{kind}: oid {oid} drifted: {got_probs[oid]!r} != {value!r}"
+        )
+
+
+def test_concurrent_mixed_workload_matches_serial_replay():
+    initial = make_initial()
+    db = Database(
+        UncertainDataset(list(initial), domain=DOMAIN),
+        indexes=(),  # brute-force reads; mutations go to the dataset
+    )
+    server = db.serve(workers=3)
+    clients = [Client(tid, server) for tid in range(N_CLIENTS)]
+    threads = [
+        threading.Thread(target=client.run) for client in clients
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    for client in clients:
+        assert client.error is None, client.error
+
+    all_reads = [read for client in clients for read in client.reads]
+    all_mutations = [
+        mutation for client in clients for mutation in client.mutations
+    ]
+    for future, *_ in all_reads + all_mutations:
+        assert future.exception(timeout=120) is None, future
+    db.close()
+
+    # ------------------------------------------------------------------
+    # Rebuild the object set of every epoch from the mutation log.
+    # Mutations applied serially (barriers), each bumping the epoch by
+    # one — their future tags order them totally.
+    # ------------------------------------------------------------------
+    epochs = [future.epoch for future, *_ in all_mutations]
+    assert len(set(epochs)) == len(epochs), "barrier epochs must be unique"
+    states: dict[int, list[UncertainObject]] = {0: list(initial)}
+    state = list(initial)
+    for future, op, payload in sorted(
+        all_mutations, key=lambda entry: entry[0].epoch
+    ):
+        if op == "insert":
+            state = state + [payload]
+        else:
+            state = [obj for obj in state if obj.oid != payload]
+        states[future.epoch] = state
+
+    # ------------------------------------------------------------------
+    # Replay every read serially at its reported epoch; bit-identical.
+    # ------------------------------------------------------------------
+    assert all_reads, "workload produced no reads"
+    engine_cache: dict = {}
+    checked_epochs = set()
+    for future, kind, query, params in all_reads:
+        result = future.result()
+        assert future.epoch == result.epoch
+        assert future.epoch in states, (
+            f"read reported epoch {future.epoch} which no barrier produced"
+        )
+        engine = replay_engine(engine_cache, states, future.epoch, kind)
+        want = engine.query(query, **params)
+        assert_bit_identical(kind, result, want)
+        checked_epochs.add(future.epoch)
+
+    # The schedule actually exercised multiple epochs (i.e. reads both
+    # before and after barriers), otherwise the test proved nothing.
+    assert len(states) > 1, "no mutations executed"
+    assert len(checked_epochs) > 1, "reads all landed in one epoch"

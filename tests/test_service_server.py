@@ -1,0 +1,423 @@
+"""Serving-layer tests: sessions, futures, coalescing, barriers.
+
+Covers the submit-and-serve tentpole contract — futures complete with
+answers identical to the synchronous verbs, concurrent same-template
+queries coalesce into batched dispatches, mutations act as epoch
+barriers — plus the lifecycle satellites: ``Database`` as a context
+manager, once-guarded lazy builds under a cold-start hammer, and
+clean shutdown semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import synthetic_dataset
+from repro.api import Database, Q
+from repro.service import (
+    FutureTimeout,
+    QueryFuture,
+    SchedulerClosed,
+    as_completed,
+)
+
+
+def make_dataset(seed: int = 21, n: int = 50):
+    return synthetic_dataset(
+        n=n, dims=2, u_max=400, n_samples=10, seed=seed
+    )
+
+
+@pytest.fixture()
+def db():
+    database = Database(make_dataset())
+    yield database
+    database.close()
+
+
+@pytest.fixture()
+def queries():
+    rng = np.random.default_rng(5)
+    return make_dataset().domain.sample_points(8, rng)
+
+
+# ----------------------------------------------------------------------
+# Futures
+# ----------------------------------------------------------------------
+class TestQueryFuture:
+    def test_result_timeout(self):
+        future = QueryFuture("nn")
+        assert not future.done()
+        with pytest.raises(FutureTimeout):
+            future.result(timeout=0.01)
+        future._set_result("answer", epoch=3)
+        assert future.done()
+        assert future.result() == "answer"
+        assert future.epoch == 3
+
+    def test_exception_propagates(self):
+        future = QueryFuture("nn")
+        future._set_exception(KeyError("boom"))
+        with pytest.raises(KeyError):
+            future.result()
+        assert isinstance(future.exception(), KeyError)
+        assert future.epoch is None
+
+    def test_as_completed_yields_everything(self):
+        futures = [QueryFuture("nn") for _ in range(4)]
+        for i, future in enumerate(futures):
+            future._set_result(i, epoch=0)
+        seen = {f.result() for f in as_completed(futures, timeout=5)}
+        assert seen == {0, 1, 2, 3}
+
+    def test_as_completed_timeout(self):
+        pending = QueryFuture("nn")
+        with pytest.raises(FutureTimeout):
+            list(as_completed([pending], timeout=0.05))
+        # The waiter unhooked itself: no leaked callback keeps the
+        # dead iterator's machinery alive on the pending future.
+        assert pending._callbacks == []
+
+    def test_as_completed_abandoned_iterator_unhooks(self):
+        done, pending = QueryFuture("nn"), QueryFuture("nn")
+        done._set_result("x", epoch=0)
+        iterator = as_completed([done, pending])
+        assert next(iterator).result() == "x"
+        iterator.close()  # abandon with one future still pending
+        assert pending._callbacks == []
+
+
+# ----------------------------------------------------------------------
+# Sessions answer like the synchronous verbs
+# ----------------------------------------------------------------------
+class TestSessionAnswers:
+    def test_all_verbs_match_sync(self, db, queries):
+        sync = {
+            "nn": db.nn(queries[0], retriever="brute"),
+            "knn": db.knn(queries[1], k=2, retriever="brute"),
+            "topk": db.topk(queries[2], k=3, retriever="brute"),
+            "threshold": db.threshold(queries[3], p=0.2, retriever="brute"),
+            "expected_nn": db.expected_nn(queries[4]),
+        }
+        server = db.serve(workers=2)
+        session = server.session()
+        futures = {
+            "nn": session.nn(queries[0], retriever="brute"),
+            "knn": session.knn(queries[1], k=2, retriever="brute"),
+            "topk": session.topk(queries[2], k=3, retriever="brute"),
+            "threshold": session.threshold(
+                queries[3], p=0.2, retriever="brute"
+            ),
+            "expected_nn": session.expected_nn(queries[4]),
+        }
+        for kind, future in futures.items():
+            got = future.result(timeout=30)
+            assert got.kind == kind
+            assert got.epoch == db.epoch
+            if got.probabilities is not None:
+                assert dict(got.probabilities) == dict(
+                    sync[kind].probabilities
+                )
+
+    def test_reverse_nn_and_group_nn(self, db, queries):
+        obj = db.dataset[db.dataset.ids[0]]
+        sync_rnn = db.reverse_nn(obj)
+        sync_gnn = db.group_nn(queries[:2], aggregate="sum")
+        session = db.serve().session()
+        rnn = session.reverse_nn(obj).result(timeout=30)
+        gnn = session.group_nn(queries[:2], aggregate="sum").result(
+            timeout=30
+        )
+        assert dict(rnn.probabilities) == dict(sync_rnn.probabilities)
+        assert dict(gnn.probabilities) == dict(sync_gnn.probabilities)
+
+    def test_session_batch_specs(self, db, queries):
+        session = db.serve().session()
+        futures = session.batch(
+            [Q.nn(queries[0]), Q.knn(queries[1], k=2)]
+        )
+        kinds = [f.result(timeout=30).kind for f in futures]
+        assert kinds == ["nn", "knn"]
+
+    def test_sync_verbs_route_through_server(self, db, queries):
+        server = db.serve()
+        result = db.nn(queries[0], retriever="brute")
+        assert result.epoch == db.epoch
+        assert server.stats.submitted >= 1
+
+
+# ----------------------------------------------------------------------
+# Coalescing
+# ----------------------------------------------------------------------
+class TestCoalescing:
+    def test_same_template_coalesces(self, db, queries):
+        server = db.serve(workers=1)
+        session = server.session()
+        # Park a slow-ish query first so the rest pile up behind it.
+        futures = [
+            session.nn(q, retriever="brute")
+            for q in np.repeat(queries, 4, axis=0)
+        ]
+        for future in futures:
+            future.result(timeout=30)
+        stats = server.stats
+        assert stats.submitted == len(futures)
+        assert stats.completed == len(futures)
+        # At minimum the pile-up behind the first dispatch coalesced.
+        assert stats.coalesced > 0
+        assert stats.largest_group > 1
+
+    def test_distinct_templates_do_not_coalesce(self, db, queries):
+        server = db.serve(workers=1)
+        session = server.session()
+        f1 = session.knn(queries[0], k=2, retriever="brute")
+        f2 = session.knn(queries[0], k=3, retriever="brute")
+        r1, r2 = f1.result(timeout=30), f2.result(timeout=30)
+        assert dict(r1.answer.probabilities) != dict(
+            r2.answer.probabilities
+        )
+
+    def test_max_group_bounds_dispatch(self, db, queries):
+        server = db.serve(workers=1, max_group=3)
+        session = server.session()
+        futures = [
+            session.nn(q, retriever="brute")
+            for q in np.repeat(queries, 2, axis=0)
+        ]
+        for future in futures:
+            future.result(timeout=30)
+        assert server.stats.largest_group <= 3
+
+
+# ----------------------------------------------------------------------
+# Scheduler queue discipline (no threads: direct dispatch probing)
+# ----------------------------------------------------------------------
+class TestSchedulerDiscipline:
+    def _probe(self, scheduler):
+        """Non-blocking ``next_work``: dispatchable unit or None."""
+        with scheduler._cv:
+            return scheduler._next_locked()
+
+    def test_reads_coalesce_mutations_separate_segments(self):
+        from repro.service import CoalescingScheduler
+        from repro.service.scheduler import MutationWork, ReadGroup
+
+        scheduler = CoalescingScheduler()
+        scheduler.submit_read("nn", "q1", (), None)
+        scheduler.submit_read("nn", "q2", (), None)
+        scheduler.submit_mutation("insert", "obj")
+        scheduler.submit_read("nn", "q3", (), None)
+
+        group = self._probe(scheduler)
+        assert isinstance(group, ReadGroup)
+        assert group.queries == ["q1", "q2"]
+        # Barrier: the mutation may not start until the group finishes,
+        # and the post-barrier read is stuck behind both.
+        assert self._probe(scheduler) is None
+        scheduler.work_done(group)
+        mutation = self._probe(scheduler)
+        assert isinstance(mutation, MutationWork)
+        scheduler.work_done(mutation)
+        tail = self._probe(scheduler)
+        assert isinstance(tail, ReadGroup)
+        assert tail.queries == ["q3"]
+
+    def test_no_read_dispatches_while_mutation_applies(self):
+        from repro.service import CoalescingScheduler
+        from repro.service.scheduler import MutationWork, ReadGroup
+
+        scheduler = CoalescingScheduler()
+        scheduler.submit_mutation("insert", "obj")
+        mutation = self._probe(scheduler)
+        assert isinstance(mutation, MutationWork)
+        # A read submitted while the barrier is mid-application must
+        # wait for it — it has to observe the post-mutation epoch.
+        scheduler.submit_read("nn", "q", (), None)
+        assert self._probe(scheduler) is None
+        scheduler.work_done(mutation)
+        assert isinstance(self._probe(scheduler), ReadGroup)
+
+
+# ----------------------------------------------------------------------
+# Mutation barriers
+# ----------------------------------------------------------------------
+class TestMutationBarriers:
+    def test_epoch_tagging_across_barrier(self, db, queries):
+        session = db.serve(workers=2).session()
+        before = [session.nn(q, retriever="brute") for q in queries]
+        removed = session.delete(db.dataset.ids[0])
+        after = [session.nn(q, retriever="brute") for q in queries]
+        for future in as_completed(before + [removed] + after, timeout=60):
+            assert future.exception() is None
+        assert {f.epoch for f in before} == {0}
+        assert removed.epoch == 1
+        assert removed.result().oid == 0
+        assert {f.epoch for f in after} == {1}
+
+    def test_insert_then_query_sees_object(self, db):
+        from repro.geometry import Rect
+        from repro.uncertain import UncertainObject, uniform_pdf
+
+        rng = np.random.default_rng(9)
+        center = np.array([200.0, 200.0])
+        region = Rect(center - 5.0, center + 5.0)
+        instances, weights = uniform_pdf(region, 6, rng)
+        obj = UncertainObject(9999, region, instances, weights)
+
+        session = db.serve().session()
+        session.insert(obj).result(timeout=30)
+        result = session.nn(center, retriever="brute").result(timeout=30)
+        assert result.epoch == 1
+        assert 9999 in dict(result.probabilities)
+
+    def test_mutation_errors_carried_by_future(self, db):
+        session = db.serve().session()
+        future = session.delete(987654)
+        assert isinstance(future.exception(timeout=30), KeyError)
+        # The scheduler survives a failed barrier.
+        assert session.nn(
+            np.zeros(2), retriever="brute"
+        ).result(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: Database context manager, close, server shutdown
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_database_context_manager(self):
+        with Database(make_dataset()) as db:
+            result = db.nn([100.0, 100.0])
+            assert result.best is not None
+        # close() dropped every built handle and the packed store.
+        assert db.built_indexes == ()
+        assert db.dataset._store is None
+
+    def test_double_close_is_noop(self):
+        db = Database(make_dataset())
+        db.nn([100.0, 100.0])
+        db.close()
+        db.close()
+        assert db.built_indexes == ()
+
+    def test_close_shuts_down_server(self):
+        db = Database(make_dataset())
+        server = db.serve()
+        session = server.session()
+        future = session.nn(np.array([50.0, 50.0]), retriever="brute")
+        db.close()
+        # Queued work drained before shutdown — the future completed.
+        assert future.done()
+        assert server.closed
+        assert db.server is None
+        with pytest.raises(SchedulerClosed):
+            server.submit("nn", np.zeros(2))
+        with pytest.raises(RuntimeError):
+            db.serve()
+
+    def test_serve_idempotent_and_option_guard(self, db):
+        server = db.serve(workers=2)
+        assert db.serve() is server
+        with pytest.raises(ValueError):
+            db.serve(workers=4)
+
+    def test_closed_session_refuses(self, db):
+        session = db.serve().session()
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.nn(np.zeros(2))
+
+    def test_unknown_kind_rejected_at_submit(self, db):
+        server = db.serve()
+        with pytest.raises(KeyError):
+            server.submit("bogus", np.zeros(2))
+        with pytest.raises(KeyError):
+            server.submit_mutation("truncate", None)
+
+
+# ----------------------------------------------------------------------
+# Once-guards: cold-start hammer (the lazy-build race regression)
+# ----------------------------------------------------------------------
+class TestColdStartHammer:
+    N_THREADS = 12
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.N_THREADS)
+        errors: list[BaseException] = []
+        results: list = []
+        lock = threading.Lock()
+
+        def run():
+            try:
+                barrier.wait(timeout=30)
+                value = fn()
+            except BaseException as error:  # noqa: BLE001
+                with lock:
+                    errors.append(error)
+            else:
+                with lock:
+                    results.append(value)
+
+        threads = [
+            threading.Thread(target=run) for _ in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        return results
+
+    def test_index_handle_builds_exactly_once(self):
+        db = Database(make_dataset())
+        handle = db._handles["pv"]
+        builds = []
+        original = handle.builder
+        handle.builder = lambda ds: (builds.append(1), original(ds))[1]
+
+        query = np.array([120.0, 120.0])
+        expected = dict(
+            Database(make_dataset()).nn(query, retriever="brute")
+            .probabilities
+        )
+        results = self._hammer(
+            lambda: db.nn(query, retriever="pv")
+        )
+        assert len(builds) == 1
+        for result in results:
+            assert dict(result.probabilities) == expected
+
+    def test_instance_store_builds_exactly_once(self):
+        dataset = make_dataset()
+        stores = self._hammer(dataset.instance_store)
+        assert len({id(store) for store in stores}) == 1
+        assert stores[0].matches_dataset()
+
+    def test_cold_database_hammered_through_server(self):
+        db = Database(make_dataset())
+        server = db.serve(workers=3)
+        rng = np.random.default_rng(2)
+        points = db.dataset.domain.sample_points(self.N_THREADS, rng)
+
+        def one(i):
+            session = server.session()
+            return session.nn(points[i], retriever="brute").result(
+                timeout=60
+            )
+
+        counter = iter(range(self.N_THREADS))
+        lock = threading.Lock()
+
+        def next_one():
+            with lock:
+                i = next(counter)
+            return one(i)
+
+        results = self._hammer(next_one)
+        reference = Database(make_dataset())
+        for result in results:
+            want = reference.nn(result.answer.query, retriever="brute")
+            assert dict(result.probabilities) == dict(want.probabilities)
+        db.close()
