@@ -28,6 +28,7 @@ All seven query classes of the repository are one method each —
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
@@ -417,14 +418,26 @@ class Database:
         Accepts a kind name plus its parameters (``db.explain("knn",
         k=3)``) or a ready :class:`QuerySpec`.  Pure planning: no
         query runs and no index is built.
+
+        On a process-served database the returned plan additionally
+        carries the pool's scale-out telemetry in ``plan.scaleout``
+        (workers, shard counts, scatter/prune counters, per-worker
+        busy seconds); the planner's cached plans stay bare.
         """
         with self._lock:
             self._sync()
             if isinstance(kind, QuerySpec):
-                return self._plan(kind.kind, kind.params, forced=retriever)
-            if kind == "threshold" and "p" in params:
-                params["tau"] = params.pop("p")
-            return self._plan(kind, _params_key(params), forced=retriever)
+                plan = self._plan(kind.kind, kind.params, forced=retriever)
+            else:
+                if kind == "threshold" and "p" in params:
+                    params["tau"] = params.pop("p")
+                plan = self._plan(
+                    kind, _params_key(params), forced=retriever
+                )
+        snapshot = getattr(self._server, "scaleout_snapshot", None)
+        if snapshot is not None:
+            plan = dataclasses.replace(plan, scaleout=snapshot())
+        return plan
 
     def _plan(
         self,
@@ -710,6 +723,15 @@ class Database:
         sessions — they submit into the same scheduler and block on
         the future, so they obey the same consistency contract.
 
+        ``mode="process"`` selects the shared-memory
+        :class:`~repro.service.ProcessPoolServer` instead: the packed
+        instance store is exported into shared memory, worker
+        *processes* attach it zero-copy, and group execution scatters
+        over the pool with sharded Step-1 pruning — same client
+        surface, same epoch-barrier consistency contract, no GIL on
+        the compute path.  Process-mode extras (``n_shards``,
+        ``scatter_min``) are forwarded too.
+
         Idempotent while a server is live: a second ``serve()`` call
         returns the running server (``options`` must then be empty).
         ``options`` are forwarded to the server constructor
@@ -725,9 +747,20 @@ class Database:
                         "before re-serving with different options"
                     )
                 return self._server
-            from ..service import UncertainDBServer
+            mode = options.pop("mode", "thread")
+            if mode == "process":
+                from ..service import ProcessPoolServer
 
-            self._server = UncertainDBServer(self, **options)
+                self._server = ProcessPoolServer(self, **options)
+            elif mode == "thread":
+                from ..service import UncertainDBServer
+
+                self._server = UncertainDBServer(self, **options)
+            else:
+                raise ValueError(
+                    f"unknown serve mode {mode!r} "
+                    "(expected 'thread' or 'process')"
+                )
             return self._server
 
     @property
@@ -759,19 +792,25 @@ class Database:
                 return
             self._closed = True
             server = self._server
-        if server is not None:
-            # Drain before detaching: verbs that still hold the server
-            # reference either ride the drain or hit SchedulerClosed
-            # and themselves wait on close() — nothing executes inline
-            # beside the draining queue.  The server detaches itself
-            # (sets ``_server`` to None) once fully stopped.
-            server.close()
-        with self._lock:
-            for handle in self._handles.values():
-                handle.drop()
-            self._engines.clear()
-            self.planner.invalidate()
-            self.dataset.release_instance_store()
+        try:
+            if server is not None:
+                # Drain before detaching: verbs that still hold the
+                # server reference either ride the drain or hit
+                # SchedulerClosed and themselves wait on close() —
+                # nothing executes inline beside the draining queue.
+                # The server detaches itself (sets ``_server`` to
+                # None) once fully stopped.  A process-pool server's
+                # close additionally terminates its workers and
+                # unlinks the shared segment even when a worker died
+                # mid-query.
+                server.close()
+        finally:
+            with self._lock:
+                for handle in self._handles.values():
+                    handle.drop()
+                self._engines.clear()
+                self.planner.invalidate()
+                self.dataset.release_instance_store()
 
     def __enter__(self) -> Database:
         return self

@@ -177,6 +177,12 @@ class Plan:
     #: surfaced by ``db.explain``.  Empty until queries of this kind
     #: have run.
     step2_observed: Mapping[str, float] = field(default_factory=FrozenDict)
+    #: Scale-out telemetry when a process-pool server is attached —
+    #: pool mode/size, shard counts, scatter and prune counters, and
+    #: per-worker busy seconds.  ``db.explain`` stamps it onto the
+    #: returned copy only (plans cached by the planner stay bare);
+    #: empty on an unserved or thread-served database.
+    scaleout: Mapping[str, Any] = field(default_factory=FrozenDict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scores", FrozenDict(self.scores))
@@ -184,6 +190,7 @@ class Plan:
         object.__setattr__(
             self, "step2_observed", FrozenDict(self.step2_observed)
         )
+        object.__setattr__(self, "scaleout", FrozenDict(self.scaleout))
         if not self.cost_kind:
             object.__setattr__(self, "cost_kind", self.kind)
 
@@ -214,6 +221,15 @@ class Plan:
                 "(gather {gather:.1f} us, kernel {eval:.1f} us)".format(
                     **self.step2_observed
                 )
+            )
+        if self.scaleout:
+            so = self.scaleout
+            lines.append(
+                f"  scaleout: {so.get('mode', '?')} pool, "
+                f"{so.get('workers', '?')} workers, "
+                f"{so.get('n_shards', '?')} shards "
+                f"(dispatched {so.get('shards_dispatched', 0)}, "
+                f"pruned {so.get('shards_pruned', 0)})"
             )
         return "\n".join(lines)
 

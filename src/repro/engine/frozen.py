@@ -56,6 +56,15 @@ class FrozenDict(dict):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"FrozenDict({dict.__repr__(self)})"
 
+    def __reduce__(self) -> tuple:
+        """Pickle support (process-pool pipe transport).
+
+        The default ``dict``-subclass protocol rebuilds through
+        ``__setitem__``, which this class blocks — reconstruct from a
+        plain-dict copy through the constructor instead.
+        """
+        return (type(self), (dict(self),))
+
     def copy(self) -> dict:
         """A *mutable* plain-dict copy (the one escape hatch)."""
         return dict(self)

@@ -40,6 +40,9 @@ _SCALAR_FIELDS = (
     "retriever_fallbacks",
     "kernel_gather_seconds",
     "kernel_eval_seconds",
+    "shards_dispatched",
+    "shards_pruned",
+    "worker_busy_seconds",
 )
 
 
@@ -84,6 +87,15 @@ class ExecutionStats:
     #: (distances, sorts, survival products — the other subset of
     #: :attr:`probability_computation`).
     kernel_eval_seconds: float = 0.0
+    #: Scatter-gather shards whose candidate filter actually ran
+    #: (per query: the shards surviving the MBR bound check).
+    shards_dispatched: int = 0
+    #: Scatter-gather shards skipped because their MBR lower bound was
+    #: dominated — whole partitions Step 1 never touched.
+    shards_pruned: int = 0
+    #: Wall-clock seconds worker processes spent executing dispatched
+    #: groups (summed across the pool; the process tier's busy time).
+    worker_busy_seconds: float = 0.0
     #: Simulated page traffic of Step 1 (index descent / leaf reads).
     or_io: IOStats = field(default_factory=IOStats)
     #: Simulated page traffic of Step 2 (secondary pdf fetches).
@@ -122,6 +134,9 @@ class ExecutionStats:
         self.retriever_fallbacks = 0
         self.kernel_gather_seconds = 0.0
         self.kernel_eval_seconds = 0.0
+        self.shards_dispatched = 0
+        self.shards_pruned = 0
+        self.worker_busy_seconds = 0.0
         self.or_io.reset()
         self.pc_io.reset()
 
@@ -139,6 +154,9 @@ class ExecutionStats:
             retriever_fallbacks=self.retriever_fallbacks,
             kernel_gather_seconds=self.kernel_gather_seconds,
             kernel_eval_seconds=self.kernel_eval_seconds,
+            shards_dispatched=self.shards_dispatched,
+            shards_pruned=self.shards_pruned,
+            worker_busy_seconds=self.worker_busy_seconds,
             or_io=self.or_io.snapshot(),
             pc_io=self.pc_io.snapshot(),
         )
@@ -167,6 +185,9 @@ class ExecutionStats:
             self.retriever_fallbacks,
             self.kernel_gather_seconds,
             self.kernel_eval_seconds,
+            self.shards_dispatched,
+            self.shards_pruned,
+            self.worker_busy_seconds,
             self.or_io.reads,
             self.or_io.writes,
             self.pc_io.reads,
@@ -189,13 +210,16 @@ class ExecutionStats:
             kernel_gather_seconds=self.kernel_gather_seconds
             - captured[9],
             kernel_eval_seconds=self.kernel_eval_seconds - captured[10],
+            shards_dispatched=self.shards_dispatched - captured[11],
+            shards_pruned=self.shards_pruned - captured[12],
+            worker_busy_seconds=self.worker_busy_seconds - captured[13],
             or_io=IOStats(
-                reads=self.or_io.reads - captured[11],
-                writes=self.or_io.writes - captured[12],
+                reads=self.or_io.reads - captured[14],
+                writes=self.or_io.writes - captured[15],
             ),
             pc_io=IOStats(
-                reads=self.pc_io.reads - captured[13],
-                writes=self.pc_io.writes - captured[14],
+                reads=self.pc_io.reads - captured[16],
+                writes=self.pc_io.writes - captured[17],
             ),
         )
 
@@ -218,9 +242,29 @@ class ExecutionStats:
             - earlier.kernel_gather_seconds,
             kernel_eval_seconds=self.kernel_eval_seconds
             - earlier.kernel_eval_seconds,
+            shards_dispatched=self.shards_dispatched
+            - earlier.shards_dispatched,
+            shards_pruned=self.shards_pruned - earlier.shards_pruned,
+            worker_busy_seconds=self.worker_busy_seconds
+            - earlier.worker_busy_seconds,
             or_io=self.or_io.delta(earlier.or_io),
             pc_io=self.pc_io.delta(earlier.pc_io),
         )
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate ``other``'s counters into this object in place.
+
+        The cross-process aggregation primitive: worker processes
+        return per-execution deltas over the pipe and the pool folds
+        them into one parent-side aggregate, so scatter-gather work is
+        observable exactly like thread-mode work.
+        """
+        for name in _SCALAR_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.or_io.reads += other.or_io.reads
+        self.or_io.writes += other.or_io.writes
+        self.pc_io.reads += other.pc_io.reads
+        self.pc_io.writes += other.pc_io.writes
 
     # ------------------------------------------------------------------
     def add_or(self, seconds: float, io: IOStats | None = None) -> None:

@@ -17,19 +17,33 @@ Concurrent queries sharing one ``(kind, params, retriever)`` template
 coalesce into a single batched kernel dispatch; ``insert`` / ``delete``
 apply as epoch barriers, so every read executes against exactly one
 dataset epoch (tagged on its future and result).
+
+``db.serve(workers=N, mode="process")`` swaps in the
+:class:`ProcessPoolServer` — same surface and contract, but groups
+execute in worker *processes* over a shared-memory export of the
+instance store, with Step 1 sharded and scatter-gathered
+(:mod:`repro.service.shards`) and mutations applied as pool-wide
+re-attach fences (:mod:`repro.service.procpool`).
 """
 
 from .future import FutureTimeout, QueryFuture, as_completed
+from .procpool import ProcessPoolServer, WorkerDied
 from .scheduler import CoalescingScheduler, SchedulerClosed, SchedulerStats
 from .server import Session, UncertainDBServer
+from .shards import Shard, ShardLayout, ShardedRetriever
 
 __all__ = [
     "as_completed",
     "CoalescingScheduler",
     "FutureTimeout",
+    "ProcessPoolServer",
     "QueryFuture",
     "SchedulerClosed",
     "SchedulerStats",
     "Session",
+    "Shard",
+    "ShardLayout",
+    "ShardedRetriever",
     "UncertainDBServer",
+    "WorkerDied",
 ]

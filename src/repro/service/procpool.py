@@ -1,0 +1,652 @@
+"""The process-pool serving tier: GIL-free scatter-gather execution.
+
+:class:`ProcessPoolServer` swaps the thread server's in-process group
+execution for a pool of **worker processes** attached to one
+shared-memory export of the packed instance store
+(:meth:`~repro.uncertain.store.InstanceStore.export_shared`).  Queries
+cross the pipe as small ``(kind, queries, params, forced)`` tuples —
+the instance data itself is never pickled; workers map the segment by
+name and rebuild a zero-copy dataset over it at spawn.
+
+Execution model
+---------------
+
+* The parent keeps the thread server's scheduler and its worker
+  *threads*, but each thread drives idle worker *processes* instead of
+  computing: a dispatched read group is split into contiguous query
+  chunks, scattered over however many processes are idle right now,
+  and gathered back in chunk order.  Chunking is bit-transparent —
+  every query row is independent, so the merged answers equal the
+  single-dispatch answers exactly.
+* Workers answer Step 1 through the sharded scatter-gather retriever
+  (:class:`~repro.service.shards.ShardedRetriever`) unless the query
+  forces ``"brute"`` — per-shard MBR bounds prune dominated shards
+  before any member distance is computed, and the counters travel
+  back on each result's :class:`~repro.engine.ExecutionStats`.
+* A mutation barrier becomes a **pool-wide fence**: the scheduler
+  already guarantees exclusivity (no reads in flight), so the parent
+  applies the mutation, exports a fresh segment at the new epoch,
+  broadcasts a re-attach to every worker, awaits their acks, and only
+  then unlinks the old segment.  Workers refuse stale attaches by the
+  epoch stamp inside the segment header.
+* A worker that dies mid-query fails only its own chunk's futures
+  (the group raises a broken-worker error) and is respawned once per
+  incident; :meth:`close` terminates every process and unlinks the
+  live segment even on that path — no ``/dev/shm`` leaks (regression
+  test in ``tests/test_procpool.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Sequence
+
+from .scheduler import MutationWork, ReadGroup
+from .server import UncertainDBServer
+from .shards import DEFAULT_SHARDS
+
+__all__ = ["ProcessPoolServer", "WorkerDied"]
+
+#: Minimum queries per scattered chunk: below this, pipe + merge
+#: overhead outweighs extra processes and the group runs on one.
+SCATTER_MIN = 8
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited while executing a dispatched chunk."""
+
+
+# ----------------------------------------------------------------------
+# Worker process side (top-level: must be picklable for spawn)
+# ----------------------------------------------------------------------
+class _WorkerState:
+    """Everything one worker process rebuilds from the shared segment.
+
+    Constructed lazily on the first ``run`` after (re-)attach: the
+    zero-copy dataset over the segment, one engine per
+    ``(kind, retriever)`` pair, and a single
+    :class:`~repro.service.shards.ShardLayout` shared by every sharded
+    retriever.  Torn down (and the segment detached) on each fence.
+    """
+
+    def __init__(self, handle: Any, config: dict[str, Any]) -> None:
+        from ..uncertain.store import attach_shared
+
+        self.view = attach_shared(handle)
+        self.dataset = self.view.build_dataset()
+        self.config = config
+        self.epoch = int(handle.epoch)
+        self._engines: dict[tuple[str, str], Any] = {}
+        self._layout: Any = None
+
+    # -- plan policy ---------------------------------------------------
+    def _choice(
+        self, kind: str, params: dict[str, Any], forced: str | None
+    ) -> tuple[str, str, str]:
+        """``(retriever name, reason, cost_kind)`` for one template.
+
+        Mirrors ``Database._fixed_choice`` for the policy-fixed kinds,
+        then routes everything else to the sharded scatter-gather
+        filter (or brute force when forced).  Index retrievers are not
+        available inside workers — their paged structures live in the
+        parent and are not shared.
+        """
+        if kind == "reverse_nn":
+            return (
+                "none",
+                "domination-based Step 1 over object regions; "
+                "point retrievers do not apply",
+                "reverse_nn",
+            )
+        if kind == "knn" and params.get("k", 1) > 1:
+            return (
+                "brute",
+                "k > 1 widens Step 1 to the exact k-th-maxdist filter "
+                "over the whole database; indexes accelerate only k = 1",
+                "knn:exact",
+            )
+        if kind == "group_nn" and params.get("aggregate") != "min":
+            return (
+                "brute",
+                "sum/max aggregates run the direct aggregate-bound "
+                "filter; an index narrows only the min aggregate",
+                "group_nn:direct",
+            )
+        if forced in (None, "sharded"):
+            return (
+                "sharded",
+                "process pool: sharded scatter-gather Step 1 over the "
+                "shared segment (MBR-dominated shards pruned)",
+                kind,
+            )
+        if forced == "brute":
+            return (
+                "brute",
+                "forced exact brute-force Step 1 (process pool)",
+                kind,
+            )
+        raise ValueError(
+            f"retriever {forced!r} is not available in process mode: "
+            "workers share only the packed instance store, not the "
+            "parent's paged indexes (use 'brute', 'sharded', or the "
+            "default)"
+        )
+
+    def _engine(self, kind: str, rname: str) -> Any:
+        from ..api.database import _KINDS
+        from .shards import ShardLayout, ShardedRetriever
+
+        key = (kind, rname)
+        engine = self._engines.get(key)
+        if engine is not None:
+            return engine
+        retriever = None
+        if rname == "sharded":
+            if self._layout is None:
+                self._layout = ShardLayout.build(
+                    self.dataset, self.config.get("n_shards", DEFAULT_SHARDS)
+                )
+            retriever = ShardedRetriever(self.dataset, layout=self._layout)
+        spec = _KINDS[kind]
+        kwargs: dict[str, Any] = {
+            "secondary": None,
+            "result_cache_size": self.config.get("result_cache_size", 128),
+            "memo_radius": self.config.get("memo_radius", 0.0),
+        }
+        if spec.takes_n_bins:
+            kwargs["n_bins"] = self.config.get("n_bins", 8)
+        engine = spec.engine_cls(self.dataset, retriever, **kwargs)
+        if retriever is not None:
+            # Shard prune/dispatch counts land on the engine's stats,
+            # so the measured deltas carry them back over the pipe.
+            retriever.stats = engine.stats
+        self._engines[key] = engine
+        return engine
+
+    # -- execution -----------------------------------------------------
+    def execute(
+        self,
+        kind: str,
+        queries: Sequence[Any],
+        params: tuple[tuple[str, Any], ...],
+        forced: str | None,
+    ) -> list[Any]:
+        from ..api.planner import Plan
+        from ..api.result import QueryResult
+
+        rname, reason, bucket = self._choice(kind, dict(params), forced)
+        engine = self._engine(kind, rname)
+        kwargs = dict(params)
+        t0 = time.perf_counter()
+        if len(queries) == 1:
+            answer, delta = engine.query_measured(queries[0], **kwargs)
+            answers = [answer]
+        else:
+            answers, delta = engine.query_batch_measured(
+                list(queries), **kwargs
+            )
+        delta.worker_busy_seconds = time.perf_counter() - t0
+        plan = Plan(
+            kind=kind,
+            params=params,
+            retriever=rname,
+            reason=reason,
+            epoch=self.epoch,
+            forced=forced is not None,
+            cost_kind=bucket,
+        )
+        return [
+            QueryResult(kind=kind, answer=answer, plan=plan, stats=delta)
+            for answer in answers
+        ]
+
+    def close(self) -> None:
+        """Drop every segment reference, then detach the mapping."""
+        import gc
+
+        self._engines.clear()
+        self._layout = None
+        self.dataset = None
+        gc.collect()
+        self.view.close()
+
+
+def _worker_main(conn: Any, handle: Any, config: dict[str, Any]) -> None:
+    """One worker process: attach, serve the pipe, detach.
+
+    The state is built lazily on the first ``run`` so a worker that
+    only ever sees fences (or an immediate ``stop``) never maps the
+    segment at all.
+    """
+    state: _WorkerState | None = None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                return  # parent went away; exit quietly
+            op = msg[0]
+            if op == "stop":
+                return
+            if op == "fence":
+                _, epoch, new_handle = msg
+                if state is not None:
+                    state.close()
+                    state = None
+                handle = new_handle
+                conn.send(("fenced", int(epoch)))
+                continue
+            # ("run", kind, queries, params, forced)
+            _, kind, queries, params, forced = msg
+            try:
+                if state is None:
+                    state = _WorkerState(handle, config)
+                t0 = time.perf_counter()
+                results = state.execute(kind, queries, params, forced)
+                busy = time.perf_counter() - t0
+            except BaseException as error:  # noqa: BLE001 - shipped back
+                try:
+                    conn.send(("err", error))
+                except Exception:
+                    conn.send(
+                        ("err", RuntimeError(
+                            f"{type(error).__name__}: {error}"
+                        ))
+                    )
+            else:
+                conn.send(("ok", results, busy))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if state is not None:
+            state.close()
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _WorkerProc:
+    """Parent-side handle to one worker process and its pipe end.
+
+    A handle is owned by at most one dispatching thread at a time (the
+    idle-deque discipline below), so pipe access needs no lock.
+    """
+
+    __slots__ = ("wid", "proc", "conn")
+
+    def __init__(self, ctx: Any, wid: int, handle: Any,
+                 config: dict[str, Any]) -> None:
+        self.wid = wid
+        parent_conn, child_conn = ctx.Pipe()
+        self.conn = parent_conn
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, handle, config),
+            name=f"uncertaindb-proc-{wid}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def stop(self, timeout: float = 1.0) -> None:
+        """Best-effort graceful stop, escalating to terminate."""
+        try:
+            self.conn.send(("stop",))
+        except Exception:
+            pass
+        self.proc.join(timeout)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout)
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+
+
+class ProcessPoolServer(UncertainDBServer):
+    """Shared-memory process pool behind the coalescing scheduler.
+
+    Drop-in replacement for the thread server, selected via
+    ``db.serve(mode="process")``.  Same client surface, same
+    consistency contract (epoch barriers, bit-identical answers) —
+    but group execution happens in worker processes over a
+    shared-memory export of the instance store, with Step 1 sharded
+    and scatter-gathered (see the module docstring).
+
+    Parameters
+    ----------
+    db:
+        The database to serve.  Its packed instance store is exported
+        into shared memory up front; mutations re-export (pool fence).
+    workers:
+        Process count — and dispatcher-thread count: each thread
+        drives one or more idle processes per group.
+    n_shards:
+        Target shard count for the workers' scatter-gather Step 1.
+    scatter_min:
+        Minimum queries per scattered chunk; smaller groups run on a
+        single process.
+    """
+
+    def __init__(
+        self,
+        db: Any,
+        *,
+        workers: int = 2,
+        max_group: int = 256,
+        n_shards: int = DEFAULT_SHARDS,
+        scatter_min: int = SCATTER_MIN,
+    ) -> None:
+        import multiprocessing
+
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        # Spawn, not fork: the parent runs scheduler/dispatcher threads
+        # and forking a threaded process is undefined behavior-adjacent.
+        self._ctx = multiprocessing.get_context("spawn")
+        self._config = {
+            "n_bins": getattr(db, "n_bins", 8),
+            "result_cache_size": getattr(db, "result_cache_size", 128),
+            "memo_radius": getattr(db, "memo_radius", 0.0),
+            "n_shards": n_shards,
+        }
+        self._n_shards = n_shards
+        self._scatter_min = max(1, int(scatter_min))
+        self._handle = db.dataset.instance_store().export_shared()
+        self._proc_cv = threading.Condition()
+        self._procs: list[_WorkerProc] = []
+        self._idle: deque[_WorkerProc] = deque()
+        self._next_wid = 0
+        self._broken = False
+        self._busy_per_worker: dict[int, float] = {}
+        self._groups_scattered = 0
+        self._chunks_dispatched = 0
+        self._shards_dispatched = 0
+        self._shards_pruned = 0
+        try:
+            for _ in range(workers):
+                self._spawn_locked()
+        except BaseException:
+            self._teardown()
+            raise
+        # Last: the base constructor starts the dispatcher threads,
+        # which immediately begin pulling work that needs the pool.
+        super().__init__(db, workers=workers, max_group=max_group)
+
+    # ------------------------------------------------------------------
+    # Pool plumbing
+    # ------------------------------------------------------------------
+    def _spawn_locked(self) -> _WorkerProc:
+        """Start one worker at the current segment (caller may hold no
+        lock during __init__; afterwards call under ``_proc_cv``)."""
+        proc = _WorkerProc(
+            self._ctx, self._next_wid, self._handle, self._config
+        )
+        self._next_wid += 1
+        self._busy_per_worker.setdefault(proc.wid, 0.0)
+        self._procs.append(proc)
+        self._idle.append(proc)
+        return proc
+
+    def _acquire(self, want: int) -> list[_WorkerProc]:
+        """Block for one idle process, grab up to ``want`` in total."""
+        with self._proc_cv:
+            while not self._idle:
+                if self._broken or self._closed and not self._procs:
+                    raise WorkerDied(
+                        "process pool is broken (all workers died)"
+                    )
+                self._proc_cv.wait(0.1)
+            got = [self._idle.popleft()]
+            while len(got) < want and self._idle:
+                got.append(self._idle.popleft())
+            return got
+
+    def _release(self, procs: list[_WorkerProc]) -> None:
+        with self._proc_cv:
+            self._idle.extend(procs)
+            self._proc_cv.notify_all()
+
+    def _retire(self, dead: _WorkerProc) -> None:
+        """Drop a dead worker and respawn a replacement at the live
+        segment; the pool goes *broken* only when respawning fails."""
+        dead.stop(timeout=0.1)
+        with self._proc_cv:
+            if dead in self._procs:
+                self._procs.remove(dead)
+            if self._closed:
+                self._proc_cv.notify_all()
+                return
+            try:
+                self._spawn_locked()
+            except Exception:
+                if not self._procs:
+                    self._broken = True
+            self._proc_cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # Group execution: scatter over idle workers, gather in order
+    # ------------------------------------------------------------------
+    def _execute_group(self, group: ReadGroup) -> None:
+        try:
+            results = self._run_scattered(
+                group.kind, group.queries, group.params, group.forced
+            )
+        except BaseException as error:  # noqa: BLE001 - futures carry it
+            for future in group.futures:
+                future._set_exception(error)
+            return
+        for future, result in zip(group.futures, results):
+            future._set_result(result, result.plan.epoch)
+
+    def _run_scattered(
+        self,
+        kind: str,
+        queries: list[Any],
+        params: tuple[tuple[str, Any], ...],
+        forced: str | None,
+    ) -> list[Any]:
+        want = max(1, min(len(queries) // self._scatter_min, 1 << 10))
+        procs = self._acquire(want)
+        chunks = _split(queries, len(procs))
+        procs = procs[: len(chunks)]
+        responses: list[Any] = [None] * len(procs)
+        dead: list[_WorkerProc] = []
+        try:
+            for proc, chunk in zip(procs, chunks):
+                try:
+                    proc.conn.send(("run", kind, chunk, params, forced))
+                except (BrokenPipeError, OSError):
+                    dead.append(proc)
+                    responses[procs.index(proc)] = WorkerDied(
+                        f"worker {proc.wid} died before dispatch"
+                    )
+            for i, proc in enumerate(procs):
+                if responses[i] is not None:
+                    continue
+                try:
+                    responses[i] = proc.conn.recv()
+                except (EOFError, OSError):
+                    dead.append(proc)
+                    responses[i] = WorkerDied(
+                        f"worker {proc.wid} died executing "
+                        f"{kind} x{len(chunks[i])}"
+                    )
+        finally:
+            alive = [p for p in procs if p not in dead]
+            self._release(alive)
+            for proc in dead:
+                self._retire(proc)
+        merged: list[Any] = []
+        shards_d = shards_p = 0
+        busy_total = 0.0
+        error: BaseException | None = None
+        for i, (proc, response) in enumerate(zip(procs, responses)):
+            if isinstance(response, BaseException):
+                error = error or response
+                continue
+            if response[0] == "err":
+                error = error or response[1]
+                continue
+            _, results, busy = response
+            merged.extend(results)
+            busy_total += busy
+            if results:
+                shards_d += results[0].stats.shards_dispatched
+                shards_p += results[0].stats.shards_pruned
+            with self._proc_cv:
+                self._busy_per_worker[proc.wid] = (
+                    self._busy_per_worker.get(proc.wid, 0.0) + busy
+                )
+        with self._proc_cv:
+            self._groups_scattered += 1 if len(procs) > 1 else 0
+            self._chunks_dispatched += len(procs)
+            self._shards_dispatched += shards_d
+            self._shards_pruned += shards_p
+        if error is not None:
+            raise error
+        return merged
+
+    # ------------------------------------------------------------------
+    # Mutation barriers become pool-wide fences
+    # ------------------------------------------------------------------
+    def _apply_mutation(self, work: MutationWork) -> None:
+        try:
+            if work.op == "insert":
+                value: Any = self.db._apply_insert(work.payload)
+            else:
+                value = self.db._apply_delete(work.payload)
+        except BaseException as error:  # noqa: BLE001 - future carries it
+            work.future._set_exception(error)
+            return
+        try:
+            self._fence()
+        except BaseException as error:  # noqa: BLE001 - future carries it
+            # The mutation is applied but the pool could not re-attach;
+            # surface the failure rather than serving stale reads.
+            with self._proc_cv:
+                self._broken = True
+            work.future._set_exception(error)
+            return
+        work.future._set_result(value, self.db.dataset.epoch)
+
+    def _fence(self) -> None:
+        """Export the post-mutation segment and re-attach every worker.
+
+        Runs with the scheduler's mutation exclusivity: no reads are
+        in flight, so every live worker sits in the idle deque and its
+        pipe is free.  The old segment is unlinked only after all
+        acks, so a worker never observes a vanished mapping.
+        """
+        old = self._handle
+        new = self.db.dataset.instance_store().export_shared()
+        epoch = int(new.epoch)
+        with self._proc_cv:
+            procs = list(self._procs)
+        dead: list[_WorkerProc] = []
+        for proc in procs:
+            try:
+                proc.conn.send(("fence", epoch, new))
+            except (BrokenPipeError, OSError):
+                dead.append(proc)
+        for proc in procs:
+            if proc in dead:
+                continue
+            try:
+                ack = proc.conn.recv()
+                if ack != ("fenced", epoch):
+                    raise WorkerDied(
+                        f"worker {proc.wid} answered fence with {ack!r}"
+                    )
+            except (EOFError, OSError):
+                dead.append(proc)
+        self._handle = new
+        for proc in dead:
+            with self._proc_cv:
+                if proc in self._idle:
+                    self._idle.remove(proc)
+            self._retire(proc)
+        old.unlink()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def scaleout_snapshot(self) -> dict[str, Any]:
+        """Pool telemetry for ``db.explain`` (``Plan.scaleout``)."""
+        with self._proc_cv:
+            return {
+                "mode": "process",
+                "workers": len(self._procs),
+                "n_shards": self._n_shards,
+                "segment": self._handle.name,
+                "segment_epoch": self._handle.epoch,
+                "groups_scattered": self._groups_scattered,
+                "chunks_dispatched": self._chunks_dispatched,
+                "shards_dispatched": self._shards_dispatched,
+                "shards_pruned": self._shards_pruned,
+                "worker_busy_seconds": {
+                    str(wid): round(sec, 6)
+                    for wid, sec in sorted(self._busy_per_worker.items())
+                },
+            }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float | None = None) -> None:
+        """Drain, stop dispatcher threads, then always tear the pool
+        down — workers terminated and the segment unlinked even when a
+        worker died mid-query (the drain fails those futures with
+        :class:`WorkerDied`; teardown still runs)."""
+        try:
+            super().close(timeout)
+        finally:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        with self._proc_cv:
+            procs, self._procs = self._procs, []
+            self._idle.clear()
+            self._broken = True
+            self._proc_cv.notify_all()
+        for proc in procs:
+            try:
+                proc.stop()
+            except Exception:
+                pass
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.unlink()
+            except Exception:
+                pass
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "serving"
+        with self._proc_cv:
+            n = len(self._procs)
+        return (
+            f"ProcessPoolServer({state}, workers={n}, "
+            f"shards={self._n_shards}, "
+            f"pending={self.scheduler.pending()})"
+        )
+
+
+def _split(items: list[Any], parts: int) -> list[list[Any]]:
+    """Contiguous, balanced chunks (first chunks one longer)."""
+    parts = max(1, min(parts, len(items)))
+    base, extra = divmod(len(items), parts)
+    out = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start:start + size])
+        start += size
+    return out

@@ -10,7 +10,13 @@ from .generators import (
 )
 from .objects import UncertainObject
 from .pdfs import gaussian_pdf, point_pdf, uniform_pdf
-from .store import GatherBlock, InstanceStore
+from .store import (
+    GatherBlock,
+    InstanceStore,
+    SharedInstanceStore,
+    SharedStoreHandle,
+    attach_shared,
+)
 
 __all__ = [
     "UncertainObject",
@@ -18,6 +24,9 @@ __all__ = [
     "check_index_in_sync",
     "InstanceStore",
     "GatherBlock",
+    "SharedInstanceStore",
+    "SharedStoreHandle",
+    "attach_shared",
     "uniform_pdf",
     "gaussian_pdf",
     "point_pdf",

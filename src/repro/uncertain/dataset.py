@@ -191,6 +191,32 @@ class UncertainDataset:
                     self._store = store
         return store
 
+    def adopt_shared_store(self, store: InstanceStore, *, epoch: int) -> None:
+        """Install an attached shared-memory store as this dataset's own.
+
+        The worker-process reconstruction path: a dataset rebuilt from
+        a shared segment adopts the :class:`~repro.uncertain.store.
+        SharedInstanceStore` over the same arrays instead of packing a
+        private copy, and takes on the segment's mutation ``epoch`` so
+        plans and results stamp exactly like the exporting parent.
+        Refused when a store already exists or the epochs disagree.
+        """
+        with self._store_lock:
+            if self._store is not None:
+                raise RuntimeError(
+                    "dataset already has an instance store; adopt is "
+                    "only for freshly reconstructed worker datasets"
+                )
+            if store.epoch != epoch:
+                raise ValueError(
+                    f"shared store epoch {store.epoch} does not match "
+                    f"the adopting epoch {epoch}"
+                )
+            self._epoch = epoch
+            store._dataset = self
+            store._owned = True
+            self._store = store
+
     def release_instance_store(self) -> None:
         """Detach the packed store, freeing its arrays.
 

@@ -23,6 +23,8 @@ Step-1 indexes follow.
 
 from __future__ import annotations
 
+import os
+import secrets
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -33,7 +35,22 @@ from .objects import UncertainObject
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .dataset import UncertainDataset
 
-__all__ = ["GatherBlock", "InstanceStore"]
+__all__ = [
+    "GatherBlock",
+    "InstanceStore",
+    "SharedInstanceStore",
+    "SharedStoreHandle",
+    "attach_shared",
+]
+
+#: First header word of every shared-store segment; an attach that
+#: does not find it is pointed at something that is not ours.
+_SHM_MAGIC = 0x5245_5052_4F53_544F  # "REPROSTO"
+#: Bump when the packed segment layout changes; attaches refuse a
+#: mismatch instead of misreading bytes.
+_SHM_LAYOUT_VERSION = 1
+#: int64 header words: magic, version, epoch, n, size, dims, 2 spare.
+_SHM_HEADER_WORDS = 8
 
 
 @dataclass(frozen=True)
@@ -267,3 +284,340 @@ class InstanceStore:
             f"InstanceStore(n={self._n}, total={self._size}, "
             f"dims={self.dims}, epoch={self.epoch})"
         )
+
+    # ------------------------------------------------------------------
+    # Shared-memory export (the process-pool zero-copy path)
+    # ------------------------------------------------------------------
+    def export_shared(self) -> "SharedStoreHandle":
+        """Publish the packed dataset into a shared-memory segment.
+
+        One ``multiprocessing.shared_memory`` segment carries the whole
+        packed view of the dataset — ids, offsets, domain, region
+        corners, instance weights, and the ``(total_samples, d)``
+        instance matrix — so a worker process attaches by *name* and
+        maps every array zero-copy; no instance data is ever pickled.
+        The segment is stamped with the dataset epoch; attaching with a
+        handle minted for a different epoch is refused, so a worker can
+        never silently serve a stale snapshot.
+
+        The caller owns the segment: :meth:`SharedStoreHandle.unlink`
+        releases it once every worker has detached (workers only ever
+        close their mapping).
+        """
+        ds = self._dataset
+        if self.epoch != ds.epoch:  # pragma: no cover - owned stores
+            from .dataset import check_index_in_sync
+
+            check_index_in_sync(self.epoch, ds, "InstanceStore")
+        from multiprocessing import shared_memory
+
+        ids, los, his = ds.packed_regions()
+        n, size, d = self._n, self._size, self.dims
+        layout = _segment_layout(n, size, d)
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=layout["total_bytes"],
+            name=f"repro_{os.getpid():x}_{secrets.token_hex(4)}",
+        )
+        try:
+            arrays = _segment_arrays(shm.buf, n, size, d)
+            arrays["header"][:] = (
+                _SHM_MAGIC,
+                _SHM_LAYOUT_VERSION,
+                self.epoch,
+                n,
+                size,
+                d,
+                0,
+                0,
+            )
+            arrays["oids"][:] = ids
+            arrays["offsets"][:] = self.offsets
+            arrays["domain"][0] = ds.domain.lo
+            arrays["domain"][1] = ds.domain.hi
+            arrays["los"][:] = los
+            arrays["his"][:] = his
+            arrays["weights"][:] = self.weights
+            arrays["instances"][:] = self.instances
+            # Drop our local mapping of the buffer; the handle names
+            # the segment, which lives until explicitly unlinked.
+            del arrays
+            shm.close()
+        except BaseException:  # pragma: no cover - allocation failures
+            shm.close()
+            shm.unlink()
+            raise
+        return SharedStoreHandle(
+            name=shm.name, epoch=self.epoch, n=n, size=size, dims=d
+        )
+
+
+@dataclass(frozen=True)
+class SharedStoreHandle:
+    """A by-name reference to one exported shared-store segment.
+
+    Small and picklable — this is the only thing that crosses the
+    process boundary; the data stays in the segment.  ``epoch`` is the
+    dataset mutation epoch the segment snapshots (also stamped inside
+    the segment header; :func:`attach_shared` cross-checks the two).
+    """
+
+    name: str
+    epoch: int
+    n: int
+    size: int
+    dims: int
+
+    def unlink(self) -> None:
+        """Release the segment (owner side; idempotent)."""
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=self.name)
+        except FileNotFoundError:
+            # Already gone — still clear the creation-time tracker
+            # entry so exit-time cleanup does not warn about it.
+            _untrack_name(self.name)
+            return
+        shm.close()
+        try:
+            # ``unlink()`` also unregisters the name from the resource
+            # tracker, balancing the registration this re-open just
+            # made (the creation-time entry is the same set member).
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - racing unlink
+            pass
+
+
+def _segment_layout(n: int, size: int, d: int) -> dict:
+    """Byte offsets of each packed array inside a segment."""
+    offsets = {}
+    cursor = 0
+
+    def block(name: str, count: int, itemsize: int) -> None:
+        nonlocal cursor
+        offsets[name] = cursor
+        cursor += count * itemsize
+
+    block("header", _SHM_HEADER_WORDS, 8)
+    block("oids", n, 8)
+    block("offsets", n + 1, 8)
+    block("domain", 2 * d, 8)
+    block("los", n * d, 8)
+    block("his", n * d, 8)
+    block("weights", size, 8)
+    block("instances", size * d, 8)
+    offsets["total_bytes"] = max(cursor, 1)
+    return offsets
+
+
+def _segment_arrays(buf, n: int, size: int, d: int) -> dict:
+    """Numpy views over a segment buffer, keyed like the layout."""
+    layout = _segment_layout(n, size, d)
+
+    def view(name: str, count: int, dtype, shape) -> np.ndarray:
+        arr = np.frombuffer(
+            buf, dtype=dtype, count=count, offset=layout[name]
+        )
+        return arr.reshape(shape)
+
+    return {
+        "header": view("header", _SHM_HEADER_WORDS, np.int64, (-1,)),
+        "oids": view("oids", n, np.int64, (n,)),
+        "offsets": view("offsets", n + 1, np.int64, (n + 1,)),
+        "domain": view("domain", 2 * d, np.float64, (2, d)),
+        "los": view("los", n * d, np.float64, (n, d)),
+        "his": view("his", n * d, np.float64, (n, d)),
+        "weights": view("weights", size, np.float64, (size,)),
+        "instances": view("instances", size * d, np.float64, (size, d)),
+    }
+
+
+def _untrack(shm) -> None:
+    """Unregister a segment from this process's resource tracker.
+
+    On POSIX (Python <= 3.12) every ``SharedMemory`` constructor call
+    registers the name — including plain attaches — and the tracker
+    unlinks everything it knows at process exit.  A worker that merely
+    attached must not take the parent's live segment down with it, so
+    attach (and the owner's unlink helper, which re-opens by name)
+    deregisters immediately.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+def _untrack_name(name: str) -> None:
+    """Best-effort tracker cleanup for a segment known only by name."""
+    try:
+        from multiprocessing import resource_tracker
+
+        tracked = name if name.startswith("/") else "/" + name
+        resource_tracker.unregister(tracked, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals moved
+        pass
+
+
+class SharedInstanceStore(InstanceStore):
+    """A read-only :class:`InstanceStore` over an attached segment.
+
+    Serves :meth:`InstanceStore.gather` (and the packed-array views)
+    straight from shared memory.  Mutation is refused — worker
+    processes observe mutations through pool-wide fences that attach a
+    fresh segment, never by editing a live one.
+    """
+
+    def __init__(self, view: "SharedStoreView") -> None:
+        # Deliberately no super().__init__ — there is nothing to pack;
+        # every array is a read-only view into the attached segment.
+        self._view = view
+        self._dataset = None  # installed by UncertainDataset.adopt
+        self._owned = True
+        self._n = view.handle.n
+        self._size = view.handle.size
+        self._instances = view.instances
+        self._weights = view.weights
+        self._offsets = view.offsets
+        self._oids = [int(oid) for oid in view.oids]
+        self._slot_of = {oid: slot for slot, oid in enumerate(self._oids)}
+        self.epoch = view.handle.epoch
+
+    @property
+    def dims(self) -> int:
+        return self._view.handle.dims
+
+    def apply_insert(self, obj: UncertainObject, epoch: int) -> None:
+        raise RuntimeError(
+            "shared instance store is read-only; mutations reach "
+            "workers through a pool fence, not in place"
+        )
+
+    def apply_delete(self, oid: int, epoch: int) -> None:
+        raise RuntimeError(
+            "shared instance store is read-only; mutations reach "
+            "workers through a pool fence, not in place"
+        )
+
+    def close(self) -> None:
+        """Detach from the segment (drops every view)."""
+        self._view.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedInstanceStore(n={self._n}, total={self._size}, "
+            f"dims={self.dims}, epoch={self.epoch}, "
+            f"segment={self._view.handle.name!r})"
+        )
+
+
+class SharedStoreView:
+    """An attached segment: read-only numpy views + the mapping."""
+
+    def __init__(self, handle: SharedStoreHandle, shm) -> None:
+        self.handle = handle
+        self._shm = shm
+        arrays = _segment_arrays(
+            shm.buf, handle.n, handle.size, handle.dims
+        )
+        for name, arr in arrays.items():
+            arr.setflags(write=False)
+            setattr(self, name, arr)
+        self._closed = False
+
+    def close(self) -> None:
+        """Drop the views and unmap the segment (never unlinks)."""
+        if self._closed:
+            return
+        self._closed = True
+        for name in (
+            "header", "oids", "offsets", "domain",
+            "los", "his", "weights", "instances",
+        ):
+            if hasattr(self, name):
+                delattr(self, name)
+        try:
+            self._shm.close()
+        except BufferError:
+            # Reconstructed objects/engines form reference cycles that
+            # keep array views alive past the fence; collect and retry.
+            # A still-pinned mapping is merely deferred to process
+            # exit — the segment itself is the owner's to unlink.
+            import gc
+
+            gc.collect()
+            try:
+                self._shm.close()
+            except BufferError:  # pragma: no cover - views still live
+                pass
+
+    def build_dataset(self) -> "UncertainDataset":
+        """Reconstruct the dataset zero-copy from the shared arrays.
+
+        Every object's region corners, instances, and weights are
+        slices of the mapped segment (validated, never copied); the
+        dataset adopts a :class:`SharedInstanceStore` over the same
+        views and reports the segment's epoch, so engines built on it
+        plan and stamp results exactly like the parent at that epoch.
+        """
+        from ..geometry import Rect
+        from .dataset import UncertainDataset
+
+        objects = []
+        for slot in range(self.handle.n):
+            start = int(self.offsets[slot])
+            end = int(self.offsets[slot + 1])
+            objects.append(
+                UncertainObject(
+                    oid=int(self.oids[slot]),
+                    region=Rect(self.los[slot], self.his[slot]),
+                    instances=self.instances[start:end],
+                    weights=self.weights[start:end],
+                )
+            )
+        domain = Rect(self.domain[0], self.domain[1])
+        dataset = UncertainDataset(objects, domain=domain)
+        dataset.adopt_shared_store(
+            SharedInstanceStore(self), epoch=self.handle.epoch
+        )
+        return dataset
+
+
+def attach_shared(handle: SharedStoreHandle) -> SharedStoreView:
+    """Attach a worker-side view of an exported segment by name.
+
+    Refuses anything that is not a current shared-store segment: wrong
+    magic, unknown layout version, or an epoch stamp that differs from
+    the handle's (a stale handle naming a reused segment).  The view
+    is read-only; call :meth:`SharedStoreView.close` to detach.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=handle.name)
+    _untrack(shm)
+    header = np.frombuffer(
+        shm.buf, dtype=np.int64, count=_SHM_HEADER_WORDS
+    )
+    magic, version, epoch, n, size, dims = (int(x) for x in header[:6])
+    if magic != _SHM_MAGIC or version != _SHM_LAYOUT_VERSION:
+        del header
+        shm.close()
+        raise ValueError(
+            f"segment {handle.name!r} is not a shared instance store "
+            f"(magic/layout mismatch)"
+        )
+    if (epoch, n, size, dims) != (
+        handle.epoch, handle.n, handle.size, handle.dims
+    ):
+        del header
+        shm.close()
+        raise ValueError(
+            f"stale shared-store attach: handle describes epoch "
+            f"{handle.epoch} ({handle.n} objects) but segment "
+            f"{handle.name!r} holds epoch {epoch} ({n} objects)"
+        )
+    del header
+    return SharedStoreView(handle, shm)

@@ -205,6 +205,9 @@ class TestExecutionStats:
             retriever_fallbacks=1,
             kernel_gather_seconds=0.25,
             kernel_eval_seconds=0.75,
+            shards_dispatched=11,
+            shards_pruned=13,
+            worker_busy_seconds=3.5,
             or_io=IOStats(reads=5, writes=6),
             pc_io=IOStats(reads=7, writes=8),
         )
@@ -221,12 +224,48 @@ class TestExecutionStats:
         stats.retriever_fallbacks += 5
         stats.kernel_gather_seconds += 0.0625
         stats.kernel_eval_seconds += 0.125
+        stats.shards_dispatched += 10
+        stats.shards_pruned += 12
+        stats.worker_busy_seconds += 0.375
         stats.or_io.reads += 3
         stats.pc_io.writes += 4
         delta = stats.delta_since(captured)
         assert delta == stats.delta(snap)
         assert delta.kernel_gather_seconds == 0.0625
         assert delta.kernel_eval_seconds == 0.125
+        assert delta.shards_dispatched == 10
+        assert delta.shards_pruned == 12
+        assert delta.worker_busy_seconds == 0.375
+
+    def test_merge_accumulates_every_counter(self):
+        # merge() is the cross-process aggregation primitive: field
+        # for field it must add, including the I/O tails.
+        total = ExecutionStats(queries=1, shards_pruned=2,
+                               or_io=IOStats(reads=1, writes=0))
+        part = ExecutionStats(
+            object_retrieval=0.5,
+            probability_computation=0.25,
+            queries=3,
+            batches=1,
+            cache_hits=2,
+            dedup_hits=4,
+            memo_hits=5,
+            invalidations=6,
+            retriever_fallbacks=7,
+            kernel_gather_seconds=0.125,
+            kernel_eval_seconds=0.0625,
+            shards_dispatched=8,
+            shards_pruned=9,
+            worker_busy_seconds=1.5,
+            or_io=IOStats(reads=10, writes=11),
+            pc_io=IOStats(reads=12, writes=13),
+        )
+        total.merge(part)
+        want = part.snapshot()
+        want.queries += 1
+        want.shards_pruned += 2
+        want.or_io.reads += 1
+        assert total == want
 
     def test_io_properties_combine_phases(self):
         stats = ExecutionStats(

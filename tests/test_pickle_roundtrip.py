@@ -1,0 +1,123 @@
+"""Picklability audit: everything that crosses the process-pool pipe.
+
+The process tier ships query parameters to workers and
+:class:`~repro.api.QueryResult` envelopes back, so every verb's
+params and its full envelope (answer, plan with frozen mappings,
+stats) must survive ``pickle`` round trips losslessly.  This is the
+satellite audit for all seven verbs — run against the *direct*
+database so any future envelope field that stops pickling fails here
+even before the pool tests notice.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.engine import FrozenDict
+from repro.engine.stats import ExecutionStats
+from repro.uncertain import synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database(
+        synthetic_dataset(n=40, dims=2, seed=17, n_samples=4),
+        indexes=(),
+    )
+    yield database
+    database.close()
+
+
+def _roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+def _all_seven(db):
+    q = np.asarray([4000.0, 6000.0])
+    lo, hi = db.dataset.domain.lo, db.dataset.domain.hi
+    q = lo + (hi - lo) * 0.4
+    group = np.stack([q, q + (hi - lo) * 0.05])
+    some_object = db.dataset[db.dataset.ids[3]]
+    return [
+        ("nn", db.nn(q)),
+        ("knn", db.knn(q, k=2)),
+        ("topk", db.topk(q, k=3)),
+        ("threshold", db.threshold(q, p=0.1)),
+        ("group_nn", db.group_nn(group, aggregate="sum")),
+        ("reverse_nn", db.reverse_nn(some_object)),
+        ("expected_nn", db.expected_nn(q, top=3)),
+    ]
+
+
+def test_every_verbs_result_envelope_round_trips(db):
+    for kind, result in _all_seven(db):
+        clone = _roundtrip(result)
+        assert clone.kind == result.kind == kind
+        assert clone.epoch == result.epoch
+        # Plan survives with its frozen mappings intact.
+        assert clone.plan.retriever == result.plan.retriever
+        assert dict(clone.plan.scores) == dict(result.plan.scores)
+        assert clone.plan.params == result.plan.params
+        # Stats survive counter-for-counter.
+        assert clone.stats.snapshot() == result.stats.snapshot()
+        # Probabilities (where the verb defines them) are bit-equal.
+        if kind in ("nn", "knn", "group_nn", "reverse_nn", "topk"):
+            assert dict(clone.probabilities) == dict(
+                result.probabilities
+            )
+        if kind == "threshold":
+            assert dict(clone.answer) == dict(result.answer)
+        if kind == "expected_nn":
+            assert clone.answer.ranking == result.answer.ranking
+
+
+def test_every_verbs_params_round_trip(db):
+    for kind, result in _all_seven(db):
+        params = result.plan.params
+        assert _roundtrip(params) == params
+
+
+def test_frozen_dict_round_trips_and_stays_frozen():
+    frozen = FrozenDict({"a": 1.5, "b": 2.5})
+    clone = _roundtrip(frozen)
+    assert isinstance(clone, FrozenDict)
+    assert dict(clone) == {"a": 1.5, "b": 2.5}
+    with pytest.raises(TypeError):
+        clone["c"] = 3.0
+
+
+def test_execution_stats_round_trip_preserves_every_counter():
+    stats = ExecutionStats(
+        object_retrieval=1.0,
+        probability_computation=2.0,
+        queries=3,
+        batches=4,
+        cache_hits=5,
+        dedup_hits=6,
+        memo_hits=7,
+        invalidations=8,
+        retriever_fallbacks=9,
+        kernel_gather_seconds=0.5,
+        kernel_eval_seconds=0.25,
+        shards_dispatched=11,
+        shards_pruned=13,
+        worker_busy_seconds=3.5,
+    )
+    stats.or_io.reads = 21
+    stats.pc_io.writes = 22
+    clone = _roundtrip(stats)
+    assert clone == stats
+
+
+def test_answers_preserve_numpy_payloads_exactly(db):
+    q = db.dataset.domain.lo + (
+        db.dataset.domain.hi - db.dataset.domain.lo
+    ) * 0.6
+    result = db.nn(q)
+    clone = _roundtrip(result)
+    assert np.array_equal(clone.answer.query, result.answer.query)
+    assert clone.answer.candidate_ids == result.answer.candidate_ids

@@ -1,0 +1,279 @@
+"""Process-pool serving tier: shm lifecycle, fences, death, cleanup.
+
+Covers the shared-memory plumbing end to end: export/attach round
+trips of the packed instance store, scatter-gather answers matching
+the direct database bit-for-bit, mutation fences re-exporting the
+segment pool-wide, and — the regression this file exists for —
+``Database.close()`` unlinking every ``/dev/shm`` segment and
+terminating every worker even when a worker died mid-query.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import Database
+from repro.service import ProcessPoolServer, WorkerDied
+from repro.uncertain import (
+    UncertainObject,
+    attach_shared,
+    synthetic_dataset,
+    uniform_pdf,
+)
+
+
+def _shm_segments() -> set[str]:
+    try:
+        return {
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("repro_")
+        }
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+def _make_db(n: int = 60, **kwargs) -> Database:
+    return Database(
+        synthetic_dataset(n=n, dims=2, seed=21, n_samples=4), **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared segment: export / attach round trip
+# ----------------------------------------------------------------------
+def test_shared_store_round_trip_is_bit_identical():
+    before = _shm_segments()
+    ds = synthetic_dataset(n=40, dims=3, seed=7, n_samples=6)
+    handle = ds.instance_store().export_shared()
+    try:
+        view = attach_shared(handle)
+        rebuilt = view.build_dataset()
+        assert len(rebuilt) == len(ds)
+        assert rebuilt.epoch == ds.epoch == handle.epoch
+        ids_a, los_a, his_a = ds.packed_regions()
+        ids_b, los_b, his_b = rebuilt.packed_regions()
+        assert np.array_equal(ids_a, ids_b)
+        assert np.array_equal(los_a, los_b)
+        assert np.array_equal(his_a, his_b)
+        for oid in ds.ids:
+            assert np.array_equal(ds[oid].instances, rebuilt[oid].instances)
+            assert np.array_equal(ds[oid].weights, rebuilt[oid].weights)
+        block_a = ds.instance_store().gather(ds.ids[:5])
+        block_b = rebuilt.instance_store().gather(ds.ids[:5])
+        assert np.array_equal(block_a.instances, block_b.instances)
+        assert np.array_equal(block_a.weights, block_b.weights)
+        del rebuilt, block_b
+        view.close()
+    finally:
+        handle.unlink()
+    assert _shm_segments() == before
+
+
+def test_shared_store_is_read_only_in_the_attacher():
+    ds = synthetic_dataset(n=10, dims=2, seed=8, n_samples=3)
+    handle = ds.instance_store().export_shared()
+    try:
+        view = attach_shared(handle)
+        rebuilt = view.build_dataset()
+        store = rebuilt.instance_store()
+        with pytest.raises(RuntimeError, match="read-only"):
+            store.apply_insert(None, 1)
+        with pytest.raises(RuntimeError, match="read-only"):
+            store.apply_delete(ds.ids[0], 1)
+        del rebuilt, store
+        view.close()
+    finally:
+        handle.unlink()
+
+
+def test_stale_attach_is_refused_by_epoch_stamp():
+    ds = synthetic_dataset(n=10, dims=2, seed=8, n_samples=3)
+    handle = ds.instance_store().export_shared()
+    try:
+        stale = type(handle)(
+            name=handle.name,
+            epoch=handle.epoch + 1,
+            n=handle.n,
+            size=handle.size,
+            dims=handle.dims,
+        )
+        with pytest.raises(ValueError, match="stale shared-store attach"):
+            attach_shared(stale)
+    finally:
+        handle.unlink()
+
+
+def test_unlink_is_idempotent():
+    ds = synthetic_dataset(n=10, dims=2, seed=8, n_samples=3)
+    handle = ds.instance_store().export_shared()
+    handle.unlink()
+    handle.unlink()  # second call: segment already gone, no raise
+    assert handle.name not in _shm_segments()
+
+
+# ----------------------------------------------------------------------
+# Pool execution
+# ----------------------------------------------------------------------
+def test_process_pool_answers_match_direct_database():
+    before = _shm_segments()
+    db = _make_db()
+    reference = _make_db()
+    try:
+        db.serve(workers=2, mode="process")
+        rng = np.random.default_rng(31)
+        queries = rng.uniform(
+            db.dataset.domain.lo, db.dataset.domain.hi, size=(12, 2)
+        )
+        for q in queries:
+            got = db.nn(q)
+            want = reference.nn(q, retriever="brute")
+            assert dict(got.probabilities) == dict(want.probabilities)
+            assert got.plan.retriever == "sharded"
+        ranked = db.topk(queries[0], k=3)
+        assert (
+            ranked.answer.ranking
+            == reference.topk(queries[0], k=3).answer.ranking
+        )
+    finally:
+        db.close()
+        reference.close()
+    assert _shm_segments() == before
+
+
+def test_mutation_fence_reexports_the_segment():
+    before = _shm_segments()
+    db = _make_db()
+    try:
+        server = db.serve(workers=2, mode="process")
+        assert isinstance(server, ProcessPoolServer)
+        first_segment = db.explain("nn").scaleout["segment"]
+        rng = np.random.default_rng(32)
+        target = rng.uniform(
+            db.dataset.domain.lo, db.dataset.domain.hi, size=2
+        )
+        instances, weights = uniform_pdf(
+            db.dataset[db.dataset.ids[0]].region, 4, rng
+        )
+        obj = UncertainObject(
+            990001,
+            db.dataset[db.dataset.ids[0]].region,
+            instances,
+            weights,
+        )
+        db.insert(obj)
+        assert db.epoch == 1
+        plan = db.explain("nn")
+        assert plan.scaleout["segment"] != first_segment
+        assert plan.scaleout["segment_epoch"] == 1
+        # Post-fence reads see the inserted object.
+        result = db.threshold(target, p=0.0)
+        assert result.epoch == 1
+        removed = db.delete(990001)
+        assert removed.oid == 990001
+        assert db.epoch == 2
+    finally:
+        db.close()
+    assert _shm_segments() == before
+
+
+def test_forced_index_retriever_is_rejected_in_process_mode():
+    db = _make_db()
+    try:
+        db.serve(workers=1, mode="process")
+        q = np.asarray([500.0, 500.0])
+        with pytest.raises(Exception, match="not available in process"):
+            db.nn(q, retriever="pv")
+    finally:
+        db.close()
+
+
+def test_scaleout_telemetry_reaches_stats_and_explain():
+    db = _make_db(n=120)
+    try:
+        db.serve(workers=2, mode="process")
+        rng = np.random.default_rng(33)
+        queries = rng.uniform(
+            db.dataset.domain.lo, db.dataset.domain.hi, size=(24, 2)
+        )
+        results = [db.nn(q) for q in queries]
+        delta = results[0].stats
+        assert delta.shards_dispatched > 0
+        assert delta.worker_busy_seconds > 0.0
+        scaleout = db.explain("nn").scaleout
+        assert scaleout["mode"] == "process"
+        assert scaleout["workers"] == 2
+        assert scaleout["shards_dispatched"] > 0
+        assert scaleout["shards_pruned"] >= 0
+        assert any(
+            float(v) > 0 for v in scaleout["worker_busy_seconds"].values()
+        )
+    finally:
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# Worker death and the close() regression
+# ----------------------------------------------------------------------
+def test_worker_death_fails_the_group_and_respawns():
+    db = _make_db()
+    try:
+        server = db.serve(workers=1, mode="process")
+        q = np.asarray([500.0, 500.0])
+        db.nn(q)  # warm: the worker has attached and served
+        victim = server._procs[0]
+        victim.proc.kill()
+        victim.proc.join(10)
+        with pytest.raises(WorkerDied):
+            db.nn(q)
+        # The pool respawned a replacement; service continues.
+        again = db.nn(q)
+        assert again.plan.retriever == "sharded"
+    finally:
+        db.close()
+
+
+def test_close_unlinks_segments_even_after_worker_death():
+    """The finally-path regression: a dead worker must not leak
+    ``/dev/shm`` segments or zombie processes through close()."""
+    before = _shm_segments()
+    db = _make_db()
+    server = db.serve(workers=2, mode="process")
+    q = np.asarray([500.0, 500.0])
+    db.nn(q)
+    procs = list(server._procs)
+    for handle in procs:
+        handle.proc.kill()
+    for handle in procs:
+        handle.proc.join(10)
+    db.close()
+    assert _shm_segments() == before, "shared segments leaked"
+    for handle in procs:
+        assert not handle.proc.is_alive()
+    # Respawned replacements (if any) are terminated too.
+    for handle in server._procs:
+        assert not handle.proc.is_alive()
+
+
+def test_close_is_idempotent_and_serve_refuses_after_close():
+    before = _shm_segments()
+    db = _make_db()
+    db.serve(workers=1, mode="process")
+    db.nn(np.asarray([500.0, 500.0]))
+    db.close()
+    db.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        db.serve(workers=1, mode="process")
+    assert _shm_segments() == before
+
+
+def test_unknown_serve_mode_is_rejected():
+    db = _make_db()
+    try:
+        with pytest.raises(ValueError, match="unknown serve mode"):
+            db.serve(workers=1, mode="fiber")
+    finally:
+        db.close()

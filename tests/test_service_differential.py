@@ -16,6 +16,13 @@ at once: mutation barriers (no read straddles an epoch), epoch
 tagging (the reported epoch is the one the answer reflects), and the
 kernel's per-query-row independence (batched execution introduces no
 floating-point drift).
+
+The same oracle runs twice: once against the thread server and once
+against the shared-memory process pool (``mode="process"``), where
+reads additionally alternate between forced brute force and the
+default sharded scatter-gather Step 1 — worker processes, pipe
+transport, shard pruning, and pool-wide re-attach fences must all
+preserve bit-identity.
 """
 
 from __future__ import annotations
@@ -58,12 +65,19 @@ def make_initial(seed: int = 11) -> list[UncertainObject]:
 
 
 class Client:
-    """One session-holding client thread's scripted mixed workload."""
+    """One session-holding client thread's scripted mixed workload.
 
-    def __init__(self, tid: int, server) -> None:
+    ``retrievers`` is the palette of forced Step-1 choices reads draw
+    from — ``("brute",)`` on the thread server, ``("brute", None)``
+    on the process pool so default (sharded) and forced-brute reads
+    interleave in one schedule.
+    """
+
+    def __init__(self, tid: int, server, retrievers=("brute",)) -> None:
         self.tid = tid
         self.session = server.session()
         self.rng = np.random.default_rng(1000 + tid)
+        self.retrievers = retrievers
         self.reads: list[tuple] = []  # (future, kind, query, params)
         self.mutations: list[tuple] = []  # (future, op, payload)
         self.error: BaseException | None = None
@@ -91,19 +105,22 @@ class Client:
             self.mutations.append((future, "delete", oid))
         else:
             q = DOMAIN.sample_points(1, self.rng)[0]
+            forced = self.retrievers[
+                int(self.rng.integers(len(self.retrievers)))
+            ]
             kind_roll = self.rng.random()
             if kind_roll < 0.4:
-                future = self.session.nn(q, retriever="brute")
+                future = self.session.nn(q, retriever=forced)
                 self.reads.append((future, "nn", q, {}))
             elif kind_roll < 0.6:
-                future = self.session.knn(q, k=2, retriever="brute")
+                future = self.session.knn(q, k=2, retriever=forced)
                 self.reads.append((future, "knn", q, {"k": 2}))
             elif kind_roll < 0.8:
-                future = self.session.topk(q, k=3, retriever="brute")
+                future = self.session.topk(q, k=3, retriever=forced)
                 self.reads.append((future, "topk", q, {"k": 3}))
             else:
                 future = self.session.threshold(
-                    q, p=0.2, retriever="brute"
+                    q, p=0.2, retriever=forced
                 )
                 self.reads.append((future, "threshold", q, {"tau": 0.2}))
 
@@ -142,14 +159,16 @@ def assert_bit_identical(kind: str, got, want) -> None:
         )
 
 
-def test_concurrent_mixed_workload_matches_serial_replay():
+def _run_differential(serve_options: dict, retrievers: tuple) -> None:
     initial = make_initial()
     db = Database(
         UncertainDataset(list(initial), domain=DOMAIN),
         indexes=(),  # brute-force reads; mutations go to the dataset
     )
-    server = db.serve(workers=3)
-    clients = [Client(tid, server) for tid in range(N_CLIENTS)]
+    server = db.serve(**serve_options)
+    clients = [
+        Client(tid, server, retrievers) for tid in range(N_CLIENTS)
+    ]
     threads = [
         threading.Thread(target=client.run) for client in clients
     ]
@@ -207,3 +226,20 @@ def test_concurrent_mixed_workload_matches_serial_replay():
     # before and after barriers), otherwise the test proved nothing.
     assert len(states) > 1, "no mutations executed"
     assert len(checked_epochs) > 1, "reads all landed in one epoch"
+
+
+def test_concurrent_mixed_workload_matches_serial_replay():
+    _run_differential({"workers": 3}, ("brute",))
+
+
+def test_process_pool_mixed_workload_matches_serial_replay():
+    """The same oracle over the shared-memory process pool.
+
+    Reads alternate between forced brute force and the default sharded
+    scatter-gather Step 1; mutations exercise the pool-wide re-attach
+    fence on every barrier.  Answers must replay bit-identically at
+    their reported epochs, exactly like the thread server's.
+    """
+    _run_differential(
+        {"workers": 3, "mode": "process"}, ("brute", None)
+    )
