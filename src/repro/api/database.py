@@ -228,6 +228,7 @@ class Database:
         #: different query kinds run concurrently.
         self._lock = threading.RLock()
         self._server: "UncertainDBServer | None" = None
+        self._durable: Any = None  # DurableStore when opened via open()
         self._closed = False
 
     @classmethod
@@ -239,6 +240,57 @@ class Database:
     ) -> "Database":
         """Build a session directly from uncertain objects."""
         return cls(UncertainDataset(objects, domain=domain), **kwargs)
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        dataset: UncertainDataset | None = None,
+        fsync: str = "always",
+        **kwargs: Any,
+    ) -> "Database":
+        """Open (or create) a durable database directory.
+
+        When ``path`` already holds a database (``snapshot.bin``), the
+        dataset is recovered — the snapshot is memory-mapped and the
+        write-ahead log replayed on top, restoring the exact mutation
+        epoch of the crashed or closed session; indexes rehydrate
+        lazily through the normal :class:`IndexHandle` machinery the
+        first time a plan selects them.  Otherwise ``dataset`` seeds a
+        fresh directory.
+
+        From then on every :meth:`insert` / :meth:`delete` appends a
+        checksummed WAL record *before* it applies (the mutation epoch
+        is the log sequence number), so a SIGKILL at any moment loses
+        nothing under ``fsync="always"`` and at most the unsynced tail
+        under ``fsync="off"``.  :meth:`checkpoint` folds the log into a
+        fresh snapshot; :meth:`close` seals the directory.
+
+        Remaining keyword arguments go to the :class:`Database`
+        constructor.
+        """
+        from ..storage.durable import DurableStore
+
+        store = DurableStore(path, fsync=fsync)
+        if DurableStore.exists(path):
+            if dataset is not None:
+                raise ValueError(
+                    f"{path} already holds a database; open it without "
+                    "a dataset (the snapshot + WAL define the contents)"
+                )
+            dataset = store.recover()
+        else:
+            if dataset is None:
+                raise ValueError(
+                    f"{path} is empty; a dataset is required to create "
+                    "a new durable database"
+                )
+            store.initialize(dataset)
+        store.attach(dataset)
+        db = cls(dataset, **kwargs)
+        db._durable = store
+        return db
 
     # ------------------------------------------------------------------
     # Introspection
@@ -708,6 +760,34 @@ class Database:
         return None
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        """True when this session persists through a durable store."""
+        return self._durable is not None
+
+    def checkpoint(self) -> int:
+        """Fold the write-ahead log into a fresh snapshot.
+
+        Writes the packed instance store to the snapshot file (atomic
+        rename; durable before the log is touched) and truncates the
+        WAL.  Returns the checkpointed epoch.  Only valid on a
+        database opened with :meth:`open`.
+
+        On a served database, callers should quiesce mutations first
+        (the process-pool re-attach fence does this automatically);
+        the database lock excludes direct-path mutations for the
+        duration.
+        """
+        if self._durable is None:
+            raise RuntimeError(
+                "not a durable database; use Database.open(path)"
+            )
+        with self._lock:
+            return self._durable.checkpoint()
+
+    # ------------------------------------------------------------------
     # Serving: the concurrent submit-and-serve surface
     # ------------------------------------------------------------------
     def serve(self, **options: Any) -> UncertainDBServer:
@@ -782,8 +862,11 @@ class Database:
 
         Shuts down an attached server (draining queued queries),
         drops every built index handle and engine, and detaches the
-        dataset's packed instance store.  Idempotent: double-close is
-        a no-op.  The database object itself remains usable — a later
+        dataset's packed instance store.  A durable session first
+        checkpoints (so reopening skips WAL replay) and then seals its
+        store — later direct mutations of the dataset raise instead of
+        going unlogged.  Idempotent: double-close is a no-op.  The
+        database object itself remains usable for queries — a later
         query lazily rebuilds what it needs — but ``serve()`` refuses
         after close.
         """
@@ -806,6 +889,16 @@ class Database:
                 server.close()
         finally:
             with self._lock:
+                durable = self._durable
+                if durable is not None:
+                    # Checkpoint so the next open() maps the snapshot
+                    # and replays nothing; then seal the store.  A
+                    # failed checkpoint still closes — the WAL holds
+                    # everything the snapshot is missing.
+                    try:
+                        durable.checkpoint()
+                    finally:
+                        durable.close()
                 for handle in self._handles.values():
                     handle.drop()
                 self._engines.clear()

@@ -20,6 +20,9 @@ Measured quantities:
 from __future__ import annotations
 
 import argparse
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -30,6 +33,7 @@ from ..core.pvcell import monte_carlo_mbr
 from ..core.verifier import VerifierEngine
 from ..storage import Pager
 from ..uncertain import UncertainDataset
+from ..uncertain.store import MappedSnapshot, attach_file
 from .config import SCALE
 from .instruments import RunningMean, Stopwatch
 from .workloads import (
@@ -102,11 +106,13 @@ class FigureResult:
 # Shared measurement helpers
 # ----------------------------------------------------------------------
 def _mean_query_ms(
-    bundle: IndexBundle, queries: np.ndarray
-) -> tuple[float, float, float, float]:
-    """(Tq, T_OR, T_PC, IO) means per query for one index bundle.
+    bundle: IndexBundle,
+    queries: np.ndarray,
+    snapshot: MappedSnapshot | None = None,
+) -> tuple[float, float, float, float, float | None]:
+    """(Tq, T_OR, T_PC, IO, IO_measured) means per query for one bundle.
 
-    All four come from the engine's shared
+    The first four come from the engine's shared
     :class:`~repro.engine.ExecutionStats`: the engine brackets both
     steps and attributes page traffic per phase, so no driver-side
     re-bracketing (or double Step-1 evaluation) is needed.  IO counts
@@ -115,18 +121,36 @@ def _mean_query_ms(
     pdf fetches land in ``stats.pc_io`` and are excluded because only
     the PV-index routes them through the simulated pager; charging them
     would skew the cross-index comparison.
+
+    ``snapshot`` switches on *measured* reads: for every query, the
+    number of distinct 4 KB pages of a real on-disk snapshot file
+    (:meth:`~repro.uncertain.store.MappedSnapshot.read_pages`) that
+    fetching the answer's candidate pdfs would touch.  This grounds the
+    simulated counters in actual file geometry; ``None`` when no
+    snapshot is given.
     """
     stats = bundle.engine.stats
     stats.reset()
+    measured_pages = 0
     for q in queries:
-        bundle.engine.query(q)
+        res = bundle.engine.query(q)
+        if snapshot is not None:
+            measured_pages += snapshot.read_pages(res.candidate_ids)
     n = max(stats.queries, 1)
     return (
         stats.total / n * 1e3,
         stats.object_retrieval / n * 1e3,
         stats.probability_computation / n * 1e3,
         stats.or_io.total / n,
+        measured_pages / n if snapshot is not None else None,
     )
+
+
+def _export_snapshot(dataset: UncertainDataset, tmpdir: str) -> MappedSnapshot:
+    """Write the dataset's packed store to a real file and map it."""
+    path = os.path.join(tmpdir, f"snap-{id(dataset):x}.bin")
+    dataset.instance_store().export_file(path)
+    return attach_file(path)
 
 
 def _query_sweep(
@@ -140,28 +164,40 @@ def _query_sweep(
         build_pv_bundle,
     ),
     n_queries: int | None = None,
+    io_mode: str = "simulated",
 ) -> FigureResult:
-    """Generic 'query cost vs parameter' sweep over a set of indexes."""
-    result = FigureResult(
-        figure=figure,
-        title=title,
-        columns=(
-            sweep_name,
-            "index",
-            "tq_ms",
-            "t_or_ms",
-            "t_pc_ms",
-            "io_pages",
-        ),
+    """Generic 'query cost vs parameter' sweep over a set of indexes.
+
+    ``io_mode="measured"`` additionally exports each sweep dataset to a
+    real snapshot file and reports ``io_pages_measured`` — distinct
+    4 KB file pages per query that gathering the answer's candidate
+    pdfs touches — beside the simulated pager counters.
+    """
+    if io_mode not in ("simulated", "measured"):
+        raise ValueError(
+            f"io_mode must be 'simulated' or 'measured', not {io_mode!r}"
+        )
+    measured = io_mode == "measured"
+    columns = (
+        sweep_name, "index", "tq_ms", "t_or_ms", "t_pc_ms", "io_pages",
     )
-    for value in sweep_values:
-        dataset = dataset_for(value)
-        queries = query_points(dataset, n=n_queries)
-        for builder in builders:
-            bundle = builder(dataset.copy())
-            tq, t_or, t_pc, io = _mean_query_ms(bundle, queries)
-            result.add(
-                **{
+    if measured:
+        columns += ("io_pages_measured",)
+    result = FigureResult(figure=figure, title=title, columns=columns)
+    tmpdir = tempfile.mkdtemp(prefix="repro-fig-io-") if measured else None
+    try:
+        for value in sweep_values:
+            dataset = dataset_for(value)
+            queries = query_points(dataset, n=n_queries)
+            snapshot = (
+                _export_snapshot(dataset, tmpdir) if measured else None
+            )
+            for builder in builders:
+                bundle = builder(dataset.copy())
+                tq, t_or, t_pc, io, iom = _mean_query_ms(
+                    bundle, queries, snapshot=snapshot
+                )
+                row = {
                     sweep_name: value,
                     "index": bundle.name,
                     "tq_ms": tq,
@@ -169,7 +205,14 @@ def _query_sweep(
                     "t_pc_ms": t_pc,
                     "io_pages": io,
                 }
-            )
+                if measured:
+                    row["io_pages_measured"] = iom
+                result.add(**row)
+            if snapshot is not None:
+                snapshot.close()
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
     return result
 
 
@@ -251,7 +294,7 @@ def fig9b_or_pc_split(
     )
     for builder in (build_rtree_bundle, build_pv_bundle):
         bundle = builder(dataset.copy())
-        _tq, t_or, t_pc, _io = _mean_query_ms(bundle, queries)
+        _tq, t_or, t_pc, _io, _iom = _mean_query_ms(bundle, queries)
         result.add(
             index=bundle.name,
             t_or_ms=t_or,
@@ -264,8 +307,14 @@ def fig9b_or_pc_split(
 def fig9c_query_io_vs_size(
     sizes: Sequence[int] | None = None,
     n_queries: int | None = None,
+    io_mode: str = "simulated",
 ) -> FigureResult:
-    """Fig 9(c): per-query page I/O vs |S| (3D synthetic)."""
+    """Fig 9(c): per-query page I/O vs |S| (3D synthetic).
+
+    ``io_mode="measured"`` adds an ``io_pages_measured`` column:
+    distinct 4 KB pages of a real mmap snapshot file touched per query
+    by the answer's candidate pdfs, next to the simulated counters.
+    """
     result = _query_sweep(
         figure="Fig 9(c)",
         title="Query I/O (pages) vs database size (3D)",
@@ -273,10 +322,12 @@ def fig9c_query_io_vs_size(
         sweep_values=sizes or SCALE.sizes,
         dataset_for=lambda n: make_dataset(n=n),
         n_queries=n_queries,
+        io_mode=io_mode,
     )
     result.notes = (
         "The paper reports I/O time; page accesses through the shared "
-        "pager are its hardware-independent equivalent."
+        "pager are its hardware-independent equivalent.  io_mode="
+        "'measured' grounds them against real snapshot-file pages."
     )
     return result
 
@@ -303,28 +354,51 @@ def _dims_sweep(
     dims: Sequence[int] | None,
     size: int | None,
     n_queries: int | None,
+    io_mode: str = "simulated",
 ) -> FigureResult:
     """Fig 9(e)-(g) share one sweep: d in {2..5}, UV at d=2 only."""
+    if io_mode not in ("simulated", "measured"):
+        raise ValueError(
+            f"io_mode must be 'simulated' or 'measured', not {io_mode!r}"
+        )
+    measured = io_mode == "measured"
+    columns = ("dims", "index", "tq_ms", "t_or_ms", "t_pc_ms", "io_pages")
+    if measured:
+        columns += ("io_pages_measured",)
     result = FigureResult(
         figure=figure,
         title=title,
-        columns=("dims", "index", "tq_ms", "t_or_ms", "t_pc_ms",
-                 "io_pages"),
+        columns=columns,
         notes="UV-index rows appear only at d=2 (its supported case).",
     )
-    for d in dims or SCALE.dims:
-        dataset = make_dataset(n=size, dims=d)
-        queries = query_points(dataset, n=n_queries)
-        builders: list[Callable] = [build_rtree_bundle, build_pv_bundle]
-        if d == 2:
-            builders.append(build_uv_bundle)
-        for builder in builders:
-            bundle = builder(dataset.copy())
-            tq, t_or, t_pc, io = _mean_query_ms(bundle, queries)
-            result.add(
-                dims=d, index=bundle.name, tq_ms=tq, t_or_ms=t_or,
-                t_pc_ms=t_pc, io_pages=io,
+    tmpdir = tempfile.mkdtemp(prefix="repro-fig-io-") if measured else None
+    try:
+        for d in dims or SCALE.dims:
+            dataset = make_dataset(n=size, dims=d)
+            queries = query_points(dataset, n=n_queries)
+            snapshot = (
+                _export_snapshot(dataset, tmpdir) if measured else None
             )
+            builders: list[Callable] = [build_rtree_bundle, build_pv_bundle]
+            if d == 2:
+                builders.append(build_uv_bundle)
+            for builder in builders:
+                bundle = builder(dataset.copy())
+                tq, t_or, t_pc, io, iom = _mean_query_ms(
+                    bundle, queries, snapshot=snapshot
+                )
+                row = dict(
+                    dims=d, index=bundle.name, tq_ms=tq, t_or_ms=t_or,
+                    t_pc_ms=t_pc, io_pages=io,
+                )
+                if measured:
+                    row["io_pages_measured"] = iom
+                result.add(**row)
+            if snapshot is not None:
+                snapshot.close()
+    finally:
+        if tmpdir is not None:
+            shutil.rmtree(tmpdir, ignore_errors=True)
     return result
 
 
@@ -355,11 +429,16 @@ def fig9g_io_vs_dims(
     dims: Sequence[int] | None = None,
     size: int | None = None,
     n_queries: int | None = None,
+    io_mode: str = "simulated",
 ) -> FigureResult:
-    """Fig 9(g): per-query page I/O vs dimensionality."""
+    """Fig 9(g): per-query page I/O vs dimensionality.
+
+    ``io_mode="measured"`` adds an ``io_pages_measured`` column (real
+    snapshot-file pages per query); see :func:`fig9c_query_io_vs_size`.
+    """
     return _dims_sweep(
         "Fig 9(g)", "Query I/O (pages) vs dimensionality",
-        dims, size, n_queries,
+        dims, size, n_queries, io_mode=io_mode,
     )
 
 
@@ -384,7 +463,7 @@ def fig9h_real_datasets(
             builders.append(build_uv_bundle)
         for builder in builders:
             bundle = builder(dataset.copy())
-            tq, t_or, t_pc, io = _mean_query_ms(bundle, queries)
+            tq, t_or, t_pc, io, _iom = _mean_query_ms(bundle, queries)
             result.add(
                 dataset=name, index=bundle.name, tq_ms=tq,
                 t_or_ms=t_or, t_pc_ms=t_pc, io_pages=io,
@@ -769,7 +848,7 @@ def ablation_cset_parameters(
         bundle = build_pv_bundle(
             dataset.copy(), strategy=FixedSelection(k=k)
         )
-        tq, _or, _pc, _io = _mean_query_ms(bundle, queries)
+        tq, _or, _pc, _io, _iom = _mean_query_ms(bundle, queries)
         result.add(
             strategy="FS", parameter="k", value=k,
             tc_seconds=bundle.build_seconds, tq_ms=tq,
@@ -781,7 +860,7 @@ def ablation_cset_parameters(
                 kpartition=kp, kglobal=SCALE.default_kglobal
             ),
         )
-        tq, _or, _pc, _io = _mean_query_ms(bundle, queries)
+        tq, _or, _pc, _io, _iom = _mean_query_ms(bundle, queries)
         result.add(
             strategy="IS", parameter="kpartition", value=kp,
             tc_seconds=bundle.build_seconds, tq_ms=tq,
@@ -1115,8 +1194,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         description="Regenerate one paper figure/table."
     )
     parser.add_argument("figure", choices=sorted(ALL_FIGURES))
+    parser.add_argument(
+        "--io-mode",
+        choices=("simulated", "measured"),
+        default="simulated",
+        help=(
+            "For the I/O figures (fig9c, fig9g): 'measured' adds real "
+            "snapshot-file page counts beside the simulated counters."
+        ),
+    )
     args = parser.parse_args(argv)
-    result = ALL_FIGURES[args.figure]()
+    driver = ALL_FIGURES[args.figure]
+    kwargs: dict = {}
+    if args.io_mode != "simulated":
+        import inspect
+
+        if "io_mode" not in inspect.signature(driver).parameters:
+            parser.error(
+                f"{args.figure} does not support --io-mode "
+                "(only fig9c and fig9g report I/O columns)"
+            )
+        kwargs["io_mode"] = args.io_mode
+    result = driver(**kwargs)
     print(format_figure(result))
     return 0
 

@@ -544,7 +544,15 @@ class ProcessPoolServer(UncertainDBServer):
         in flight, so every live worker sits in the idle deque and its
         pipe is free.  The old segment is unlinked only after all
         acks, so a worker never observes a vanished mapping.
+
+        A durable database checkpoints first: the mutation that forced
+        this fence is already WAL-logged, and folding it into the
+        snapshot here means the on-disk image workers could be
+        re-seeded from is never behind the segment they map.
         """
+        durable = getattr(self.db, "_durable", None)
+        if durable is not None:
+            durable.checkpoint()
         old = self._handle
         new = self.db.dataset.instance_store().export_shared()
         epoch = int(new.epoch)

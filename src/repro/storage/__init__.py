@@ -1,8 +1,10 @@
-"""Storage substrate: simulated disk pager, extensible hashing, octree."""
+"""Storage substrate: pager, extensible hashing, octree, WAL durability."""
 
+from .durable import DurableStore, RecoveryError
 from .exthash import ExtensibleHashTable
 from .octree import OctreeConfig, PagedOctree
 from .pager import DEFAULT_PAGE_SIZE, IOStats, Page, PageChain, PageFullError, Pager
+from .wal import WalError, WalRecord, WriteAheadLog
 
 __all__ = [
     "Pager",
@@ -14,4 +16,9 @@ __all__ = [
     "ExtensibleHashTable",
     "PagedOctree",
     "OctreeConfig",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalError",
+    "DurableStore",
+    "RecoveryError",
 ]

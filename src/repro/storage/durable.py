@@ -1,0 +1,224 @@
+"""Snapshot + WAL durability for an uncertain dataset.
+
+A durable database directory holds exactly two files:
+
+* ``snapshot.bin`` — an :class:`~repro.uncertain.store.InstanceStore`
+  image written by :meth:`~repro.uncertain.store.InstanceStore.
+  export_file` (the same header layout the shared-memory path stamps:
+  magic, layout version, epoch, n, size, dims).
+* ``wal.log`` — a :class:`~repro.storage.wal.WriteAheadLog` of every
+  mutation applied since the snapshot, keyed by the dataset's
+  monotonic mutation epoch.
+
+The contract:
+
+* **Log before apply.**  :meth:`attach` registers a mutation listener
+  that appends (and, under ``fsync="always"``, syncs) the WAL record
+  *before* the in-memory mutation commits.  A WAL append that fails
+  aborts the mutation, so memory never runs ahead of the log.
+* **Recover = snapshot + contiguous replay.**  :meth:`recover` maps the
+  snapshot, rebuilds the dataset at the snapshot epoch and applies
+  every WAL record with a later epoch, demanding the epochs be exactly
+  contiguous (each record advances the epoch by one).  Records at or
+  below the snapshot epoch are skipped — replay is idempotent, so a
+  crash between snapshot publication and WAL truncation is harmless.
+* **Checkpoint order.**  :meth:`checkpoint` makes the new snapshot
+  durable (tmp file + fsync + atomic rename + directory fsync) *before*
+  truncating the WAL.  Every crash point leaves either the old
+  snapshot + full WAL or the new snapshot + (possibly still full,
+  harmlessly replayable) WAL.
+* **Torn tails are expected.**  A SIGKILL mid-append leaves a
+  truncated or CRC-broken final record; scanning stops there and
+  :meth:`attach` truncates the damage before appending new records.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from ..uncertain.dataset import UncertainDataset
+from ..uncertain.store import attach_file
+from .wal import (
+    OP_DELETE,
+    OP_INSERT,
+    WalRecord,
+    WriteAheadLog,
+    encode_delete,
+    encode_insert,
+)
+
+__all__ = ["DurableStore", "RecoveryError", "SNAPSHOT_FILE", "WAL_FILE"]
+
+SNAPSHOT_FILE = "snapshot.bin"
+WAL_FILE = "wal.log"
+
+
+class RecoveryError(Exception):
+    """The snapshot + WAL pair cannot reproduce a consistent dataset."""
+
+
+class DurableStore:
+    """Owns a database directory's snapshot and WAL.
+
+    Parameters
+    ----------
+    path:
+        Directory holding ``snapshot.bin`` and ``wal.log``; created on
+        :meth:`initialize`.
+    fsync:
+        WAL sync policy, forwarded to :class:`WriteAheadLog`.
+        ``"always"`` (default) makes every mutation durable before it
+        commits; ``"off"`` trades the tail of the log for speed.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fsync: str = "always"):
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._wal: WriteAheadLog | None = None
+        self._dataset: UncertainDataset | None = None
+        self._listener: Callable | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def snapshot_path(self) -> str:
+        return os.path.join(self.path, SNAPSHOT_FILE)
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.path, WAL_FILE)
+
+    @classmethod
+    def exists(cls, path: str | os.PathLike) -> bool:
+        """True iff ``path`` looks like a durable database directory."""
+        return os.path.exists(os.path.join(os.fspath(path), SNAPSHOT_FILE))
+
+    # ------------------------------------------------------------------
+    def initialize(self, dataset: UncertainDataset) -> None:
+        """Create the directory with a snapshot of ``dataset`` + empty WAL."""
+        os.makedirs(self.path, exist_ok=True)
+        dataset.instance_store().export_file(self.snapshot_path)
+        if os.path.exists(self.wal_path):
+            os.unlink(self.wal_path)
+        WriteAheadLog(self.wal_path, fsync=self.fsync).close()
+
+    def recover(self) -> UncertainDataset:
+        """Rebuild the dataset: map the snapshot, replay the WAL.
+
+        Raises
+        ------
+        RecoveryError
+            When the snapshot is missing, a WAL record skips an epoch,
+            or a replayed mutation fails to apply.
+        """
+        if not os.path.exists(self.snapshot_path):
+            raise RecoveryError(
+                f"{self.path}: no {SNAPSHOT_FILE}; not a durable "
+                "database directory"
+            )
+        snap = attach_file(self.snapshot_path)
+        try:
+            dataset = snap.build_dataset()
+        finally:
+            snap.close()
+        records, _valid, _damaged = WriteAheadLog.scan(self.wal_path)
+        self._replay(dataset, records)
+        return dataset
+
+    @staticmethod
+    def _replay(
+        dataset: UncertainDataset, records: list[WalRecord]
+    ) -> None:
+        """Apply WAL records onto a snapshot-recovered dataset."""
+        for rec in records:
+            if rec.epoch <= dataset.epoch:
+                continue  # already in the snapshot: replay is idempotent
+            if rec.epoch != dataset.epoch + 1:
+                raise RecoveryError(
+                    f"WAL skips from epoch {dataset.epoch} to "
+                    f"{rec.epoch}; the log is not contiguous"
+                )
+            op, value = rec.decode()
+            try:
+                if op == "insert":
+                    dataset.insert(value)
+                else:
+                    dataset.delete(value)
+            except (KeyError, ValueError) as exc:
+                raise RecoveryError(
+                    f"WAL epoch {rec.epoch} ({op}) failed to "
+                    f"replay: {exc}"
+                ) from exc
+
+    def attach(self, dataset: UncertainDataset) -> None:
+        """Start logging ``dataset``'s mutations into the WAL.
+
+        Opens the WAL for appending (truncating any torn tail left by a
+        crash) and registers the write-ahead listener.  The dataset's
+        epoch must already reflect every intact WAL record — i.e. it
+        came from :meth:`recover` or was just checkpointed.
+        """
+        if self._dataset is not None:
+            raise RuntimeError("DurableStore is already attached")
+        _records, valid, damaged = WriteAheadLog.scan(self.wal_path)
+        wal = WriteAheadLog(self.wal_path, fsync=self.fsync)
+        if damaged:
+            wal.truncate_to(valid)
+        self._wal = wal
+
+        def _on_mutation(op: str, obj, epoch: int) -> None:
+            if self._closed:
+                raise RuntimeError(
+                    "durable store is closed; refusing an unlogged "
+                    "mutation"
+                )
+            if op == "insert":
+                wal.append(epoch, OP_INSERT, encode_insert(obj))
+            else:
+                wal.append(epoch, OP_DELETE, encode_delete(obj.oid))
+
+        dataset.add_mutation_listener(_on_mutation)
+        self._dataset = dataset
+        self._listener = _on_mutation
+
+    def checkpoint(self) -> int:
+        """Write a fresh snapshot and truncate the WAL; returns the epoch.
+
+        The snapshot is durable (atomic rename + fsync) *before* the
+        WAL is reset, so a crash at any point recovers correctly.
+        """
+        if self._dataset is None:
+            raise RuntimeError("DurableStore is not attached to a dataset")
+        if self._closed:
+            raise RuntimeError("durable store is closed")
+        epoch = self._dataset.instance_store().export_file(
+            self.snapshot_path
+        )
+        assert self._wal is not None
+        self._wal.reset()
+        return epoch
+
+    def close(self) -> None:
+        """Detach from the dataset and close the WAL.
+
+        Further mutations of a still-referenced dataset raise rather
+        than silently going unlogged.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "attached" if self._dataset is not None else "detached"
+        )
+        return f"DurableStore(path={self.path!r}, {state})"

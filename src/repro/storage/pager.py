@@ -96,7 +96,7 @@ class Pager:
         self.stats = IOStats()
         self._pages: dict[int, Page] = {}
         self._next_id = 0
-        self._freed: list[int] = []
+        self._freed: set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -105,22 +105,28 @@ class Pager:
         return len(self._pages)
 
     def allocate(self) -> int:
-        """Create an empty page and return its id (one write)."""
-        if self._freed:
-            pid = self._freed.pop()
-        else:
-            pid = self._next_id
-            self._next_id += 1
+        """Create an empty page and return its id (one write).
+
+        Ids are never reused: recycling a freed id would let a stale
+        :class:`PageChain` silently read the *new* owner's records.
+        Freed ids stay poisoned instead, so use-after-free raises.
+        """
+        pid = self._next_id
+        self._next_id += 1
         self._pages[pid] = Page(page_id=pid, capacity=self.page_size)
         self.stats.writes += 1
         return pid
 
     def free(self, page_id: int) -> None:
-        """Release a page (no I/O is charged; deallocation is metadata)."""
+        """Release a page (no I/O is charged; deallocation is metadata).
+
+        The id is poisoned, not recycled: any later access through it
+        raises ``KeyError`` instead of aliasing a newer page.
+        """
         if page_id not in self._pages:
             raise KeyError(f"no page {page_id}")
         del self._pages[page_id]
-        self._freed.append(page_id)
+        self._freed.add(page_id)
 
     def read(self, page_id: int) -> list[Any]:
         """All payloads on the page (one read)."""
@@ -177,6 +183,10 @@ class Pager:
         try:
             return self._pages[page_id]
         except KeyError:
+            if page_id in self._freed:
+                raise KeyError(
+                    f"page {page_id} was freed (use-after-free)"
+                ) from None
             raise KeyError(f"no page {page_id}") from None
 
     def __repr__(self) -> str:
@@ -204,6 +214,11 @@ class PageChain:
     @property
     def head(self) -> int:
         """Page id of the head (most recently attached) page."""
+        if not self.pages:
+            raise RuntimeError(
+                "PageChain has been freed (free_all); allocate a new "
+                "chain instead of reusing this one"
+            )
         return self.pages[0]
 
     def append_record(self, nbytes: int, payload: Any) -> None:
@@ -222,7 +237,23 @@ class PageChain:
         return out
 
     def rewrite_all(self, records: list[tuple[int, Any]]) -> None:
-        """Replace the chain content, compacting to as few pages as fit."""
+        """Replace the chain content, compacting to as few pages as fit.
+
+        All-or-nothing: every record size is validated before any page
+        is touched, so a record larger than a page raises ``ValueError``
+        with the chain (and the I/O counters) unchanged — never a
+        half-old/half-new chain.
+        """
+        self.head  # noqa: B018 - freed-chain guard (raises RuntimeError)
+        # Validate up front: once every record fits a page, the greedy
+        # packing below can never overflow a page mid-loop.
+        for nbytes, _payload in records:
+            if nbytes > self.pager.page_size:
+                raise ValueError(
+                    f"record of {nbytes} bytes exceeds page size "
+                    f"{self.pager.page_size}; rewrite_all left the "
+                    "chain untouched"
+                )
         # Pack greedily into existing pages, allocating/freeing as needed.
         packed: list[list[tuple[int, Any]]] = [[]]
         used = 0

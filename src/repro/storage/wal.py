@@ -1,0 +1,259 @@
+"""Write-ahead log keyed by the dataset mutation epoch.
+
+The durable layer (``storage/durable.py``) persists an
+:class:`~repro.uncertain.store.InstanceStore` snapshot plus a log of
+the mutations applied since.  The dataset's monotonic mutation epoch
+*is* the log sequence number: every ``insert``/``delete`` bumps the
+epoch by exactly one, so "replay the WAL onto a snapshot at epoch E"
+means "apply every record with epoch > E, in order, and demand they
+are contiguous".
+
+On-disk format
+--------------
+A 12-byte file header (``b"REPROWAL"`` magic + little-endian u32
+layout version) followed by records.  Each record is::
+
+    <u32 payload_len> <i64 epoch> <u8 op> <u32 crc32> <payload bytes>
+
+The CRC covers the payload *and* the (length, epoch, op) header
+fields, so a bit flip anywhere in a record is caught.  Scanning stops
+at the first record whose header or body is truncated or whose CRC
+fails — a torn tail from a crash mid-append is expected and tolerated;
+everything before it is trusted.
+
+Payloads serialize full objects (insert) or just the oid (delete), all
+little-endian: an insert is ``(oid, m, d)`` as three i64 followed by
+the region corners (``2·d`` f64), the ``m·d`` instance coordinates and
+the ``m`` weights; a delete is a single i64 oid.  Records are
+self-contained so replay needs no out-of-band schema.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO
+
+import numpy as np
+
+from ..geometry import Rect
+from ..uncertain.objects import UncertainObject
+
+__all__ = [
+    "OP_INSERT",
+    "OP_DELETE",
+    "WalRecord",
+    "WalError",
+    "WriteAheadLog",
+    "encode_insert",
+    "encode_delete",
+    "decode_payload",
+]
+
+_FILE_MAGIC = b"REPROWAL"
+_FILE_VERSION = 1
+_FILE_HEADER = _FILE_MAGIC + struct.pack("<I", _FILE_VERSION)
+_REC_HEADER = struct.Struct("<IqBI")  # payload_len, epoch, op, crc32
+
+OP_INSERT = 1
+OP_DELETE = 2
+
+_INSERT_FIXED = struct.Struct("<qqq")  # oid, m (instances), d (dims)
+_DELETE_FIXED = struct.Struct("<q")  # oid
+
+
+class WalError(Exception):
+    """A structurally invalid WAL file (bad magic/version, not torn tail)."""
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record."""
+
+    epoch: int
+    op: int
+    payload: bytes
+
+    def decode(self) -> tuple[str, object]:
+        """``("insert", UncertainObject)`` or ``("delete", oid)``."""
+        return decode_payload(self.op, self.payload)
+
+
+def encode_insert(obj: UncertainObject) -> bytes:
+    """Serialize a full object for an OP_INSERT payload."""
+    inst = np.ascontiguousarray(obj.instances, dtype=np.float64)
+    w = np.ascontiguousarray(obj.weights, dtype=np.float64)
+    lo = np.ascontiguousarray(obj.region.lo, dtype=np.float64)
+    hi = np.ascontiguousarray(obj.region.hi, dtype=np.float64)
+    m, d = inst.shape
+    return b"".join(
+        (
+            _INSERT_FIXED.pack(obj.oid, m, d),
+            lo.tobytes(),
+            hi.tobytes(),
+            inst.tobytes(),
+            w.tobytes(),
+        )
+    )
+
+
+def encode_delete(oid: int) -> bytes:
+    """Serialize an oid for an OP_DELETE payload."""
+    return _DELETE_FIXED.pack(oid)
+
+
+def decode_payload(op: int, payload: bytes) -> tuple[str, object]:
+    """Decode a record payload back into its mutation."""
+    if op == OP_DELETE:
+        (oid,) = _DELETE_FIXED.unpack(payload)
+        return "delete", oid
+    if op != OP_INSERT:
+        raise WalError(f"unknown WAL op {op}")
+    oid, m, d = _INSERT_FIXED.unpack_from(payload, 0)
+    off = _INSERT_FIXED.size
+    expect = off + (2 * d + m * d + m) * 8
+    if len(payload) != expect:
+        raise WalError(
+            f"insert payload for oid {oid} is {len(payload)} bytes, "
+            f"expected {expect}"
+        )
+    lo = np.frombuffer(payload, dtype=np.float64, count=d, offset=off)
+    off += d * 8
+    hi = np.frombuffer(payload, dtype=np.float64, count=d, offset=off)
+    off += d * 8
+    inst = np.frombuffer(
+        payload, dtype=np.float64, count=m * d, offset=off
+    ).reshape(m, d)
+    off += m * d * 8
+    w = np.frombuffer(payload, dtype=np.float64, count=m, offset=off)
+    obj = UncertainObject(
+        oid=oid, region=Rect(lo, hi), instances=inst, weights=w
+    )
+    return "insert", obj
+
+
+def _crc(payload: bytes, payload_len: int, epoch: int, op: int) -> int:
+    head = struct.pack("<IqB", payload_len, epoch, op)
+    return zlib.crc32(payload, zlib.crc32(head)) & 0xFFFFFFFF
+
+
+class WriteAheadLog:
+    """Append-only checksummed log of dataset mutations.
+
+    Parameters
+    ----------
+    path:
+        Log file; created (with its header) when absent.
+    fsync:
+        ``"always"`` fsyncs after every append — a record is durable
+        before the in-memory mutation commits.  ``"off"`` leaves
+        flushing to the OS: faster, and crash recovery still works (the
+        torn tail is dropped), but the last few mutations may be lost.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fsync: str = "always"):
+        if fsync not in ("always", "off"):
+            raise ValueError(f"fsync must be 'always' or 'off', not {fsync!r}")
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        fresh = not os.path.exists(self.path)
+        self._fh: BinaryIO = open(self.path, "ab" if not fresh else "wb")
+        if fresh:
+            self._fh.write(_FILE_HEADER)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------
+    def append(self, epoch: int, op: int, payload: bytes) -> None:
+        """Append one record; durable before returning when fsync=always."""
+        if self._fh.closed:
+            raise ValueError("WAL is closed")
+        crc = _crc(payload, len(payload), epoch, op)
+        self._fh.write(_REC_HEADER.pack(len(payload), epoch, op, crc))
+        self._fh.write(payload)
+        self._fh.flush()
+        if self.fsync == "always":
+            os.fsync(self._fh.fileno())
+
+    def flush(self) -> None:
+        """Force buffered records to disk regardless of fsync policy."""
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def reset(self) -> None:
+        """Truncate to an empty log (after a checkpoint made it obsolete)."""
+        self.truncate_to(len(_FILE_HEADER))
+
+    def truncate_to(self, nbytes: int) -> None:
+        """Drop everything past ``nbytes`` (e.g. a torn tail from scan)."""
+        self._fh.flush()
+        self._fh.truncate(nbytes)
+        self._fh.seek(0, os.SEEK_END)
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def scan(
+        path: str | os.PathLike,
+    ) -> tuple[list[WalRecord], int, bool]:
+        """Read every intact record.
+
+        Returns ``(records, valid_bytes, damaged)``: the records in file
+        order, the byte offset up to which the file is intact, and
+        whether a torn/corrupt tail was found after it.  A missing file
+        scans as empty and undamaged.  Raises :class:`WalError` only for
+        a bad file header — that is not a crash artifact.
+        """
+        path = os.fspath(path)
+        if not os.path.exists(path):
+            return [], len(_FILE_HEADER), False
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if len(data) < len(_FILE_HEADER):
+            # File created but header write was torn: treat as empty.
+            return [], len(_FILE_HEADER), True
+        if data[: len(_FILE_MAGIC)] != _FILE_MAGIC:
+            raise WalError(f"{path} is not a WAL file (bad magic)")
+        (version,) = struct.unpack_from("<I", data, len(_FILE_MAGIC))
+        if version != _FILE_VERSION:
+            raise WalError(
+                f"{path}: WAL layout version {version} is not supported"
+            )
+        records: list[WalRecord] = []
+        pos = len(_FILE_HEADER)
+        damaged = False
+        while pos < len(data):
+            if pos + _REC_HEADER.size > len(data):
+                damaged = True
+                break
+            plen, epoch, op, crc = _REC_HEADER.unpack_from(data, pos)
+            body_start = pos + _REC_HEADER.size
+            body_end = body_start + plen
+            if body_end > len(data):
+                damaged = True
+                break
+            payload = data[body_start:body_end]
+            if _crc(payload, plen, epoch, op) != crc:
+                damaged = True
+                break
+            records.append(WalRecord(epoch=epoch, op=op, payload=payload))
+            pos = body_end
+        return records, pos, damaged
+
+    def __repr__(self) -> str:
+        return f"WriteAheadLog(path={self.path!r}, fsync={self.fsync!r})"

@@ -13,8 +13,10 @@ from .pdfs import gaussian_pdf, point_pdf, uniform_pdf
 from .store import (
     GatherBlock,
     InstanceStore,
+    MappedSnapshot,
     SharedInstanceStore,
     SharedStoreHandle,
+    attach_file,
     attach_shared,
 )
 
@@ -27,6 +29,8 @@ __all__ = [
     "SharedInstanceStore",
     "SharedStoreHandle",
     "attach_shared",
+    "MappedSnapshot",
+    "attach_file",
     "uniform_pdf",
     "gaussian_pdf",
     "point_pdf",

@@ -66,6 +66,8 @@ class UncertainDataset:
         self,
         objects: Iterable[UncertainObject],
         domain: Rect | None = None,
+        *,
+        epoch: int = 0,
     ) -> None:
         objs = list(objects)
         if not objs:
@@ -90,11 +92,15 @@ class UncertainDataset:
         self._objects: dict[int, UncertainObject] = {o.oid: o for o in objs}
         self._packed_cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None
         self._packed_cache = None
-        self._epoch = 0
+        # ``epoch`` restores a recovered dataset's mutation clock (the
+        # WAL's LSN space): snapshot + replay must continue numbering
+        # where the crashed process stopped, not restart at zero.
+        self._epoch = epoch
         self._rows: dict[int, int] = {o.oid: i for i, o in enumerate(objs)}
         self._next_row = len(objs)
         self._store: InstanceStore | None = None
         self._store_lock = threading.Lock()
+        self._listeners: list = []
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -230,6 +236,30 @@ class UncertainDataset:
     # ------------------------------------------------------------------
     # Mutation (used by the update experiments)
     # ------------------------------------------------------------------
+    def add_mutation_listener(self, listener) -> None:
+        """Register ``listener(op, obj, epoch)`` on every mutation.
+
+        Fired *before* the state change, inside the mutation lock, with
+        the epoch the mutation will commit at — write-ahead discipline:
+        a listener that raises (e.g. a WAL that cannot append) aborts
+        the mutation with the dataset untouched, so the in-memory state
+        never runs ahead of what a durable log has accepted.  ``op`` is
+        ``"insert"`` or ``"delete"``; ``obj`` is the full object either
+        way (the one being added, or the one about to be removed).
+        """
+        self._listeners.append(listener)
+
+    def remove_mutation_listener(self, listener) -> None:
+        """Unregister a mutation listener (no-op when absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, op: str, obj: UncertainObject, epoch: int) -> None:
+        for listener in self._listeners:
+            listener(op, obj, epoch)
+
     def insert(self, obj: UncertainObject) -> None:
         """Add ``obj``; its id must be fresh and region inside the domain."""
         if obj.oid in self._objects:
@@ -243,6 +273,7 @@ class UncertainDataset:
         # either crash or silently produce an owned store missing the
         # new object (owned stores skip the staleness check forever).
         with self._store_lock:
+            self._notify("insert", obj, self._epoch + 1)
             self._objects[obj.oid] = obj
             self._packed_cache = None
             self._rows[obj.oid] = self._next_row
@@ -255,14 +286,15 @@ class UncertainDataset:
         """Remove and return the object with id ``oid``."""
         with self._store_lock:  # exclude a racing store build
             try:
-                obj = self._objects.pop(oid)
+                obj = self._objects[oid]
             except KeyError:
                 raise KeyError(f"no object with id {oid}") from None
-            if not self._objects:
-                self._objects[obj.oid] = obj
+            if len(self._objects) == 1:
                 raise ValueError(
                     "cannot delete the last object of a dataset"
                 )
+            self._notify("delete", obj, self._epoch + 1)
+            del self._objects[oid]
             self._packed_cache = None
             del self._rows[oid]
             self._epoch += 1

@@ -38,8 +38,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "GatherBlock",
     "InstanceStore",
+    "MappedSnapshot",
     "SharedInstanceStore",
     "SharedStoreHandle",
+    "attach_file",
     "attach_shared",
 ]
 
@@ -311,7 +313,6 @@ class InstanceStore:
             check_index_in_sync(self.epoch, ds, "InstanceStore")
         from multiprocessing import shared_memory
 
-        ids, los, his = ds.packed_regions()
         n, size, d = self._n, self._size, self.dims
         layout = _segment_layout(n, size, d)
         shm = shared_memory.SharedMemory(
@@ -320,28 +321,9 @@ class InstanceStore:
             name=f"repro_{os.getpid():x}_{secrets.token_hex(4)}",
         )
         try:
-            arrays = _segment_arrays(shm.buf, n, size, d)
-            arrays["header"][:] = (
-                _SHM_MAGIC,
-                _SHM_LAYOUT_VERSION,
-                self.epoch,
-                n,
-                size,
-                d,
-                0,
-                0,
-            )
-            arrays["oids"][:] = ids
-            arrays["offsets"][:] = self.offsets
-            arrays["domain"][0] = ds.domain.lo
-            arrays["domain"][1] = ds.domain.hi
-            arrays["los"][:] = los
-            arrays["his"][:] = his
-            arrays["weights"][:] = self.weights
-            arrays["instances"][:] = self.instances
+            self._fill_segment(shm.buf)
             # Drop our local mapping of the buffer; the handle names
             # the segment, which lives until explicitly unlinked.
-            del arrays
             shm.close()
         except BaseException:  # pragma: no cover - allocation failures
             shm.close()
@@ -350,6 +332,80 @@ class InstanceStore:
         return SharedStoreHandle(
             name=shm.name, epoch=self.epoch, n=n, size=size, dims=d
         )
+
+    def _fill_segment(self, buf) -> None:
+        """Stamp the packed dataset into a segment-layout buffer.
+
+        One writer for both export targets: the shared-memory segment
+        (:meth:`export_shared`) and the on-disk snapshot file
+        (:meth:`export_file`) carry byte-identical layouts, so the
+        attach paths share their validation too.
+        """
+        ds = self._dataset
+        ids, los, his = ds.packed_regions()
+        arrays = _segment_arrays(buf, self._n, self._size, self.dims)
+        arrays["header"][:] = (
+            _SHM_MAGIC,
+            _SHM_LAYOUT_VERSION,
+            self.epoch,
+            self._n,
+            self._size,
+            self.dims,
+            0,
+            0,
+        )
+        arrays["oids"][:] = ids
+        arrays["offsets"][:] = self.offsets
+        arrays["domain"][0] = ds.domain.lo
+        arrays["domain"][1] = ds.domain.hi
+        arrays["los"][:] = los
+        arrays["his"][:] = his
+        arrays["weights"][:] = self.weights
+        arrays["instances"][:] = self.instances
+
+    def export_file(self, path: str | os.PathLike) -> int:
+        """Snapshot the packed dataset to ``path`` (the durable twin of
+        :meth:`export_shared`).
+
+        The file carries the same header layout the shared-memory
+        export stamps — magic, layout version, epoch, n, size, dims —
+        followed by the same packed blocks, so :func:`attach_file`
+        memory-maps it zero-copy.  The write is atomic and durable:
+        bytes land in a temporary sibling which is fsynced, renamed
+        over ``path``, and the directory entry fsynced — a crash
+        mid-export leaves the previous snapshot intact.
+
+        Returns the dataset mutation epoch the snapshot captures.
+        """
+        ds = self._dataset
+        if self.epoch != ds.epoch:  # pragma: no cover - owned stores
+            from .dataset import check_index_in_sync
+
+            check_index_in_sync(self.epoch, ds, "InstanceStore")
+        path = os.fspath(path)
+        layout = _segment_layout(self._n, self._size, self.dims)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        mm = np.memmap(
+            tmp, dtype=np.uint8, mode="w+",
+            shape=(layout["total_bytes"],),
+        )
+        try:
+            self._fill_segment(mm)
+            mm.flush()
+        finally:
+            del mm
+        fd = os.open(tmp, os.O_RDWR)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, path)
+        dirfd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+        return self.epoch
 
 
 @dataclass(frozen=True)
@@ -621,3 +677,143 @@ def attach_shared(handle: SharedStoreHandle) -> SharedStoreView:
         )
     del header
     return SharedStoreView(handle, shm)
+
+
+class MappedSnapshot:
+    """A memory-mapped on-disk snapshot (see :meth:`InstanceStore.
+    export_file`): read-only numpy views over the packed blocks.
+
+    The durable twin of :class:`SharedStoreView` — same header, same
+    layout, but backed by a file instead of a shared-memory segment.
+    Objects built from it hold zero-copy views into the mapping, which
+    stays alive as long as any view references it (numpy base chain).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = os.fspath(path)
+        mm = np.memmap(self.path, dtype=np.uint8, mode="r")
+        if mm.size < _SHM_HEADER_WORDS * 8:
+            raise ValueError(
+                f"snapshot {self.path!r} is too short to hold a header"
+            )
+        header = np.frombuffer(mm, dtype=np.int64, count=_SHM_HEADER_WORDS)
+        magic, version, epoch, n, size, dims = (int(x) for x in header[:6])
+        if magic != _SHM_MAGIC or version != _SHM_LAYOUT_VERSION:
+            raise ValueError(
+                f"file {self.path!r} is not an instance-store snapshot "
+                f"(magic/layout mismatch)"
+            )
+        layout = _segment_layout(n, size, dims)
+        if mm.size < layout["total_bytes"]:
+            raise ValueError(
+                f"snapshot {self.path!r} is truncated: header promises "
+                f"{layout['total_bytes']} bytes, file holds {mm.size}"
+            )
+        self.epoch, self.n, self.size, self.dims = epoch, n, size, dims
+        self._layout = layout
+        self._mm = mm
+        arrays = _segment_arrays(mm, n, size, dims)
+        self.oids = arrays["oids"]
+        self.offsets = arrays["offsets"]
+        self.domain = arrays["domain"]
+        self.los = arrays["los"]
+        self.his = arrays["his"]
+        self.weights = arrays["weights"]
+        self.instances = arrays["instances"]
+        self._slot_of = {
+            int(oid): slot for slot, oid in enumerate(self.oids)
+        }
+
+    # ------------------------------------------------------------------
+    def build_objects(self) -> list[UncertainObject]:
+        """Reconstruct every object zero-copy over the mapping."""
+        from ..geometry import Rect
+
+        objects = []
+        for slot in range(self.n):
+            start = int(self.offsets[slot])
+            end = int(self.offsets[slot + 1])
+            objects.append(
+                UncertainObject(
+                    oid=int(self.oids[slot]),
+                    region=Rect(self.los[slot], self.his[slot]),
+                    instances=self.instances[start:end],
+                    weights=self.weights[start:end],
+                )
+            )
+        return objects
+
+    def build_dataset(self) -> "UncertainDataset":
+        """A mutable dataset at the snapshot's epoch.
+
+        Unlike :meth:`SharedStoreView.build_dataset` no read-only store
+        is adopted: the dataset packs its own (mutable, incrementally
+        maintained) :class:`InstanceStore` lazily, so WAL replay and
+        later mutations apply normally.  Object pdfs remain zero-copy
+        views of the mapping.
+        """
+        from ..geometry import Rect
+        from .dataset import UncertainDataset
+
+        return UncertainDataset(
+            self.build_objects(),
+            domain=Rect(self.domain[0], self.domain[1]),
+            epoch=self.epoch,
+        )
+
+    # ------------------------------------------------------------------
+    def read_pages(self, ids: Sequence[int], page_size: int = 4096) -> int:
+        """Distinct file pages backing a candidate set's pdfs.
+
+        The *measured* counterpart of the simulated pager counters: how
+        many distinct ``page_size``-byte pages of the snapshot file a
+        Step-2 gather of these objects' instance rows and weights
+        actually touches (each page counted once per call, as a
+        buffer pool would).
+        """
+        pages: set[int] = set()
+        for oid in ids:
+            slot = self._slot_of[int(oid)]
+            start = int(self.offsets[slot])
+            end = int(self.offsets[slot + 1])
+            for base, itemsize in (
+                (self._layout["instances"], self.dims * 8),
+                (self._layout["weights"], 8),
+            ):
+                lo = base + start * itemsize
+                hi = base + end * itemsize
+                pages.update(range(lo // page_size, (hi - 1) // page_size + 1))
+        return len(pages)
+
+    def close(self) -> None:
+        """Drop this snapshot's own references to the mapping.
+
+        The underlying mmap survives until the last view (e.g. an
+        object's instance array) is garbage-collected; closing is
+        bookkeeping, not invalidation.
+        """
+        for name in (
+            "oids", "offsets", "domain", "los", "his",
+            "weights", "instances",
+        ):
+            if hasattr(self, name):
+                delattr(self, name)
+        self._slot_of = {}
+        self._mm = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MappedSnapshot(path={self.path!r}, epoch={self.epoch}, "
+            f"n={self.n}, total={self.size}, dims={self.dims})"
+        )
+
+
+def attach_file(path: str | os.PathLike) -> MappedSnapshot:
+    """Memory-map an :meth:`InstanceStore.export_file` snapshot.
+
+    Refuses anything that is not a current snapshot: wrong magic,
+    unknown layout version, or a file shorter than the header's
+    promised payload (a torn write that escaped the atomic-rename
+    discipline).
+    """
+    return MappedSnapshot(path)

@@ -53,13 +53,42 @@ class TestPager:
         with pytest.raises(ValueError):
             pager.rewrite(pid, [(100, "x"), (100, "y")])
 
-    def test_free_and_id_reuse(self):
+    def test_freed_ids_are_poisoned_not_recycled(self):
+        # Regression: recycled ids let a stale PageChain silently read
+        # the new owner's records; freed ids must stay dead instead.
         pager = Pager(page_size=128)
         pid = pager.allocate()
         pager.free(pid)
         assert pager.n_pages == 0
         pid2 = pager.allocate()
-        assert pid2 == pid  # freed ids are recycled
+        assert pid2 != pid  # freed ids are never reused
+
+    def test_use_after_free_raises_keyerror(self):
+        pager = Pager(page_size=128)
+        pid = pager.allocate()
+        pager.append(pid, 10, "a")
+        pager.free(pid)
+        with pytest.raises(KeyError, match="use-after-free"):
+            pager.read(pid)
+        with pytest.raises(KeyError, match="use-after-free"):
+            pager.append(pid, 10, "b")
+        with pytest.raises(KeyError, match="use-after-free"):
+            pager.rewrite(pid, [(10, "c")])
+
+    def test_stale_chain_never_aliases_new_owner(self):
+        # The original bug: chain A frees its pages, chain B allocates
+        # and (with recycled ids) would reuse them — A's recorded page
+        # ids would then read B's records.  Now the stale read raises.
+        pager = Pager(page_size=128)
+        chain_a = PageChain(pager)
+        chain_a.append_record(40, "mine")
+        stale_ids = list(chain_a.pages)
+        chain_a.free_all()
+        chain_b = PageChain(pager)
+        chain_b.append_record(40, "other owner")
+        for pid in stale_ids:
+            with pytest.raises(KeyError, match="use-after-free"):
+                pager.read(pid)
 
     def test_free_unknown_raises(self):
         with pytest.raises(KeyError):
@@ -154,3 +183,32 @@ class TestPageChain:
         pages = pager.n_pages
         chain.free_all()
         assert pager.n_pages == pages - 3
+
+    def test_rewrite_all_oversized_record_is_all_or_nothing(self):
+        # Regression: an oversized record used to raise ValueError from
+        # Pager.rewrite midway through the loop, leaving the chain
+        # half-old/half-new with the I/O already charged.
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        for i in range(6):
+            chain.append_record(60, i)
+        before_pages = list(chain.pages)
+        before_content = chain.read_all()
+        before_io = pager.stats.snapshot()
+        with pytest.raises(ValueError, match="exceeds page size"):
+            chain.rewrite_all([(60, "new0"), (200, "too big"), (60, "new2")])
+        # Chain layout, content, and write counters are untouched.
+        assert chain.pages == before_pages
+        assert chain.read_all() == before_content
+        assert pager.stats.writes == before_io.writes
+
+    def test_head_after_free_all_raises_clear_error(self):
+        pager = Pager(page_size=128)
+        chain = PageChain(pager)
+        chain.free_all()
+        with pytest.raises(RuntimeError, match="freed"):
+            chain.head
+        with pytest.raises(RuntimeError, match="freed"):
+            chain.append_record(10, "x")
+        with pytest.raises(RuntimeError, match="freed"):
+            chain.rewrite_all([(10, "x")])
