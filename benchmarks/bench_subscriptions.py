@@ -1,0 +1,185 @@
+"""Continuous queries: revision throughput and suppression ratio.
+
+A moving-sensor workload — a fleet of uncertain objects, a panel of
+standing ``nn`` subscriptions, and a mutation stream of delete+reinsert
+movements — pumped through the subscription manager twice:
+
+* **filtered** — the production path: each mutation is classified
+  against every subscription's min-max watch radius (plus the UV
+  candidate probe where applicable) and only affected subscriptions
+  re-execute;
+* **naive** — the same subscriptions with ``eager=True``, re-executing
+  every subscription at every epoch (the poll-loop the subsystem
+  replaces).
+
+Both paths must produce identical revision streams (asserted per
+subscription); the filtered path earns its keep by skipping provably
+irrelevant work.  Writes ``benchmarks/results/BENCH_subscriptions.json``
+and enforces the acceptance gate (also run by the CI perf-smoke job):
+
+* filtered mutation throughput >= ``REQUIRED_SPEEDUP`` x naive;
+* suppression ratio >= ``REQUIRED_SUPPRESSION`` (most movements are
+  provably irrelevant to most watches, so the filter must say so).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.api import Database
+from repro.geometry import Rect
+from repro.service.subscriptions import answers_equal
+from repro.uncertain import UncertainDataset, UncertainObject, uniform_pdf
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: Gate: filtered mutation throughput must beat eager re-execution by
+#: at least this factor on the moving-sensor workload.
+REQUIRED_SPEEDUP = 3.0
+#: Gate: fraction of (subscription x epoch) slots suppressed.
+REQUIRED_SUPPRESSION = 0.5
+
+SMOKE = {"n_objects": 400, "n_subs": 24, "mutations": 60}
+FULL = {"n_objects": 2_000, "n_subs": 64, "mutations": 300}
+
+DOMAIN_HI = 10_000.0
+HALF = 30.0  # uncertainty half-width of a sensor reading
+N_SAMPLES = 20
+
+
+def make_object(oid: int, center: np.ndarray, rng) -> UncertainObject:
+    region = Rect.from_center(
+        np.clip(center, HALF, DOMAIN_HI - HALF), [HALF, HALF]
+    )
+    instances, weights = uniform_pdf(region, N_SAMPLES, rng)
+    return UncertainObject(
+        oid=oid, region=region, instances=instances, weights=weights
+    )
+
+
+def make_fleet(params: dict) -> UncertainDataset:
+    rng = np.random.default_rng(17)
+    objects = [
+        make_object(oid, rng.uniform(0.0, DOMAIN_HI, size=2), rng)
+        for oid in range(params["n_objects"])
+    ]
+    return UncertainDataset(objects, domain=Rect.cube(0.0, DOMAIN_HI, 2))
+
+
+def movement(db: Database, i: int) -> None:
+    """Mutation ``i``: one sensor moves (delete + reinsert)."""
+    rng = np.random.default_rng(40_000 + i)
+    ids = db.dataset.ids
+    oid = int(ids[int(rng.integers(len(ids)))])
+    center = db.dataset[oid].region.center + rng.uniform(
+        -300.0, 300.0, size=2
+    )
+    db.delete(oid)
+    db.insert(make_object(oid, center, rng))
+
+
+def run_mode(params: dict, eager: bool) -> dict:
+    """Pump the movement stream through n_subs standing queries."""
+    rng = np.random.default_rng(7)
+    db = Database(make_fleet(params), indexes=())
+    subs = [
+        db.subscribe(
+            "nn",
+            rng.uniform(0.0, DOMAIN_HI, size=2),
+            eager=eager,
+            max_pending=params["mutations"] + 2,
+        )
+        for _ in range(params["n_subs"])
+    ]
+    streams = {sub.sid: [sub.poll()] for sub in subs}
+
+    n = params["mutations"]
+    t0 = time.perf_counter()
+    for i in range(n):
+        movement(db, i)
+    for sub in subs:  # drain (movement pumps inline; poll is a no-op)
+        while (revision := sub.poll()) is not None:
+            streams[sub.sid].append(revision)
+    seconds = time.perf_counter() - t0
+
+    stats = db.subscriptions.stats_snapshot()
+    emitted = stats.revisions_emitted - len(subs)  # minus baselines
+    suppressed = stats.revisions_suppressed
+    db.close()
+    return {
+        "mode": "naive" if eager else "filtered",
+        "mutations": n,
+        "subscriptions": len(subs),
+        "seconds": seconds,
+        "mutations_per_s": n / max(seconds, 1e-9),
+        "revisions_emitted": emitted,
+        "revisions_suppressed": suppressed,
+        "suppression_ratio": suppressed / max(1, emitted + suppressed),
+        "streams": streams,
+    }
+
+
+def test_subscriptions(profile, record_figure):
+    from repro.bench.figures import FigureResult
+
+    params = SMOKE if profile == "smoke" else FULL
+    filtered = run_mode(params, eager=False)
+    naive = run_mode(params, eager=True)
+
+    # Identical revision streams: the filter is pure optimization.
+    for sid, want in naive.pop("streams").items():
+        got = filtered["streams"][sid]
+        assert [r.epoch for r in got] == [r.epoch for r in want]
+        for a, b in zip(got, want):
+            assert answers_equal("nn", a.answer, b.answer)
+    filtered.pop("streams")
+
+    rows = [filtered, naive]
+    speedup = (
+        filtered["mutations_per_s"] / max(naive["mutations_per_s"], 1e-9)
+    )
+
+    RESULTS.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "subscriptions",
+        "profile": profile,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "required_suppression": REQUIRED_SUPPRESSION,
+        "params": params,
+        "speedup": speedup,
+        "rows": rows,
+    }
+    (RESULTS / "BENCH_subscriptions.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    result = FigureResult(
+        figure="BENCH subscriptions",
+        title="Standing-query pump: filtered vs eager re-execution",
+        columns=(
+            "mode", "mutations", "subscriptions", "mutations_per_s",
+            "revisions_emitted", "revisions_suppressed",
+            "suppression_ratio",
+        ),
+        notes=(
+            f"moving-sensor workload; filtered speedup {speedup:.1f}x "
+            "over eager; identical revision streams asserted per "
+            "subscription."
+        ),
+    )
+    for row in rows:
+        result.add(**{k: row[k] for k in result.columns})
+    record_figure(result)
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"relevance filter too weak: filtered is only {speedup:.2f}x "
+        f"naive (< {REQUIRED_SPEEDUP}x)"
+    )
+    assert filtered["suppression_ratio"] >= REQUIRED_SUPPRESSION, (
+        f"suppression ratio {filtered['suppression_ratio']:.2f} < "
+        f"{REQUIRED_SUPPRESSION}"
+    )

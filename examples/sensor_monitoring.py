@@ -1,4 +1,4 @@
-"""Sensor monitoring: similarity search over noisy 3D sensor readings.
+"""Sensor monitoring: a standing anomaly watch over noisy readings.
 
 The paper's second motivating scenario: a natural-habitat monitoring
 network where each node reports a (temperature, humidity, wind speed)
@@ -6,10 +6,15 @@ vector contaminated with measurement error.  Readings are uncertain
 objects in a 3D attribute space; "which sensor most resembles reference
 conditions?" is a PNNQ at the reference vector.
 
-The example also demonstrates the probabilistic verifier (Ablation A4 /
-reference [11] of the paper): deciding "is P[NN] >= tau?" from cheap
-bounds, falling back to exact Step-2 evaluation only for borderline
-candidates.
+Earlier revisions of this example ran the query once and stopped.
+With continuous queries the operator *subscribes* a threshold watch —
+``db.subscribe("threshold", reference, p=0.2)`` — and every new batch
+of sensor readings pushes a revision only when the set of confidently
+matching sensors actually changes; readings that provably cannot affect
+the answer are suppressed without re-running the verifier.  Each pushed
+revision is cross-checked here against exact Step-2 probabilities (the
+probabilistic verifier of Ablation A4 / reference [11] must agree with
+the exact computation at every epoch).
 
 Run with::
 
@@ -20,16 +25,36 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import PNNQEngine, PVIndex, UncertainObject, gaussian_pdf
-from repro.core.verifier import VerifierEngine
+from repro import UncertainObject, gaussian_pdf
+from repro.api import Database
 from repro.geometry import Rect
 from repro.uncertain import UncertainDataset
 
 N_SENSORS = 120
+N_ROUNDS = 4  # reporting rounds (each re-reads a few sensors)
+N_REPORTS = 4  # sensors reporting fresh readings per round
+TAU = 0.2
 #: attribute space: temperature [0,50] C, humidity [0,100] %,
 #: wind speed [0,30] m/s — normalized to a common [0,1000] scale so
 #: Euclidean distance weighs the attributes comparably.
 SCALE = 1000.0
+
+
+def make_reading(
+    oid: int, mean: np.ndarray, rng: np.random.Generator
+) -> UncertainObject:
+    """One sensor reading: a truncated Gaussian in its ±3σ box."""
+    sigma = rng.uniform(3.0, 12.0)
+    lo = np.maximum(mean - 3.0 * sigma, 0.0)
+    hi = np.minimum(mean + 3.0 * sigma, SCALE)
+    region = Rect(lo, hi)
+    instances, weights = gaussian_pdf(
+        region, n_samples=100, rng=rng, sigma=sigma,
+        mean=np.clip(mean, region.lo, region.hi),
+    )
+    return UncertainObject(
+        oid=oid, region=region, instances=instances, weights=weights
+    )
 
 
 def make_network(rng: np.random.Generator) -> UncertainDataset:
@@ -42,69 +67,89 @@ def make_network(rng: np.random.Generator) -> UncertainDataset:
         mean = np.clip(
             biome + rng.normal(scale=60.0, size=3), 20.0, SCALE - 20.0
         )
-        # Error bar per attribute: the uncertainty region is the
-        # +-3 sigma box, the pdf a truncated Gaussian inside it.
-        sigma = rng.uniform(3.0, 12.0)
-        # +-3 sigma box, clipped to the attribute domain.
-        lo = np.maximum(mean - 3.0 * sigma, 0.0)
-        hi = np.minimum(mean + 3.0 * sigma, SCALE)
-        region = Rect(lo, hi)
-        instances, weights = gaussian_pdf(
-            region, n_samples=100, rng=rng, sigma=sigma,
-            mean=np.clip(mean, region.lo, region.hi),
-        )
-        objects.append(
-            UncertainObject(
-                oid=oid, region=region, instances=instances,
-                weights=weights,
-            )
-        )
+        objects.append(make_reading(oid, mean, rng))
     return UncertainDataset(objects, domain=domain)
 
 
 def main() -> None:
     rng = np.random.default_rng(29)
-    network = make_network(rng)
+    db = Database(make_network(rng), indexes=("pv",))
     print(
         f"network: {N_SENSORS} sensors, 3D attribute space "
         f"(temperature, humidity, wind)"
     )
 
-    index = PVIndex.build(network)
-    print(f"PV-index built in {index.stats.build_seconds:.2f}s\n")
-
     # Reference conditions we want the most similar live reading to.
     reference = np.array([480.0, 510.0, 495.0])
-    engine = PNNQEngine(network, index, secondary=index.secondary)
-    result = engine.query(reference)
+    watch = db.subscribe("threshold", reference, p=TAU)
+    nn_sub = db.subscribe("nn", reference)
 
-    print(f"sensors possibly nearest to reference {reference.tolist()}:")
-    ranked = sorted(
-        result.probabilities.items(), key=lambda kv: -kv[1]
-    )
-    for oid, prob in ranked[:5]:
-        center = network[oid].region.center
-        print(
-            f"  sensor {oid:3d}  P = {prob:.4f}  "
-            f"reading ≈ {np.round(center, 1).tolist()}"
-        )
+    def confident(decisions) -> list[int]:
+        return sorted(oid for oid, ok in decisions.items() if ok)
 
-    # Threshold query via the verifier: who is NN with P >= 0.2?
-    verifier = VerifierEngine(network, index)
-    decisions = verifier.query(reference, tau=0.2)
-    confident = sorted(oid for oid, ok in decisions.items() if ok)
+    def check_against_exact(decisions) -> None:
+        # The verifier's bound-based decisions must agree with exact
+        # Step-2 probabilities at the same epoch.
+        exact = db.nn(reference).answer.probabilities
+        for oid, ok in decisions.items():
+            assert ok == (exact.get(oid, 0.0) >= TAU), (
+                f"verifier disagrees on sensor {oid}"
+            )
+
+    baseline = watch.poll()
+    check_against_exact(baseline.answer)
     print(
-        f"\nsensors with P[NN] >= 0.2: {confident} "
-        f"(exact Step-2 evaluations: {verifier.exact_evaluations} of "
-        f"{len(decisions)} candidates)"
+        f"subscribed at epoch {baseline.epoch}: sensors with "
+        f"P[NN] >= {TAU}: {confident(baseline.answer)}\n"
     )
 
-    # Verifier decisions agree with the exact probabilities.
-    for oid, ok in decisions.items():
-        assert ok == (result.probabilities.get(oid, 0.0) >= 0.2), (
-            f"verifier disagrees on sensor {oid}"
+    checked = 1
+    for round_no in range(1, N_ROUNDS + 1):
+        # A few sensors report fresh readings near the reference —
+        # delete + insert, each classified against the standing watch.
+        reporters = rng.choice(
+            db.dataset.ids, size=min(N_REPORTS, len(db.dataset)),
+            replace=False,
         )
-    print("verifier decisions match exact Step-2 probabilities")
+        for oid in reporters:
+            drift = rng.normal(scale=80.0, size=3)
+            mean = np.clip(
+                reference + drift, 20.0, SCALE - 20.0
+            )
+            db.delete(int(oid))
+            db.insert(make_reading(int(oid), mean, rng))
+        pushed = 0
+        while (revision := watch.poll()) is not None:
+            pushed += 1
+            if revision.epoch == db.epoch:
+                # Only the newest revision still reflects the live
+                # state the exact re-computation would see.
+                checked += 1
+                check_against_exact(revision.answer)
+            print(
+                f"  alert @epoch {revision.epoch}: confident set -> "
+                f"{confident(revision.answer)} of "
+                f"{len(revision.answer)} candidates "
+                f"({revision.suppressed_since_last} quiet epochs)"
+            )
+        print(
+            f"round {round_no}: {2 * len(reporters)} mutations, "
+            f"{pushed} alerts pushed"
+        )
+        while nn_sub.poll() is not None:
+            pass  # the NN stream rides the same mutation epochs
+
+    summary = db.describe()["subscriptions"]
+    print(
+        f"\n{summary['live']} standing queries; "
+        f"{summary['revisions_emitted']} revisions emitted, "
+        f"{summary['revisions_suppressed']} suppressed"
+    )
+    print(
+        f"verifier decisions match exact Step-2 probabilities at all "
+        f"{checked} checked revisions"
+    )
+    db.close()
 
 
 if __name__ == "__main__":

@@ -1,15 +1,18 @@
-"""Vehicle tracking: PNNQ over moving, imprecisely-located vehicles.
+"""Vehicle tracking: a *standing* PNNQ over moving vehicles.
 
 The paper's motivating scenario: a location database whose positions
 come from error-prone extraction (GPS drift, satellite imagery, privacy
 perturbation).  Each vehicle's true position is only known to lie inside
 a rectangular uncertainty region.
 
-The example simulates a fleet whose vehicles move between epochs and
-shows the PV-index's headline maintenance feature: instead of rebuilding
-the whole index each epoch, vehicles that moved are deleted and
-re-inserted *incrementally* (Section VI-B), which only refreshes the
-UBRs of objects whose PV-cells were actually affected.
+Earlier revisions of this example re-polled the dispatcher's query
+after every batch of movements.  With continuous queries the dispatcher
+*subscribes* once — ``db.subscribe("nn", center)`` — and the database
+pushes an epoch-tagged revision whenever a movement could have changed
+the nearest vehicle, suppressing the (vast majority of) movements that
+provably could not.  Movements still apply incrementally through the
+PV-index (Section VI-B): delete + insert refresh only the affected
+UBRs, never the whole index.
 
 Run with::
 
@@ -22,8 +25,8 @@ import time
 
 import numpy as np
 
-from repro import PNNQEngine, PVIndex, UncertainObject, uniform_pdf
-from repro.core.pvcell import possible_nn_ids
+from repro import UncertainObject, uniform_pdf
+from repro.api import Database
 from repro.geometry import Rect
 from repro.uncertain import UncertainDataset
 
@@ -53,10 +56,21 @@ def make_fleet(rng: np.random.Generator) -> UncertainDataset:
 
 
 def moved_vehicle(
-    obj: UncertainObject, rng: np.random.Generator
+    obj: UncertainObject,
+    rng: np.random.Generator,
+    toward: np.ndarray | None = None,
 ) -> UncertainObject:
-    """The same vehicle after one epoch of movement."""
-    step = rng.uniform(-SPEED, SPEED, size=2)
+    """The same vehicle after one epoch of movement.
+
+    ``toward`` biases the step (a dispatched vehicle heading for the
+    center) instead of a random drift.
+    """
+    if toward is None:
+        step = rng.uniform(-SPEED, SPEED, size=2)
+    else:
+        heading = toward - obj.region.center
+        distance = float(np.linalg.norm(heading))
+        step = heading * min(1.0, SPEED / max(distance, 1e-9))
     center = np.clip(
         obj.region.center + step, GPS_ERROR, DOMAIN - GPS_ERROR
     )
@@ -69,49 +83,67 @@ def moved_vehicle(
 
 def main() -> None:
     rng = np.random.default_rng(2013)
-    fleet = make_fleet(rng)
+    db = Database(make_fleet(rng), indexes=("pv",))
     print(f"fleet: {N_VEHICLES} vehicles, GPS error ±{GPS_ERROR} m")
 
-    t0 = time.perf_counter()
-    index = PVIndex.build(fleet)
-    print(f"initial PV-index build: {time.perf_counter() - t0:.2f}s\n")
-    engine = PNNQEngine(fleet, index, secondary=index.secondary)
-
-    # A dispatcher at the center keeps asking: which vehicle is nearest?
+    # The dispatcher at the center subscribes once instead of polling.
     dispatcher = np.array([DOMAIN / 2, DOMAIN / 2])
+    sub = db.subscribe("nn", dispatcher)
+    baseline = sub.poll()
+    best = baseline.answer.best
+    print(
+        f"dispatcher subscribed at epoch {baseline.epoch}: nearest "
+        f"vehicle {best} "
+        f"(P = {baseline.answer.probabilities[best]:.3f})\n"
+    )
 
     for epoch in range(1, N_EPOCHS + 1):
-        # Some vehicles report new positions: delete + insert, both
-        # incremental (only affected UBRs are recomputed).
-        movers = rng.choice(fleet.ids, size=N_MOVERS, replace=False)
+        # Vehicles report new positions: delete + insert, both
+        # incremental (only affected UBRs are recomputed) — and each
+        # mutation is classified against the standing query.
+        movers = rng.choice(db.dataset.ids, size=N_MOVERS, replace=False)
         t0 = time.perf_counter()
-        for oid in movers:
-            vehicle = fleet[int(oid)]
-            index.delete(int(oid))
-            index.insert(moved_vehicle(vehicle, rng))
+        for i, oid in enumerate(movers):
+            vehicle = db.dataset[int(oid)]
+            db.delete(int(oid))
+            # The first mover is a dispatched vehicle heading for the
+            # center; the rest drift randomly.
+            db.insert(
+                moved_vehicle(
+                    vehicle, rng, toward=dispatcher if i == 0 else None
+                )
+            )
         update_s = time.perf_counter() - t0
 
-        result = engine.query(dispatcher)
-        truth = possible_nn_ids(fleet, dispatcher)
-        assert set(result.candidate_ids) == truth
-
-        best = result.best
+        pushed = 0
+        while (revision := sub.poll()) is not None:
+            pushed += 1
+            best = revision.answer.best
+            print(
+                f"  -> revision @epoch {revision.epoch}: dispatch "
+                f"vehicle {best} "
+                f"(P = {revision.answer.probabilities[best]:.3f}, "
+                f"{revision.suppressed_since_last} quiet epochs "
+                "suppressed)"
+            )
         print(
-            f"epoch {epoch}: moved {N_MOVERS} vehicles in "
-            f"{update_s:.2f}s ({update_s / (2 * N_MOVERS) * 1e3:.0f} ms "
-            f"per update); {len(truth)} possible NNs; dispatching "
-            f"vehicle {best} (P = {result.probabilities[best]:.3f})"
+            f"epoch {epoch}: moved {N_MOVERS} vehicles in {update_s:.2f}s "
+            f"({2 * N_MOVERS} mutations) — {pushed} revisions pushed, "
+            "none re-polled"
         )
 
-    # Contrast with the rebuild-from-scratch alternative.
-    t0 = time.perf_counter()
-    PVIndex.build(fleet)
-    rebuild_s = time.perf_counter() - t0
+    stats = db.subscriptions.stats_snapshot()
+    total = stats.revisions_emitted + stats.revisions_suppressed
     print(
-        f"\nfull rebuild would cost {rebuild_s:.2f}s per epoch — "
-        f"incremental maintenance is the difference between refreshing "
-        f"{2 * N_MOVERS} objects and recomputing {N_VEHICLES} UBRs."
+        f"\nstanding query summary: {stats.revisions_emitted - 1} "
+        f"change revisions from {2 * N_MOVERS * N_EPOCHS} mutations "
+        f"(suppression ratio "
+        f"{stats.revisions_suppressed / max(1, total):.2f}) — the "
+        "relevance filter re-executed only movements that could touch "
+        "the dispatcher's min-max watch radius."
     )
+    sub.unsubscribe()
+    db.close()
 
 
 if __name__ == "__main__":

@@ -52,7 +52,7 @@ from .planner import Plan, Planner, PlanningError, STATIC_ESTIMATES
 from .result import QueryResult, QuerySpec, _params_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..service import UncertainDBServer
+    from ..service import Subscription, UncertainDBServer
 
 __all__ = ["Database", "IndexHandle"]
 
@@ -79,6 +79,16 @@ _KINDS: dict[str, _KindSpec] = {
     "group_nn": _KindSpec(GroupNNEngine),
     "reverse_nn": _KindSpec(ReverseNNEngine),
     "expected_nn": _KindSpec(ExpectedNNEngine),
+}
+
+#: Per-verb parameter defaults mirrored from the one-shot methods, so
+#: ``db.subscribe("knn", q)`` and ``db.knn(q)`` share a template.
+_SUBSCRIBE_DEFAULTS: dict[str, dict[str, Any]] = {
+    "knn": {"k": 1},
+    "topk": {"k": 1},
+    "threshold": {"tau": 0.1},
+    "group_nn": {"aggregate": "sum"},
+    "expected_nn": {"top": None},
 }
 
 
@@ -227,7 +237,14 @@ class Database:
         #: happens outside this lock, under each engine's own lock —
         #: different query kinds run concurrently.
         self._lock = threading.RLock()
+        #: Serializes mutation apply + subscription pump as one unit
+        #: (re-entrant: the mutating thread pumps under it).  Held
+        #: *around* ``_lock``, never acquired while holding it — pump
+        #: re-executions take engine locks that readers hold while
+        #: waiting on ``_lock``.
+        self._mutation_order = threading.RLock()
         self._server: "UncertainDBServer | None" = None
+        self._subscriptions: Any = None  # SubscriptionManager, lazy
         self._durable: Any = None  # DurableStore when opened via open()
         self._closed = False
 
@@ -730,26 +747,42 @@ class Database:
         return self._apply_delete(oid)
 
     def _apply_insert(self, obj: UncertainObject) -> None:
-        """The mutation itself (scheduler barrier entry point)."""
-        with self._lock:
-            carrier = self._maintenance_carrier()
-            if carrier is not None:
-                carrier.index.insert(obj)
-            else:
-                self.dataset.insert(obj)
-            self._sync()
+        """The mutation itself (scheduler barrier entry point).
+
+        Holds the mutation-order lock across apply *and* subscription
+        pump, so standing queries re-execute at exactly this epoch
+        before the next mutation can land; the pump itself runs
+        outside ``_lock`` (its re-executions take engine locks that
+        concurrent readers hold while waiting on ``_lock``).
+        """
+        with self._mutation_order:
+            with self._lock:
+                carrier = self._maintenance_carrier()
+                if carrier is not None:
+                    carrier.index.insert(obj)
+                else:
+                    self.dataset.insert(obj)
+                self._sync()
+            self._pump_subscriptions()
 
     def _apply_delete(self, oid: int) -> UncertainObject:
         """The mutation itself (scheduler barrier entry point)."""
-        with self._lock:
-            removed = self.dataset[oid]
-            carrier = self._maintenance_carrier()
-            if carrier is not None:
-                carrier.index.delete(oid)
-            else:
-                self.dataset.delete(oid)
-            self._sync()
+        with self._mutation_order:
+            with self._lock:
+                removed = self.dataset[oid]
+                carrier = self._maintenance_carrier()
+                if carrier is not None:
+                    carrier.index.delete(oid)
+                else:
+                    self.dataset.delete(oid)
+                self._sync()
+            self._pump_subscriptions()
             return removed
+
+    def _pump_subscriptions(self) -> None:
+        manager = self._subscriptions
+        if manager is not None:
+            manager.pump()
 
     def _maintenance_carrier(self) -> IndexHandle | None:
         """The built, in-sync index that will absorb the mutation."""
@@ -758,6 +791,104 @@ class Database:
             if handle is not None and handle.maintainable and handle.in_sync():
                 return handle
         return None
+
+    # ------------------------------------------------------------------
+    # Continuous queries: standing subscriptions over mutations
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        kind: str,
+        query: Any = None,
+        *,
+        retriever: str | None = None,
+        max_pending: int = 256,
+        eager: bool = False,
+        **params: Any,
+    ) -> "Subscription":
+        """Register a standing query over the mutation stream.
+
+        Any of the seven verbs, same parameters as the one-shot
+        methods (``db.subscribe("knn", q, k=3)``; ``threshold``
+        accepts ``p`` like :meth:`threshold`).  Returns a
+        :class:`~repro.service.Subscription` whose first revision is
+        the baseline answer at the current epoch (``changed=False``);
+        thereafter every mutation epoch that changes the answer pushes
+        exactly one epoch-tagged revision, and epochs that provably
+        (or by re-execution) leave it unchanged are counted as
+        suppressed.  ``eager=True`` disables the relevance filter and
+        re-executes at every epoch — same revision stream, no
+        filtering (the differential baseline).
+
+        ``max_pending`` bounds the per-subscription revision queue: a
+        consumer lagging past it is closed and its next read past the
+        buffer raises :class:`~repro.service.RevisionOverflow`.
+        """
+        from ..service.subscriptions import SubscriptionManager
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("Database is closed")
+            if kind not in _KINDS:
+                raise KeyError(f"unknown query kind {kind!r}")
+            manager = self._subscriptions
+            if manager is None:
+                manager = self._subscriptions = SubscriptionManager(self)
+        if kind == "threshold" and "p" in params:
+            params["tau"] = params.pop("p")
+        merged = {**_SUBSCRIBE_DEFAULTS.get(kind, {}), **params}
+        return manager.subscribe(
+            kind,
+            query,
+            _params_key(merged),
+            retriever,
+            max_pending=max_pending,
+            eager=eager,
+        )
+
+    @property
+    def subscriptions(self) -> Any:
+        """The subscription manager (``None`` until first subscribe)."""
+        return self._subscriptions
+
+    def describe(self) -> dict[str, Any]:
+        """A structured snapshot of the session's live state.
+
+        Covers the dataset (size, dims, epoch), which index handles
+        are built, durability and serving status, and — when standing
+        subscriptions exist — their live counts and per-subscription
+        emit/suppress counters.
+        """
+        with self._lock:
+            self._sync()
+            built = tuple(
+                name
+                for name, handle in self._handles.items()
+                if handle.index is not None
+            )
+            server = self._server
+            manager = self._subscriptions
+        info: dict[str, Any] = {
+            "n": len(self.dataset),
+            "dims": self.dims,
+            "epoch": self.epoch,
+            "indexes": {
+                "available": sorted(self._handles),
+                "built": list(built),
+            },
+            "durable": self.durable,
+            "serving": type(server).__name__ if server is not None else None,
+            "closed": self._closed,
+        }
+        if manager is not None:
+            info["subscriptions"] = manager.describe()
+        else:
+            info["subscriptions"] = {
+                "live": 0,
+                "revisions_emitted": 0,
+                "revisions_suppressed": 0,
+                "entries": [],
+            }
+        return info
 
     # ------------------------------------------------------------------
     # Durability
@@ -875,7 +1006,14 @@ class Database:
                 return
             self._closed = True
             server = self._server
+            manager = self._subscriptions
         try:
+            if manager is not None:
+                # Detach the manager's mutation listener and wake every
+                # consumer *before* the server drain: queued mutations
+                # still apply, but no longer fan out into re-executions
+                # nobody will read.
+                manager.close()
             if server is not None:
                 # Drain before detaching: verbs that still hold the
                 # server reference either ride the drain or hit

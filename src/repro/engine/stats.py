@@ -43,6 +43,9 @@ _SCALAR_FIELDS = (
     "shards_dispatched",
     "shards_pruned",
     "worker_busy_seconds",
+    "subscriptions_live",
+    "revisions_emitted",
+    "revisions_suppressed",
 )
 
 
@@ -96,6 +99,16 @@ class ExecutionStats:
     #: Wall-clock seconds worker processes spent executing dispatched
     #: groups (summed across the pool; the process tier's busy time).
     worker_busy_seconds: float = 0.0
+    #: Standing subscriptions currently registered (a gauge, stamped at
+    #: snapshot time by the :class:`~repro.service.SubscriptionManager`).
+    subscriptions_live: int = 0
+    #: Revision envelopes pushed to subscription consumers (answer
+    #: actually changed, or the initial baseline).
+    revisions_emitted: int = 0
+    #: Mutation epochs a subscription skipped — either the relevance
+    #: filter proved the answer could not change, or a re-execution
+    #: produced a bit-identical answer.
+    revisions_suppressed: int = 0
     #: Simulated page traffic of Step 1 (index descent / leaf reads).
     or_io: IOStats = field(default_factory=IOStats)
     #: Simulated page traffic of Step 2 (secondary pdf fetches).
@@ -137,6 +150,9 @@ class ExecutionStats:
         self.shards_dispatched = 0
         self.shards_pruned = 0
         self.worker_busy_seconds = 0.0
+        self.subscriptions_live = 0
+        self.revisions_emitted = 0
+        self.revisions_suppressed = 0
         self.or_io.reset()
         self.pc_io.reset()
 
@@ -157,6 +173,9 @@ class ExecutionStats:
             shards_dispatched=self.shards_dispatched,
             shards_pruned=self.shards_pruned,
             worker_busy_seconds=self.worker_busy_seconds,
+            subscriptions_live=self.subscriptions_live,
+            revisions_emitted=self.revisions_emitted,
+            revisions_suppressed=self.revisions_suppressed,
             or_io=self.or_io.snapshot(),
             pc_io=self.pc_io.snapshot(),
         )
@@ -188,6 +207,9 @@ class ExecutionStats:
             self.shards_dispatched,
             self.shards_pruned,
             self.worker_busy_seconds,
+            self.subscriptions_live,
+            self.revisions_emitted,
+            self.revisions_suppressed,
             self.or_io.reads,
             self.or_io.writes,
             self.pc_io.reads,
@@ -213,13 +235,17 @@ class ExecutionStats:
             shards_dispatched=self.shards_dispatched - captured[11],
             shards_pruned=self.shards_pruned - captured[12],
             worker_busy_seconds=self.worker_busy_seconds - captured[13],
+            subscriptions_live=self.subscriptions_live - captured[14],
+            revisions_emitted=self.revisions_emitted - captured[15],
+            revisions_suppressed=self.revisions_suppressed
+            - captured[16],
             or_io=IOStats(
-                reads=self.or_io.reads - captured[14],
-                writes=self.or_io.writes - captured[15],
+                reads=self.or_io.reads - captured[17],
+                writes=self.or_io.writes - captured[18],
             ),
             pc_io=IOStats(
-                reads=self.pc_io.reads - captured[16],
-                writes=self.pc_io.writes - captured[17],
+                reads=self.pc_io.reads - captured[19],
+                writes=self.pc_io.writes - captured[20],
             ),
         )
 
@@ -247,6 +273,12 @@ class ExecutionStats:
             shards_pruned=self.shards_pruned - earlier.shards_pruned,
             worker_busy_seconds=self.worker_busy_seconds
             - earlier.worker_busy_seconds,
+            subscriptions_live=self.subscriptions_live
+            - earlier.subscriptions_live,
+            revisions_emitted=self.revisions_emitted
+            - earlier.revisions_emitted,
+            revisions_suppressed=self.revisions_suppressed
+            - earlier.revisions_suppressed,
             or_io=self.or_io.delta(earlier.or_io),
             pc_io=self.pc_io.delta(earlier.pc_io),
         )

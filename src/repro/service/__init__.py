@@ -31,6 +31,12 @@ from .procpool import ProcessPoolServer, WorkerDied
 from .scheduler import CoalescingScheduler, SchedulerClosed, SchedulerStats
 from .server import Session, UncertainDBServer
 from .shards import Shard, ShardLayout, ShardedRetriever
+from .subscriptions import (
+    Revision,
+    RevisionOverflow,
+    Subscription,
+    SubscriptionManager,
+)
 
 __all__ = [
     "as_completed",
@@ -38,12 +44,16 @@ __all__ = [
     "FutureTimeout",
     "ProcessPoolServer",
     "QueryFuture",
+    "Revision",
+    "RevisionOverflow",
     "SchedulerClosed",
     "SchedulerStats",
     "Session",
     "Shard",
     "ShardLayout",
     "ShardedRetriever",
+    "Subscription",
+    "SubscriptionManager",
     "UncertainDBServer",
     "WorkerDied",
 ]

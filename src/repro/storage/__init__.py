@@ -1,6 +1,6 @@
 """Storage substrate: pager, extensible hashing, octree, WAL durability."""
 
-from .durable import DurableStore, RecoveryError
+from .durable import DurableStore, RecoveryError, StoreLocked
 from .exthash import ExtensibleHashTable
 from .octree import OctreeConfig, PagedOctree
 from .pager import DEFAULT_PAGE_SIZE, IOStats, Page, PageChain, PageFullError, Pager
@@ -21,4 +21,5 @@ __all__ = [
     "WalError",
     "DurableStore",
     "RecoveryError",
+    "StoreLocked",
 ]

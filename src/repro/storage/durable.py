@@ -37,6 +37,11 @@ from __future__ import annotations
 import os
 from typing import Callable
 
+try:  # POSIX only; single-writer locking degrades gracefully without
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None  # type: ignore[assignment]
+
 from ..uncertain.dataset import UncertainDataset
 from ..uncertain.store import attach_file
 from .wal import (
@@ -48,7 +53,13 @@ from .wal import (
     encode_insert,
 )
 
-__all__ = ["DurableStore", "RecoveryError", "SNAPSHOT_FILE", "WAL_FILE"]
+__all__ = [
+    "DurableStore",
+    "RecoveryError",
+    "StoreLocked",
+    "SNAPSHOT_FILE",
+    "WAL_FILE",
+]
 
 SNAPSHOT_FILE = "snapshot.bin"
 WAL_FILE = "wal.log"
@@ -56,6 +67,17 @@ WAL_FILE = "wal.log"
 
 class RecoveryError(Exception):
     """The snapshot + WAL pair cannot reproduce a consistent dataset."""
+
+
+class StoreLocked(RuntimeError):
+    """Another live session already owns this database directory.
+
+    The WAL admits exactly one writer: a second opener would interleave
+    records and corrupt the epoch contiguity the recovery path demands.
+    Close (or kill) the other session first — the ``flock`` is released
+    automatically when its process exits, so a crashed owner never
+    wedges the directory.
+    """
 
 
 class DurableStore:
@@ -78,6 +100,7 @@ class DurableStore:
         self._wal: WriteAheadLog | None = None
         self._dataset: UncertainDataset | None = None
         self._listener: Callable | None = None
+        self._dir_fd: int | None = None  # flock holder (single writer)
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -95,9 +118,38 @@ class DurableStore:
         return os.path.exists(os.path.join(os.fspath(path), SNAPSHOT_FILE))
 
     # ------------------------------------------------------------------
+    def _acquire_lock(self) -> None:
+        """Take the directory-wide single-writer ``flock``.
+
+        Idempotent while held.  The lock lives on the directory fd, so
+        it conflicts between independent openers (other processes, or
+        a second :class:`DurableStore` in this one) and evaporates when
+        the owning process dies — no stale lockfiles to clean up.
+        """
+        if fcntl is None or self._dir_fd is not None:
+            return
+        fd = os.open(self.path, os.O_RDONLY)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise StoreLocked(
+                f"{self.path}: another session holds this database "
+                "(the WAL admits one writer); close it before opening "
+                "a second Database"
+            ) from None
+        self._dir_fd = fd
+
+    def _release_lock(self) -> None:
+        if self._dir_fd is not None:
+            os.close(self._dir_fd)  # closing the fd drops the flock
+            self._dir_fd = None
+
+    # ------------------------------------------------------------------
     def initialize(self, dataset: UncertainDataset) -> None:
         """Create the directory with a snapshot of ``dataset`` + empty WAL."""
         os.makedirs(self.path, exist_ok=True)
+        self._acquire_lock()
         dataset.instance_store().export_file(self.snapshot_path)
         if os.path.exists(self.wal_path):
             os.unlink(self.wal_path)
@@ -117,6 +169,7 @@ class DurableStore:
                 f"{self.path}: no {SNAPSHOT_FILE}; not a durable "
                 "database directory"
             )
+        self._acquire_lock()
         snap = attach_file(self.snapshot_path)
         try:
             dataset = snap.build_dataset()
@@ -161,6 +214,7 @@ class DurableStore:
         """
         if self._dataset is not None:
             raise RuntimeError("DurableStore is already attached")
+        self._acquire_lock()
         _records, valid, damaged = WriteAheadLog.scan(self.wal_path)
         wal = WriteAheadLog(self.wal_path, fsync=self.fsync)
         if damaged:
@@ -210,6 +264,7 @@ class DurableStore:
         self._closed = True
         if self._wal is not None:
             self._wal.close()
+        self._release_lock()
 
     def __enter__(self) -> "DurableStore":
         return self

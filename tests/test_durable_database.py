@@ -47,6 +47,27 @@ class TestOpenLifecycle:
         with pytest.raises(ValueError, match="dataset is required"):
             Database.open(str(tmp_path / "nothing"))
 
+    def test_second_opener_is_locked_out(self, tmp_path):
+        # The WAL directory admits one writer: a second Database.open
+        # on a live store must fail fast with a clear error instead of
+        # interleaving WAL appends.
+        from repro.storage import StoreLocked
+
+        path = str(tmp_path / "db")
+        db = Database.open(path, dataset=base_dataset())
+        with pytest.raises(StoreLocked, match="another session"):
+            Database.open(path)
+        with pytest.raises(StoreLocked, match="one writer"):
+            DurableStore(path).recover()
+        # The first opener is unaffected by the failed attempts...
+        apply_mutation(db, 0)
+        epoch = db.epoch
+        db.close()
+        # ...and close() releases the lock for the next opener.
+        db2 = Database.open(path)
+        assert db2.epoch == epoch
+        db2.close()
+
     def test_checkpoint_folds_wal(self, tmp_path):
         path = str(tmp_path / "db")
         db = Database.open(path, dataset=base_dataset())

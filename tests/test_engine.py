@@ -208,6 +208,9 @@ class TestExecutionStats:
             shards_dispatched=11,
             shards_pruned=13,
             worker_busy_seconds=3.5,
+            subscriptions_live=17,
+            revisions_emitted=19,
+            revisions_suppressed=23,
             or_io=IOStats(reads=5, writes=6),
             pc_io=IOStats(reads=7, writes=8),
         )
@@ -227,6 +230,9 @@ class TestExecutionStats:
         stats.shards_dispatched += 10
         stats.shards_pruned += 12
         stats.worker_busy_seconds += 0.375
+        stats.subscriptions_live += 14
+        stats.revisions_emitted += 15
+        stats.revisions_suppressed += 16
         stats.or_io.reads += 3
         stats.pc_io.writes += 4
         delta = stats.delta_since(captured)
@@ -236,6 +242,9 @@ class TestExecutionStats:
         assert delta.shards_dispatched == 10
         assert delta.shards_pruned == 12
         assert delta.worker_busy_seconds == 0.375
+        assert delta.subscriptions_live == 14
+        assert delta.revisions_emitted == 15
+        assert delta.revisions_suppressed == 16
 
     def test_merge_accumulates_every_counter(self):
         # merge() is the cross-process aggregation primitive: field
@@ -257,6 +266,9 @@ class TestExecutionStats:
             shards_dispatched=8,
             shards_pruned=9,
             worker_busy_seconds=1.5,
+            subscriptions_live=14,
+            revisions_emitted=15,
+            revisions_suppressed=16,
             or_io=IOStats(reads=10, writes=11),
             pc_io=IOStats(reads=12, writes=13),
         )

@@ -40,8 +40,9 @@ class TestExamplesSmoke:
         monkeypatch.setattr(module, "N_EPOCHS", 1)
         module.main()
         out = capsys.readouterr().out
+        assert "dispatcher subscribed" in out
         assert "epoch 1" in out
-        assert "full rebuild" in out
+        assert "standing query summary" in out
 
     def test_sensor_monitoring(self, capsys, monkeypatch):
         module = load_example("sensor_monitoring")
