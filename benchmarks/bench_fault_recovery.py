@@ -1,0 +1,160 @@
+"""Fault recovery: the latency cost of losing a worker mid-service.
+
+Serves a steady stream of PNNQ queries through the shared-memory
+process pool, then repeats the stream while one worker process is
+SIGKILLed halfway through.  Every query must still complete, exactly
+once, with answers bit-identical to a brute-force reference — the
+retry machinery may re-dispatch or fall back inline, but it must not
+drop, duplicate, or corrupt anything.
+
+Writes ``benchmarks/results/BENCH_fault_recovery.json`` and enforces
+the recovery acceptance gate (also run by the CI chaos job):
+
+* the kill-phase p99 latency stays within ``MAX_P99_RATIO`` x the
+  fault-free baseline p99 (with an absolute floor so micro-latency
+  noise cannot trip the ratio) — i.e. losing a worker costs bounded
+  tail latency, not a stall;
+* the pool actually recovered: the retry and worker-restart counters
+  both advanced.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.api import Database
+from repro.uncertain import synthetic_dataset
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: Kill-phase p99 may cost at most this multiple of the baseline p99.
+MAX_P99_RATIO = 5.0
+#: ...but never less than this many seconds (micro-latency noise guard).
+P99_FLOOR_SECONDS = 0.5
+
+SMOKE = {"n_objects": 400, "n_samples": 4, "queries": 80}
+FULL = {"n_objects": 2_000, "n_samples": 4, "queries": 300}
+
+
+def make_queries(db: Database, n: int) -> np.ndarray:
+    rng = np.random.default_rng(47)
+    return rng.uniform(
+        db.dataset.domain.lo, db.dataset.domain.hi, size=(n, 2)
+    )
+
+
+def run_stream(db, queries, *, kill_server=None) -> tuple[list, list]:
+    """Serve the stream; optionally SIGKILL one worker halfway."""
+    kill_at = len(queries) // 2 if kill_server is not None else None
+    latencies: list[float] = []
+    answers: list[dict] = []
+    for i, q in enumerate(queries):
+        if i == kill_at:
+            victim = kill_server._procs[0]
+            victim.proc.kill()
+            victim.proc.join(5)
+        t0 = time.perf_counter()
+        result = db.nn(q)
+        latencies.append(time.perf_counter() - t0)
+        answers.append(dict(result.probabilities))
+    return latencies, answers
+
+
+def test_fault_recovery(profile, record_figure):
+    from repro.bench.figures import FigureResult
+
+    params = SMOKE if profile == "smoke" else FULL
+    dataset = synthetic_dataset(
+        n=params["n_objects"],
+        dims=2,
+        seed=23,
+        n_samples=params["n_samples"],
+    )
+    reference = Database(
+        synthetic_dataset(
+            n=params["n_objects"],
+            dims=2,
+            seed=23,
+            n_samples=params["n_samples"],
+        )
+    )
+    db = Database(dataset)
+    try:
+        server = db.serve(workers=2, mode="process")
+        queries = make_queries(db, params["queries"])
+        want = [
+            dict(reference.nn(q, retriever="brute").probabilities)
+            for q in queries
+        ]
+
+        base_lat, base_answers = run_stream(db, queries)
+        kill_lat, kill_answers = run_stream(db, queries, kill_server=server)
+        recovery = server.recovery_snapshot()
+    finally:
+        db.close()
+        reference.close()
+
+    # Exactly-once, uncorrupted: every query of both phases answered,
+    # bit-identical to the brute-force reference.
+    assert len(base_answers) == len(kill_answers) == len(queries)
+    for got_base, got_kill, expected in zip(
+        base_answers, kill_answers, want
+    ):
+        assert got_base == expected
+        assert got_kill == expected
+    assert recovery["retries"] >= 1, "the kill never forced a retry"
+    assert recovery["worker_restarts"] >= 1, "no replacement was spawned"
+
+    base_p99 = float(np.percentile(base_lat, 99))
+    kill_p99 = float(np.percentile(kill_lat, 99))
+    budget = max(MAX_P99_RATIO * base_p99, P99_FLOOR_SECONDS)
+
+    row = {
+        "queries": len(queries),
+        "baseline_p50_ms": float(np.percentile(base_lat, 50)) * 1e3,
+        "baseline_p99_ms": base_p99 * 1e3,
+        "kill_p50_ms": float(np.percentile(kill_lat, 50)) * 1e3,
+        "kill_p99_ms": kill_p99 * 1e3,
+        "p99_ratio": kill_p99 / max(base_p99, 1e-9),
+        "retries": recovery["retries"],
+        "worker_restarts": recovery["worker_restarts"],
+    }
+
+    RESULTS.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "fault_recovery",
+        "profile": profile,
+        "max_p99_ratio": MAX_P99_RATIO,
+        "p99_floor_seconds": P99_FLOOR_SECONDS,
+        "params": params,
+        "rows": [row],
+    }
+    (RESULTS / "BENCH_fault_recovery.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    result = FigureResult(
+        figure="BENCH fault recovery",
+        title="Tail-latency cost of one worker kill mid-stream",
+        columns=(
+            "queries", "baseline_p50_ms", "baseline_p99_ms",
+            "kill_p50_ms", "kill_p99_ms", "p99_ratio",
+            "retries", "worker_restarts",
+        ),
+        notes=(
+            "one worker SIGKILLed at the stream midpoint; all answers "
+            "asserted bit-identical to brute force in both phases."
+        ),
+    )
+    result.add(**row)
+    record_figure(result)
+
+    assert kill_p99 <= budget, (
+        f"worker-kill p99 {kill_p99 * 1e3:.1f}ms exceeds the recovery "
+        f"budget {budget * 1e3:.1f}ms "
+        f"(baseline p99 {base_p99 * 1e3:.1f}ms x {MAX_P99_RATIO})"
+    )

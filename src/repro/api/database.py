@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
@@ -265,6 +266,7 @@ class Database:
         *,
         dataset: UncertainDataset | None = None,
         fsync: str = "always",
+        on_wal_error: str = "fail_stop",
         **kwargs: Any,
     ) -> "Database":
         """Open (or create) a durable database directory.
@@ -284,12 +286,19 @@ class Database:
         under ``fsync="off"``.  :meth:`checkpoint` folds the log into a
         fresh snapshot; :meth:`close` seals the directory.
 
+        ``on_wal_error`` picks the WAL write-failure policy (see
+        :class:`~repro.storage.DurableStore`): ``"fail_stop"`` re-raises
+        the I/O error per mutation; ``"read_only"`` degrades the store
+        — mutations raise :class:`~repro.storage.StoreReadOnly` while
+        reads keep being served, and :meth:`describe` reports
+        ``degraded_mode``.
+
         Remaining keyword arguments go to the :class:`Database`
         constructor.
         """
         from ..storage.durable import DurableStore
 
-        store = DurableStore(path, fsync=fsync)
+        store = DurableStore(path, fsync=fsync, on_wal_error=on_wal_error)
         if DurableStore.exists(path):
             if dataset is not None:
                 raise ValueError(
@@ -359,27 +368,58 @@ class Database:
     # ------------------------------------------------------------------
     # The declarative query surface
     # ------------------------------------------------------------------
-    def nn(self, query: Any, *, retriever: str | None = None) -> QueryResult:
-        """Probabilistic NN (the paper's PNNQ) at a point."""
-        return self._execute("nn", query, (), retriever)
+    def nn(
+        self,
+        query: Any,
+        *,
+        retriever: str | None = None,
+        timeout: float | None = None,
+    ) -> QueryResult:
+        """Probabilistic NN (the paper's PNNQ) at a point.
+
+        ``timeout`` (seconds) is the query's time budget on a served
+        database: it bounds queue time (an expired query is failed at
+        dispatch without executing) and result wait (the call raises
+        :class:`~repro.service.QueryTimeout` instead of blocking past
+        it).  Unserved, execution is inline and uninterruptible, so
+        the budget is advisory only.
+        """
+        return self._execute("nn", query, (), retriever, timeout)
 
     def knn(
-        self, query: Any, k: int = 1, *, retriever: str | None = None
+        self,
+        query: Any,
+        k: int = 1,
+        *,
+        retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryResult:
         """Probabilistic k-NN at a point."""
-        return self._execute("knn", query, (("k", k),), retriever)
+        return self._execute("knn", query, (("k", k),), retriever, timeout)
 
     def topk(
-        self, query: Any, k: int = 1, *, retriever: str | None = None
+        self,
+        query: Any,
+        k: int = 1,
+        *,
+        retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryResult:
         """The k objects most likely to be the NN of ``query``."""
-        return self._execute("topk", query, (("k", k),), retriever)
+        return self._execute("topk", query, (("k", k),), retriever, timeout)
 
     def threshold(
-        self, query: Any, p: float = 0.1, *, retriever: str | None = None
+        self,
+        query: Any,
+        p: float = 0.1,
+        *,
+        retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryResult:
         """Which objects have qualification probability >= ``p``."""
-        return self._execute("threshold", query, (("tau", p),), retriever)
+        return self._execute(
+            "threshold", query, (("tau", p),), retriever, timeout
+        )
 
     def group_nn(
         self,
@@ -387,15 +427,22 @@ class Database:
         aggregate: str = "sum",
         *,
         retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryResult:
         """Group NN over a set of query points."""
         return self._execute(
-            "group_nn", queries, (("aggregate", aggregate),), retriever
+            "group_nn", queries, (("aggregate", aggregate),), retriever,
+            timeout,
         )
 
-    def reverse_nn(self, query_object: UncertainObject) -> QueryResult:
+    def reverse_nn(
+        self,
+        query_object: UncertainObject,
+        *,
+        timeout: float | None = None,
+    ) -> QueryResult:
         """Objects that may have ``query_object`` as *their* NN."""
-        return self._execute("reverse_nn", query_object, (), None)
+        return self._execute("reverse_nn", query_object, (), None, timeout)
 
     def expected_nn(
         self,
@@ -403,10 +450,11 @@ class Database:
         top: int | None = None,
         *,
         retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryResult:
         """Expected-distance NN ranking at a point."""
         return self._execute(
-            "expected_nn", query, (("top", top),), retriever
+            "expected_nn", query, (("top", top),), retriever, timeout
         )
 
     def batch(
@@ -581,20 +629,28 @@ class Database:
         query: Any,
         params: tuple[tuple[str, Any], ...],
         retriever: str | None,
+        timeout: float | None = None,
     ) -> QueryResult:
         """One query through the front door.
 
         On a served database this is a thin one-shot session: the
         query is submitted to the coalescing scheduler (where it may
         ride a batched kernel dispatch with other sessions' queries)
-        and this call blocks on its future.  Unserved, it runs the
-        same group-execution path inline with a single-element group.
+        and this call blocks on its future — never past ``timeout``
+        seconds when one is given (the deadline rides the future).
+        Unserved, it runs the same group-execution path inline with a
+        single-element group.
         """
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive seconds")
         server = self._server
         if server is not None:
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             try:
                 return server.submit(
-                    kind, query, params, retriever
+                    kind, query, params, retriever, deadline
                 ).result()
             except SchedulerClosed:
                 # Server shut down mid-call.  Wait for its queue to
@@ -638,6 +694,9 @@ class Database:
             )
         with self._lock:
             self._observe(plan, delta)
+        durable = self._durable
+        if durable is not None and durable.read_only:
+            delta.degraded_mode = 1
         return [
             QueryResult(kind=kind, answer=answer, plan=plan, stats=delta)
             for answer in answers
@@ -867,6 +926,7 @@ class Database:
             )
             server = self._server
             manager = self._subscriptions
+        durable = self._durable
         info: dict[str, Any] = {
             "n": len(self.dataset),
             "dims": self.dims,
@@ -876,9 +936,18 @@ class Database:
                 "built": list(built),
             },
             "durable": self.durable,
+            "degraded_mode": bool(
+                durable is not None and durable.read_only
+            ),
             "serving": type(server).__name__ if server is not None else None,
             "closed": self._closed,
         }
+        recovery = getattr(server, "recovery_snapshot", None)
+        info["recovery"] = (
+            recovery()
+            if recovery is not None
+            else {"retries": 0, "worker_restarts": 0, "deadline_misses": 0}
+        )
         if manager is not None:
             info["subscriptions"] = manager.describe()
         else:
@@ -1032,9 +1101,13 @@ class Database:
                     # Checkpoint so the next open() maps the snapshot
                     # and replays nothing; then seal the store.  A
                     # failed checkpoint still closes — the WAL holds
-                    # everything the snapshot is missing.
+                    # everything the snapshot is missing.  A store
+                    # degraded to read-only refuses checkpoints (the
+                    # on-disk state is the last trustworthy one), so
+                    # skip straight to sealing it.
                     try:
-                        durable.checkpoint()
+                        if not durable.read_only:
+                            durable.checkpoint()
                     finally:
                         durable.close()
                 for handle in self._handles.values():

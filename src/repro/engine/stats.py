@@ -46,6 +46,10 @@ _SCALAR_FIELDS = (
     "subscriptions_live",
     "revisions_emitted",
     "revisions_suppressed",
+    "retries",
+    "worker_restarts",
+    "deadline_misses",
+    "degraded_mode",
 )
 
 
@@ -109,6 +113,17 @@ class ExecutionStats:
     #: filter proved the answer could not change, or a re-execution
     #: produced a bit-identical answer.
     revisions_suppressed: int = 0
+    #: Chunks re-dispatched after a retryable serving fault (worker
+    #: death or stall); the final inline fallback counts once too.
+    retries: int = 0
+    #: Worker processes killed (or found dead) and respawned.
+    worker_restarts: int = 0
+    #: Queries failed with :class:`~repro.service.QueryTimeout` because
+    #: their deadline passed (in queue or while awaiting the result).
+    deadline_misses: int = 0
+    #: 1 while the durable store is degraded to read-only after a WAL
+    #: write failure (``on_wal_error="read_only"``), else 0 — a gauge.
+    degraded_mode: int = 0
     #: Simulated page traffic of Step 1 (index descent / leaf reads).
     or_io: IOStats = field(default_factory=IOStats)
     #: Simulated page traffic of Step 2 (secondary pdf fetches).
@@ -153,6 +168,10 @@ class ExecutionStats:
         self.subscriptions_live = 0
         self.revisions_emitted = 0
         self.revisions_suppressed = 0
+        self.retries = 0
+        self.worker_restarts = 0
+        self.deadline_misses = 0
+        self.degraded_mode = 0
         self.or_io.reset()
         self.pc_io.reset()
 
@@ -176,6 +195,10 @@ class ExecutionStats:
             subscriptions_live=self.subscriptions_live,
             revisions_emitted=self.revisions_emitted,
             revisions_suppressed=self.revisions_suppressed,
+            retries=self.retries,
+            worker_restarts=self.worker_restarts,
+            deadline_misses=self.deadline_misses,
+            degraded_mode=self.degraded_mode,
             or_io=self.or_io.snapshot(),
             pc_io=self.pc_io.snapshot(),
         )
@@ -210,6 +233,10 @@ class ExecutionStats:
             self.subscriptions_live,
             self.revisions_emitted,
             self.revisions_suppressed,
+            self.retries,
+            self.worker_restarts,
+            self.deadline_misses,
+            self.degraded_mode,
             self.or_io.reads,
             self.or_io.writes,
             self.pc_io.reads,
@@ -239,13 +266,17 @@ class ExecutionStats:
             revisions_emitted=self.revisions_emitted - captured[15],
             revisions_suppressed=self.revisions_suppressed
             - captured[16],
+            retries=self.retries - captured[17],
+            worker_restarts=self.worker_restarts - captured[18],
+            deadline_misses=self.deadline_misses - captured[19],
+            degraded_mode=self.degraded_mode - captured[20],
             or_io=IOStats(
-                reads=self.or_io.reads - captured[17],
-                writes=self.or_io.writes - captured[18],
+                reads=self.or_io.reads - captured[21],
+                writes=self.or_io.writes - captured[22],
             ),
             pc_io=IOStats(
-                reads=self.pc_io.reads - captured[19],
-                writes=self.pc_io.writes - captured[20],
+                reads=self.pc_io.reads - captured[23],
+                writes=self.pc_io.writes - captured[24],
             ),
         )
 
@@ -279,6 +310,12 @@ class ExecutionStats:
             - earlier.revisions_emitted,
             revisions_suppressed=self.revisions_suppressed
             - earlier.revisions_suppressed,
+            retries=self.retries - earlier.retries,
+            worker_restarts=self.worker_restarts
+            - earlier.worker_restarts,
+            deadline_misses=self.deadline_misses
+            - earlier.deadline_misses,
+            degraded_mode=self.degraded_mode - earlier.degraded_mode,
             or_io=self.or_io.delta(earlier.or_io),
             pc_io=self.pc_io.delta(earlier.pc_io),
         )

@@ -26,8 +26,8 @@ instance store, with Step 1 sharded and scatter-gathered
 re-attach fences (:mod:`repro.service.procpool`).
 """
 
-from .future import FutureTimeout, QueryFuture, as_completed
-from .procpool import ProcessPoolServer, WorkerDied
+from .future import FutureTimeout, QueryFuture, QueryTimeout, as_completed
+from .procpool import ProcessPoolServer, WorkerDied, WorkerStalled
 from .scheduler import CoalescingScheduler, SchedulerClosed, SchedulerStats
 from .server import Session, UncertainDBServer
 from .shards import Shard, ShardLayout, ShardedRetriever
@@ -44,6 +44,7 @@ __all__ = [
     "FutureTimeout",
     "ProcessPoolServer",
     "QueryFuture",
+    "QueryTimeout",
     "Revision",
     "RevisionOverflow",
     "SchedulerClosed",
@@ -56,4 +57,5 @@ __all__ = [
     "SubscriptionManager",
     "UncertainDBServer",
     "WorkerDied",
+    "WorkerStalled",
 ]

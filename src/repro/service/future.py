@@ -20,13 +20,43 @@ like its :mod:`concurrent.futures` namesake.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Iterable, Iterator
 
-__all__ = ["FutureTimeout", "QueryFuture", "as_completed"]
+__all__ = ["FutureTimeout", "QueryFuture", "QueryTimeout", "as_completed"]
 
 
 class FutureTimeout(TimeoutError):
     """``result()``/``exception()`` timed out before completion."""
+
+
+class QueryTimeout(FutureTimeout):
+    """A query missed its **deadline** (the per-query time budget).
+
+    Distinct from a bare :class:`FutureTimeout` (the caller's local
+    patience running out): a ``QueryTimeout`` means the serving layer
+    itself declared the query late — either it expired while still
+    queued (``phase="queued"``, failed at dispatch, never executed) or
+    the submitting caller's deadline passed while the result was
+    pending (``phase="waiting"``).  Carries the partial
+    :class:`~repro.engine.ExecutionStats` known at expiry (at minimum
+    ``deadline_misses=1``) and how long the query had been in flight.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str | None = None,
+        phase: str = "waiting",
+        waited_seconds: float = 0.0,
+        stats: Any = None,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.phase = phase
+        self.waited_seconds = waited_seconds
+        self.stats = stats
 
 
 #: Sentinel for "not yet completed" (``None`` is a valid result).
@@ -43,6 +73,8 @@ class QueryFuture:
 
     __slots__ = (
         "kind",
+        "deadline",
+        "submitted_at",
         "_event",
         "_lock",
         "_value",
@@ -55,6 +87,13 @@ class QueryFuture:
         #: The query kind submitted (``"nn"``, ..., or ``"insert"`` /
         #: ``"delete"`` for mutation barriers).
         self.kind = kind
+        #: ``time.monotonic()`` deadline, or ``None`` for no budget.
+        #: Stamped by the scheduler at submission; the server fails
+        #: still-queued futures past it at dispatch time, and
+        #: :meth:`result` will not block beyond it.
+        self.deadline: float | None = None
+        #: ``time.monotonic()`` at submission (queue-time accounting).
+        self.submitted_at = time.monotonic()
         self._event = threading.Event()
         self._lock = threading.Lock()
         self._value: Any = _PENDING
@@ -78,9 +117,28 @@ class QueryFuture:
 
         Raises :class:`FutureTimeout` when ``timeout`` (seconds)
         elapses first — the future stays valid and can be waited on
-        again.
+        again.  A future submitted with a deadline never blocks past
+        it: once the deadline passes with the result still pending,
+        :class:`QueryTimeout` is raised even under ``timeout=None``,
+        so a deadlined query cannot hang its caller forever.
         """
-        if not self._event.wait(timeout):
+        wait = timeout
+        if self.deadline is not None:
+            remaining = max(0.0, self.deadline - time.monotonic())
+            wait = remaining if wait is None else min(wait, remaining)
+        if not self._event.wait(wait):
+            now = time.monotonic()
+            if self.deadline is not None and now >= self.deadline:
+                from ..engine import ExecutionStats
+
+                raise QueryTimeout(
+                    f"query {self.kind!r} missed its deadline after "
+                    f"{now - self.submitted_at:.3f}s in flight",
+                    kind=self.kind,
+                    phase="waiting",
+                    waited_seconds=now - self.submitted_at,
+                    stats=ExecutionStats(deadline_misses=1),
+                )
             raise FutureTimeout(
                 f"query {self.kind!r} did not complete within {timeout}s"
             )
@@ -147,8 +205,6 @@ def as_completed(
     Raises :class:`FutureTimeout` if ``timeout`` seconds pass with
     futures still pending (already-yielded futures stay completed).
     """
-    import time
-
     pending = list(futures)
     done_queue: list[QueryFuture] = []
     cv = threading.Condition()

@@ -29,11 +29,30 @@ Execution model
   broadcasts a re-attach to every worker, awaits their acks, and only
   then unlinks the old segment.  Workers refuse stale attaches by the
   epoch stamp inside the segment header.
-* A worker that dies mid-query fails only its own chunk's futures
-  (the group raises a broken-worker error) and is respawned once per
-  incident; :meth:`close` terminates every process and unlinks the
-  live segment even on that path — no ``/dev/shm`` leaks (regression
-  test in ``tests/test_procpool.py``).
+Fault tolerance
+---------------
+
+* A worker that dies (or stalls past ``stall_timeout``) mid-chunk no
+  longer fails its queries: the chunk is **re-dispatched** to a live
+  worker (bounded attempts with backoff), terminally falling back to
+  inline execution in the parent — a dispatched query fails only if
+  it cannot run anywhere.  The dead worker is respawned; recovery
+  counters (``retries``, ``worker_restarts``) ride the results'
+  :class:`~repro.engine.ExecutionStats` and
+  :meth:`ProcessPoolServer.recovery_snapshot`.
+* Workers **heartbeat** while executing a chunk, so the parent can
+  distinguish "slow but alive" from "hung": a worker silent *and*
+  unfinished past its total chunk budget trips :class:`WorkerStalled`
+  and is killed + respawned.
+* The re-attach **fence is re-entrant and leak-free**: a worker that
+  dies mid-fence (before or instead of acking) is retired and
+  respawned at the new segment; the old segment is unlinked on every
+  path, so no ``/dev/shm`` segment outlives :meth:`close`
+  (regression tests in ``tests/test_procpool.py``).
+* Deterministic chaos tests drive all of the above through
+  :mod:`repro.testing.faults`: pass ``fault_plan=`` to ship a seeded
+  :class:`~repro.testing.faults.FaultPlan` to every spawned worker
+  (sites ``proc.attach`` / ``proc.chunk`` / ``proc.fence``).
 """
 
 from __future__ import annotations
@@ -43,11 +62,12 @@ import time
 from collections import deque
 from typing import Any, Sequence
 
-from .scheduler import MutationWork, ReadGroup
+from ..storage.durable import StoreReadOnly
+from .scheduler import MutationWork
 from .server import UncertainDBServer
 from .shards import DEFAULT_SHARDS
 
-__all__ = ["ProcessPoolServer", "WorkerDied"]
+__all__ = ["ProcessPoolServer", "WorkerDied", "WorkerStalled"]
 
 #: Minimum queries per scattered chunk: below this, pipe + merge
 #: overhead outweighs extra processes and the group runs on one.
@@ -56,6 +76,15 @@ SCATTER_MIN = 8
 
 class WorkerDied(RuntimeError):
     """A worker process exited while executing a dispatched chunk."""
+
+
+class WorkerStalled(WorkerDied):
+    """A worker exceeded its chunk-time budget and was presumed hung.
+
+    Subclasses :class:`WorkerDied` because the recovery is identical
+    (kill, respawn, re-dispatch the chunk) — the distinction is
+    diagnostic: the process was alive but not progressing.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -213,13 +242,72 @@ class _WorkerState:
         self.view.close()
 
 
-def _worker_main(conn: Any, handle: Any, config: dict[str, Any]) -> None:
+def _attach_state(
+    handle: Any, config: dict[str, Any], wid: int
+) -> _WorkerState:
+    """Build the worker state, retrying a failed segment attach.
+
+    A shared-memory attach can fail transiently (the name resolves a
+    beat after export on some platforms); retry with backoff before
+    giving up — the final raise fails only the current chunk, which
+    the parent then re-dispatches elsewhere.
+    """
+    from ..testing import faults as _faults
+
+    attempts = max(1, int(config.get("attach_retries", 3)))
+    delay = 0.01
+    for attempt in range(attempts):
+        try:
+            _faults.check("proc.attach", wid=wid)
+            return _WorkerState(handle, config)
+        except OSError:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(delay)
+            delay *= 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _worker_main(
+    conn: Any, handle: Any, config: dict[str, Any], wid: int = 0
+) -> None:
     """One worker process: attach, serve the pipe, detach.
 
     The state is built lazily on the first ``run`` so a worker that
     only ever sees fences (or an immediate ``stop``) never maps the
-    segment at all.
+    segment at all.  While a chunk (or fence) is executing, a daemon
+    thread heartbeats over the pipe so the parent's stall watchdog can
+    tell slow from hung; beats are **busy-gated** — an idle worker's
+    parent is not reading the pipe, and unread beats would eventually
+    fill its buffer and deadlock the next real send.
     """
+    from ..testing import faults as _faults
+
+    plan = config.get("fault_plan")
+    if plan is not None:
+        _faults.arm(plan)
+    send_lock = threading.Lock()
+    busy = threading.Event()
+    stopping = threading.Event()
+
+    def _send(msg: tuple) -> None:
+        with send_lock:
+            conn.send(msg)
+
+    hb_interval = float(config.get("heartbeat_interval", 0.0) or 0.0)
+    if hb_interval > 0:
+        def _beat() -> None:
+            while not stopping.wait(hb_interval):
+                if busy.is_set():
+                    try:
+                        _send(("hb", wid))
+                    except Exception:
+                        return  # pipe gone: the process is exiting
+
+        threading.Thread(
+            target=_beat, name=f"uncertaindb-hb-{wid}", daemon=True
+        ).start()
+
     state: _WorkerState | None = None
     try:
         while True:
@@ -232,34 +320,45 @@ def _worker_main(conn: Any, handle: Any, config: dict[str, Any]) -> None:
                 return
             if op == "fence":
                 _, epoch, new_handle = msg
-                if state is not None:
-                    state.close()
-                    state = None
-                handle = new_handle
-                conn.send(("fenced", int(epoch)))
+                busy.set()
+                try:
+                    _faults.check("proc.fence", wid=wid)
+                    if state is not None:
+                        state.close()
+                        state = None
+                    handle = new_handle
+                    _send(("fenced", int(epoch)))
+                finally:
+                    busy.clear()
                 continue
             # ("run", kind, queries, params, forced)
             _, kind, queries, params, forced = msg
+            busy.set()
             try:
-                if state is None:
-                    state = _WorkerState(handle, config)
-                t0 = time.perf_counter()
-                results = state.execute(kind, queries, params, forced)
-                busy = time.perf_counter() - t0
-            except BaseException as error:  # noqa: BLE001 - shipped back
                 try:
-                    conn.send(("err", error))
-                except Exception:
-                    conn.send(
-                        ("err", RuntimeError(
-                            f"{type(error).__name__}: {error}"
-                        ))
-                    )
-            else:
-                conn.send(("ok", results, busy))
+                    _faults.check("proc.chunk", wid=wid, kind=kind)
+                    if state is None:
+                        state = _attach_state(handle, config, wid)
+                    t0 = time.perf_counter()
+                    results = state.execute(kind, queries, params, forced)
+                    elapsed = time.perf_counter() - t0
+                except BaseException as error:  # noqa: BLE001 - shipped back
+                    try:
+                        _send(("err", error))
+                    except Exception:
+                        _send(
+                            ("err", RuntimeError(
+                                f"{type(error).__name__}: {error}"
+                            ))
+                        )
+                else:
+                    _send(("ok", results, elapsed))
+            finally:
+                busy.clear()
     except KeyboardInterrupt:
         pass
     finally:
+        stopping.set()
         if state is not None:
             state.close()
         try:
@@ -287,7 +386,7 @@ class _WorkerProc:
         self.conn = parent_conn
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, handle, config),
+            args=(child_conn, handle, config, wid),
             name=f"uncertaindb-proc-{wid}",
             daemon=True,
         )
@@ -333,6 +432,21 @@ class ProcessPoolServer(UncertainDBServer):
     scatter_min:
         Minimum queries per scattered chunk; smaller groups run on a
         single process.
+    stall_timeout:
+        Total seconds one dispatched chunk (or fence ack) may take
+        before the worker is presumed hung, killed, and its chunk
+        re-dispatched (:class:`WorkerStalled`).
+    heartbeat_interval:
+        Seconds between worker liveness beats while busy; ``0``
+        disables heartbeats (stall detection still works — it is a
+        time budget, not a silence detector).
+    max_chunk_retries:
+        Re-dispatch attempts for a chunk whose worker died or
+        stalled, before the inline-execution fallback.
+    fault_plan:
+        A :class:`~repro.testing.faults.FaultPlan` shipped to every
+        spawned worker and armed there (chaos tests only; ``None``
+        keeps every hook on its zero-cost path).
     """
 
     def __init__(
@@ -343,11 +457,17 @@ class ProcessPoolServer(UncertainDBServer):
         max_group: int = 256,
         n_shards: int = DEFAULT_SHARDS,
         scatter_min: int = SCATTER_MIN,
+        stall_timeout: float = 30.0,
+        heartbeat_interval: float = 0.5,
+        max_chunk_retries: int = 2,
+        fault_plan: Any = None,
     ) -> None:
         import multiprocessing
 
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive seconds")
         # Spawn, not fork: the parent runs scheduler/dispatcher threads
         # and forking a threaded process is undefined behavior-adjacent.
         self._ctx = multiprocessing.get_context("spawn")
@@ -356,9 +476,13 @@ class ProcessPoolServer(UncertainDBServer):
             "result_cache_size": getattr(db, "result_cache_size", 128),
             "memo_radius": getattr(db, "memo_radius", 0.0),
             "n_shards": n_shards,
+            "heartbeat_interval": float(heartbeat_interval),
+            "fault_plan": fault_plan,
         }
         self._n_shards = n_shards
         self._scatter_min = max(1, int(scatter_min))
+        self._stall_timeout = float(stall_timeout)
+        self._max_chunk_retries = max(0, int(max_chunk_retries))
         self._handle = db.dataset.instance_store().export_shared()
         self._proc_cv = threading.Condition()
         self._procs: list[_WorkerProc] = []
@@ -370,6 +494,8 @@ class ProcessPoolServer(UncertainDBServer):
         self._chunks_dispatched = 0
         self._shards_dispatched = 0
         self._shards_pruned = 0
+        self._retries = 0
+        self._worker_restarts = 0
         try:
             for _ in range(workers):
                 self._spawn_locked()
@@ -419,6 +545,8 @@ class ProcessPoolServer(UncertainDBServer):
         segment; the pool goes *broken* only when respawning fails."""
         dead.stop(timeout=0.1)
         with self._proc_cv:
+            if dead in self._idle:
+                self._idle.remove(dead)
             if dead in self._procs:
                 self._procs.remove(dead)
             if self._closed:
@@ -426,27 +554,39 @@ class ProcessPoolServer(UncertainDBServer):
                 return
             try:
                 self._spawn_locked()
+                self._worker_restarts += 1
             except Exception:
                 if not self._procs:
                     self._broken = True
             self._proc_cv.notify_all()
 
+    def _recv_result(self, proc: _WorkerProc, budget_at: float) -> Any:
+        """Gather one pipe message, tolerating heartbeats and hangs.
+
+        Heartbeat frames are consumed and dropped (they only prove
+        liveness).  ``budget_at`` is the absolute ``time.monotonic``
+        point at which the chunk is declared stalled — a *total time
+        budget*, not a silence detector: a hung worker main thread
+        with a live heartbeat thread would never fall silent, so
+        silence alone cannot catch it.
+        """
+        poll = max(0.01, min(0.25, self._stall_timeout / 10.0))
+        while True:
+            if proc.conn.poll(min(poll, max(0.0, budget_at - time.monotonic()))):
+                msg = proc.conn.recv()
+                if isinstance(msg, tuple) and msg and msg[0] == "hb":
+                    continue
+                return msg
+            if time.monotonic() >= budget_at:
+                raise WorkerStalled(
+                    f"worker {proc.wid} exceeded its "
+                    f"{self._stall_timeout:.1f}s chunk budget"
+                )
+
     # ------------------------------------------------------------------
     # Group execution: scatter over idle workers, gather in order
     # ------------------------------------------------------------------
-    def _execute_group(self, group: ReadGroup) -> None:
-        try:
-            results = self._run_scattered(
-                group.kind, group.queries, group.params, group.forced
-            )
-        except BaseException as error:  # noqa: BLE001 - futures carry it
-            for future in group.futures:
-                future._set_exception(error)
-            return
-        for future, result in zip(group.futures, results):
-            future._set_result(result, result.plan.epoch)
-
-    def _run_scattered(
+    def _run_group(
         self,
         kind: str,
         queries: list[Any],
@@ -468,17 +608,23 @@ class ProcessPoolServer(UncertainDBServer):
                     responses[procs.index(proc)] = WorkerDied(
                         f"worker {proc.wid} died before dispatch"
                     )
+            # All chunks run concurrently, so each gets the same
+            # absolute budget measured from dispatch.
+            budget_at = time.monotonic() + self._stall_timeout
             for i, proc in enumerate(procs):
                 if responses[i] is not None:
                     continue
                 try:
-                    responses[i] = proc.conn.recv()
+                    responses[i] = self._recv_result(proc, budget_at)
                 except (EOFError, OSError):
                     dead.append(proc)
                     responses[i] = WorkerDied(
                         f"worker {proc.wid} died executing "
                         f"{kind} x{len(chunks[i])}"
                     )
+                except WorkerStalled as stall:
+                    dead.append(proc)
+                    responses[i] = stall
         finally:
             alive = [p for p in procs if p not in dead]
             self._release(alive)
@@ -486,9 +632,20 @@ class ProcessPoolServer(UncertainDBServer):
                 self._retire(proc)
         merged: list[Any] = []
         shards_d = shards_p = 0
-        busy_total = 0.0
         error: BaseException | None = None
         for i, (proc, response) in enumerate(zip(procs, responses)):
+            if isinstance(response, WorkerDied):
+                # The worker is gone but its queries are not: retry
+                # the chunk on live workers, inline as a last resort.
+                try:
+                    results = self._retry_chunk(
+                        kind, chunks[i], params, forced
+                    )
+                except BaseException as exc:  # noqa: BLE001
+                    error = error or exc
+                    continue
+                merged.extend(results)
+                continue
             if isinstance(response, BaseException):
                 error = error or response
                 continue
@@ -497,7 +654,6 @@ class ProcessPoolServer(UncertainDBServer):
                 continue
             _, results, busy = response
             merged.extend(results)
-            busy_total += busy
             if results:
                 shards_d += results[0].stats.shards_dispatched
                 shards_p += results[0].stats.shards_pruned
@@ -513,6 +669,81 @@ class ProcessPoolServer(UncertainDBServer):
         if error is not None:
             raise error
         return merged
+
+    def _retry_chunk(
+        self,
+        kind: str,
+        chunk: list[Any],
+        params: tuple[tuple[str, Any], ...],
+        forced: str | None,
+    ) -> list[Any]:
+        """Re-dispatch one failed chunk; inline execution as backstop.
+
+        Bounded attempts against live workers with exponential
+        backoff.  The terminal fallback runs the chunk through the
+        parent's own engine path — the scheduler's barrier guarantees
+        no mutation can land while this read group is in flight, so
+        the inline answers see the same epoch the workers would have.
+        A genuine query error (the worker *answered*, with an
+        exception) is never retried: it would fail identically
+        everywhere.
+        """
+        delay = 0.005
+        attempts = 0
+        for _ in range(self._max_chunk_retries):
+            try:
+                proc = self._acquire(1)[0]
+            except WorkerDied:
+                break  # pool broken: go straight to inline
+            attempts += 1
+            proc_dead = False
+            response = None
+            try:
+                proc.conn.send(("run", kind, chunk, params, forced))
+                response = self._recv_result(
+                    proc, time.monotonic() + self._stall_timeout
+                )
+            except (BrokenPipeError, EOFError, OSError, WorkerStalled):
+                proc_dead = True
+            finally:
+                if proc_dead:
+                    self._retire(proc)
+                else:
+                    self._release([proc])
+            if response is not None:
+                if response[0] == "err":
+                    raise response[1]
+                _, results, busy = response
+                self._note_recovery(retries=attempts)
+                if results:
+                    # One shared stats delta per chunk: stamping the
+                    # first envelope stamps them all.
+                    results[0].stats.retries = attempts
+                    results[0].stats.worker_restarts = attempts
+                with self._proc_cv:
+                    self._busy_per_worker[proc.wid] = (
+                        self._busy_per_worker.get(proc.wid, 0.0) + busy
+                    )
+                return results
+            time.sleep(delay)
+            delay *= 2
+        # Inline fallback.  The sharded retriever exists only inside
+        # workers; inline execution maps it (and the default) to the
+        # parent's cost-based choice, keeping only an explicit "brute".
+        inline_forced = forced if forced == "brute" else None
+        results = self.db._execute_group(
+            kind, list(chunk), params, inline_forced
+        )
+        attempts += 1
+        self._note_recovery(retries=attempts)
+        if results:
+            results[0].stats.retries = attempts
+            results[0].stats.worker_restarts = attempts - 1
+        return results
+
+    def _note_recovery(self, *, retries: int = 0) -> None:
+        with self._proc_cv:
+            self._retries += retries
 
     # ------------------------------------------------------------------
     # Mutation barriers become pool-wide fences
@@ -542,46 +773,68 @@ class ProcessPoolServer(UncertainDBServer):
 
         Runs with the scheduler's mutation exclusivity: no reads are
         in flight, so every live worker sits in the idle deque and its
-        pipe is free.  The old segment is unlinked only after all
-        acks, so a worker never observes a vanished mapping.
+        pipe is free.  The old segment is unlinked only after every
+        ack (or death verdict), so a live worker never observes a
+        vanished mapping.
 
-        A durable database checkpoints first: the mutation that forced
-        this fence is already WAL-logged, and folding it into the
-        snapshot here means the on-disk image workers could be
-        re-seeded from is never behind the segment they map.
+        **Re-entrant and leak-free under worker failure.**  Every
+        per-worker problem — send error, EOF, a bad or missing ack,
+        a stall past the budget — marks that worker dead: it is
+        retired and respawned at the *new* segment (the new handle is
+        installed first, so respawns attach the new epoch).  The old
+        segment is unlinked on all of those paths; only a failure to
+        export the new segment at all aborts the fence.  A fence that
+        lost workers therefore leaves the pool healed and consistent
+        rather than broken with an orphaned ``/dev/shm`` segment.
+
+        A durable database checkpoints first: the mutation that
+        forced this fence is already WAL-logged, and folding it into
+        the snapshot here means the on-disk image workers could be
+        re-seeded from is never behind the segment they map.  A
+        checkpoint that fails (injected I/O error, or a store already
+        degraded to read-only) loses nothing — recovery replays the
+        WAL — so the fence proceeds instead of failing the mutation.
         """
         durable = getattr(self.db, "_durable", None)
         if durable is not None:
-            durable.checkpoint()
+            try:
+                durable.checkpoint()
+            except (OSError, StoreReadOnly):
+                pass
         old = self._handle
         new = self.db.dataset.instance_store().export_shared()
         epoch = int(new.epoch)
-        with self._proc_cv:
-            procs = list(self._procs)
-        dead: list[_WorkerProc] = []
-        for proc in procs:
-            try:
-                proc.conn.send(("fence", epoch, new))
-            except (BrokenPipeError, OSError):
-                dead.append(proc)
-        for proc in procs:
-            if proc in dead:
-                continue
-            try:
-                ack = proc.conn.recv()
-                if ack != ("fenced", epoch):
-                    raise WorkerDied(
-                        f"worker {proc.wid} answered fence with {ack!r}"
-                    )
-            except (EOFError, OSError):
-                dead.append(proc)
+        # Install before broadcasting: any worker respawned from here
+        # on (including replacements for fence casualties) attaches
+        # the new segment.
         self._handle = new
-        for proc in dead:
+        try:
             with self._proc_cv:
-                if proc in self._idle:
-                    self._idle.remove(proc)
-            self._retire(proc)
-        old.unlink()
+                procs = list(self._procs)
+            dead: list[_WorkerProc] = []
+            for proc in procs:
+                try:
+                    proc.conn.send(("fence", epoch, new))
+                except (BrokenPipeError, OSError):
+                    dead.append(proc)
+            budget_at = time.monotonic() + self._stall_timeout
+            for proc in procs:
+                if proc in dead:
+                    continue
+                try:
+                    ack = self._recv_result(proc, budget_at)
+                except (EOFError, OSError, WorkerStalled):
+                    dead.append(proc)
+                    continue
+                if ack != ("fenced", epoch):
+                    dead.append(proc)
+            for proc in dead:
+                self._retire(proc)
+        finally:
+            try:
+                old.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
 
     # ------------------------------------------------------------------
     # Observability
@@ -599,10 +852,23 @@ class ProcessPoolServer(UncertainDBServer):
                 "chunks_dispatched": self._chunks_dispatched,
                 "shards_dispatched": self._shards_dispatched,
                 "shards_pruned": self._shards_pruned,
+                "retries": self._retries,
+                "worker_restarts": self._worker_restarts,
                 "worker_busy_seconds": {
                     str(wid): round(sec, 6)
                     for wid, sec in sorted(self._busy_per_worker.items())
                 },
+            }
+
+    def recovery_snapshot(self) -> dict[str, int]:
+        """Recovery-action counters (chunk retries, respawns, misses)."""
+        with self._recovery_lock:
+            misses = self._deadline_misses
+        with self._proc_cv:
+            return {
+                "retries": self._retries,
+                "worker_restarts": self._worker_restarts,
+                "deadline_misses": misses,
             }
 
     # ------------------------------------------------------------------

@@ -141,8 +141,17 @@ class CoalescingScheduler:
         query: Any,
         params: tuple[tuple[str, Any], ...],
         forced: str | None,
+        deadline: float | None = None,
     ) -> QueryFuture:
+        """Queue one read; ``deadline`` (``time.monotonic`` seconds) is
+        the query's time budget — stamped on the future, enforced by
+        the server at dispatch (queue-time expiry) and by
+        ``future.result()`` (a deadlined future never blocks past it).
+        Deadlines do not affect coalescing: an expired rider is pruned
+        from its group at dispatch, the group still executes.
+        """
         future = QueryFuture(kind)
+        future.deadline = deadline
         key = (kind, params, forced)
         with self._cv:
             self._check_open()

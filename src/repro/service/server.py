@@ -24,9 +24,10 @@ Consistency contract (tested differentially in
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Sequence
 
-from .future import QueryFuture
+from .future import QueryFuture, QueryTimeout
 from .scheduler import CoalescingScheduler, MutationWork, ReadGroup
 
 __all__ = ["Session", "UncertainDBServer"]
@@ -72,6 +73,9 @@ class UncertainDBServer:
         self._kinds = _KINDS
         self._closed = False
         self._close_lock = threading.Lock()
+        #: Recovery-action counters (see :meth:`recovery_snapshot`).
+        self._recovery_lock = threading.Lock()
+        self._deadline_misses = 0
         self._threads = [
             threading.Thread(
                 target=self._worker_loop,
@@ -96,16 +100,22 @@ class UncertainDBServer:
         query: Any,
         params: tuple[tuple[str, Any], ...] = (),
         retriever: str | None = None,
+        deadline: float | None = None,
     ) -> QueryFuture:
         """Queue one read; returns its future immediately.
 
         Queued reads sharing ``(kind, params, retriever)`` — from any
         session, or from the database's synchronous verbs — coalesce
-        into one batched dispatch.
+        into one batched dispatch.  ``deadline`` is an absolute
+        ``time.monotonic()`` budget: a query still queued past it is
+        failed with :class:`QueryTimeout` at dispatch instead of
+        executing, and its future never blocks beyond it.
         """
         if kind not in self._kinds:
             raise KeyError(f"unknown query kind {kind!r}")
-        return self.scheduler.submit_read(kind, query, params, retriever)
+        return self.scheduler.submit_read(
+            kind, query, params, retriever, deadline
+        )
 
     def submit_mutation(self, op: str, payload: Any) -> QueryFuture:
         """Queue a mutation barrier (``op`` is ``insert``/``delete``)."""
@@ -117,6 +127,19 @@ class UncertainDBServer:
     def stats(self):
         """A snapshot of the scheduler's coalescing counters."""
         return self.scheduler.stats.snapshot()
+
+    def recovery_snapshot(self) -> dict[str, int]:
+        """Counters of recovery actions the serving layer has taken.
+
+        The thread server only ever misses deadlines; the process-pool
+        subclass extends this with retry / worker-restart counts.
+        """
+        with self._recovery_lock:
+            return {
+                "retries": 0,
+                "worker_restarts": 0,
+                "deadline_misses": self._deadline_misses,
+            }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,17 +195,68 @@ class UncertainDBServer:
             finally:
                 self.scheduler.work_done(work)
 
+    def _prune_expired(
+        self, group: ReadGroup
+    ) -> tuple[list[Any], list[QueryFuture]]:
+        """Fail queued-past-deadline riders; return the live remainder.
+
+        Queue-time expiry: a query whose deadline passed while it was
+        still waiting for a worker is failed with
+        :class:`QueryTimeout` (``phase="queued"``) *before* the group
+        executes — it never touches the engine, so a backed-up queue
+        sheds late work instead of compounding the backlog.
+        """
+        now = time.monotonic()
+        live_queries: list[Any] = []
+        live_futures: list[QueryFuture] = []
+        expired = 0
+        for query, future in zip(group.queries, group.futures):
+            if future.deadline is not None and now >= future.deadline:
+                from ..engine import ExecutionStats
+
+                expired += 1
+                future._set_exception(
+                    QueryTimeout(
+                        f"query {future.kind!r} expired after "
+                        f"{now - future.submitted_at:.3f}s in queue",
+                        kind=future.kind,
+                        phase="queued",
+                        waited_seconds=now - future.submitted_at,
+                        stats=ExecutionStats(deadline_misses=1),
+                    )
+                )
+            else:
+                live_queries.append(query)
+                live_futures.append(future)
+        if expired:
+            with self._recovery_lock:
+                self._deadline_misses += expired
+        return live_queries, live_futures
+
     def _execute_group(self, group: ReadGroup) -> None:
+        queries, futures = self._prune_expired(group)
+        if not futures:
+            return
         try:
-            results = self.db._execute_group(
-                group.kind, group.queries, group.params, group.forced
+            results = self._run_group(
+                group.kind, queries, group.params, group.forced
             )
         except BaseException as error:  # noqa: BLE001 - futures carry it
-            for future in group.futures:
+            for future in futures:
                 future._set_exception(error)
             return
-        for future, result in zip(group.futures, results):
+        for future, result in zip(futures, results):
             future._set_result(result, result.plan.epoch)
+
+    def _run_group(
+        self,
+        kind: str,
+        queries: list[Any],
+        params: tuple[tuple[str, Any], ...],
+        forced: str | None,
+    ) -> list[Any]:
+        """Execute one pruned group (overridden by the process pool)."""
+        return self.db._execute_group(kind, queries, params, forced)
 
     def _apply_mutation(self, work: MutationWork) -> None:
         try:
@@ -215,27 +289,50 @@ class Session:
         self._closed = False
 
     # -- reads ---------------------------------------------------------
-    def nn(self, query: Any, *, retriever: str | None = None) -> QueryFuture:
+    def nn(
+        self,
+        query: Any,
+        *,
+        retriever: str | None = None,
+        timeout: float | None = None,
+    ) -> QueryFuture:
         """Probabilistic NN (the paper's PNNQ) at a point."""
-        return self._submit("nn", query, (), retriever)
+        return self._submit("nn", query, (), retriever, timeout)
 
     def knn(
-        self, query: Any, k: int = 1, *, retriever: str | None = None
+        self,
+        query: Any,
+        k: int = 1,
+        *,
+        retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryFuture:
         """Probabilistic k-NN at a point."""
-        return self._submit("knn", query, (("k", k),), retriever)
+        return self._submit("knn", query, (("k", k),), retriever, timeout)
 
     def topk(
-        self, query: Any, k: int = 1, *, retriever: str | None = None
+        self,
+        query: Any,
+        k: int = 1,
+        *,
+        retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryFuture:
         """The k objects most likely to be the NN of ``query``."""
-        return self._submit("topk", query, (("k", k),), retriever)
+        return self._submit("topk", query, (("k", k),), retriever, timeout)
 
     def threshold(
-        self, query: Any, p: float = 0.1, *, retriever: str | None = None
+        self,
+        query: Any,
+        p: float = 0.1,
+        *,
+        retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryFuture:
         """Which objects have qualification probability >= ``p``."""
-        return self._submit("threshold", query, (("tau", p),), retriever)
+        return self._submit(
+            "threshold", query, (("tau", p),), retriever, timeout
+        )
 
     def group_nn(
         self,
@@ -243,15 +340,19 @@ class Session:
         aggregate: str = "sum",
         *,
         retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryFuture:
         """Group NN over a set of query points."""
         return self._submit(
-            "group_nn", queries, (("aggregate", aggregate),), retriever
+            "group_nn", queries, (("aggregate", aggregate),), retriever,
+            timeout,
         )
 
-    def reverse_nn(self, query_object: Any) -> QueryFuture:
+    def reverse_nn(
+        self, query_object: Any, *, timeout: float | None = None
+    ) -> QueryFuture:
         """Objects that may have ``query_object`` as *their* NN."""
-        return self._submit("reverse_nn", query_object, (), None)
+        return self._submit("reverse_nn", query_object, (), None, timeout)
 
     def expected_nn(
         self,
@@ -259,9 +360,12 @@ class Session:
         top: int | None = None,
         *,
         retriever: str | None = None,
+        timeout: float | None = None,
     ) -> QueryFuture:
         """Expected-distance NN ranking at a point."""
-        return self._submit("expected_nn", query, (("top", top),), retriever)
+        return self._submit(
+            "expected_nn", query, (("top", top),), retriever, timeout
+        )
 
     def batch(self, specs: Sequence[Any]) -> list[QueryFuture]:
         """Submit a block of :class:`~repro.api.QuerySpec` values."""
@@ -289,9 +393,13 @@ class Session:
         query: Any,
         params: tuple[tuple[str, Any], ...],
         retriever: str | None,
+        timeout: float | None = None,
     ) -> QueryFuture:
         self._check_open()
-        return self._server.submit(kind, query, params, retriever)
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive seconds")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        return self._server.submit(kind, query, params, retriever, deadline)
 
     def _check_open(self) -> None:
         if self._closed:

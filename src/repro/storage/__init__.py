@@ -1,6 +1,6 @@
 """Storage substrate: pager, extensible hashing, octree, WAL durability."""
 
-from .durable import DurableStore, RecoveryError, StoreLocked
+from .durable import DurableStore, RecoveryError, StoreLocked, StoreReadOnly
 from .exthash import ExtensibleHashTable
 from .octree import OctreeConfig, PagedOctree
 from .pager import DEFAULT_PAGE_SIZE, IOStats, Page, PageChain, PageFullError, Pager
@@ -22,4 +22,5 @@ __all__ = [
     "DurableStore",
     "RecoveryError",
     "StoreLocked",
+    "StoreReadOnly",
 ]

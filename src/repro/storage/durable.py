@@ -35,6 +35,7 @@ The contract:
 from __future__ import annotations
 
 import os
+import threading
 from typing import Callable
 
 try:  # POSIX only; single-writer locking degrades gracefully without
@@ -42,6 +43,7 @@ try:  # POSIX only; single-writer locking degrades gracefully without
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
+from ..testing.faults import check as _fault_check
 from ..uncertain.dataset import UncertainDataset
 from ..uncertain.store import attach_file
 from .wal import (
@@ -57,6 +59,7 @@ __all__ = [
     "DurableStore",
     "RecoveryError",
     "StoreLocked",
+    "StoreReadOnly",
     "SNAPSHOT_FILE",
     "WAL_FILE",
 ]
@@ -80,6 +83,18 @@ class StoreLocked(RuntimeError):
     """
 
 
+class StoreReadOnly(RuntimeError):
+    """The store degraded to read-only after a WAL write failure.
+
+    Raised by every mutation (and by :meth:`DurableStore.checkpoint`)
+    once a WAL append failed under ``on_wal_error="read_only"``: the
+    log can no longer be trusted to record new epochs, so instead of
+    half-logging mutations the store refuses them while reads keep
+    being served from the intact in-memory dataset.  Everything logged
+    *before* the failure is still durable and recovers normally.
+    """
+
+
 class DurableStore:
     """Owns a database directory's snapshot and WAL.
 
@@ -92,16 +107,46 @@ class DurableStore:
         WAL sync policy, forwarded to :class:`WriteAheadLog`.
         ``"always"`` (default) makes every mutation durable before it
         commits; ``"off"`` trades the tail of the log for speed.
+    on_wal_error:
+        What a failed WAL append does to the store.  ``"fail_stop"``
+        (default) re-raises the I/O error — the mutation is aborted
+        (log-before-apply: memory never ran ahead) and the caller
+        decides whether to retry; every later mutation attempts the
+        log again.  ``"read_only"`` degrades gracefully instead: the
+        failing mutation and every later one raise
+        :class:`StoreReadOnly` while reads keep working — no epoch is
+        ever half-logged, and :attr:`read_only` reports the
+        degradation.
     """
 
-    def __init__(self, path: str | os.PathLike, *, fsync: str = "always"):
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        fsync: str = "always",
+        on_wal_error: str = "fail_stop",
+    ):
+        if on_wal_error not in ("fail_stop", "read_only"):
+            raise ValueError(
+                "on_wal_error must be 'fail_stop' or 'read_only', "
+                f"not {on_wal_error!r}"
+            )
         self.path = os.fspath(path)
         self.fsync = fsync
+        self.on_wal_error = on_wal_error
         self._wal: WriteAheadLog | None = None
         self._dataset: UncertainDataset | None = None
         self._listener: Callable | None = None
         self._dir_fd: int | None = None  # flock holder (single writer)
         self._closed = False
+        self._read_only = False
+        #: Serializes checkpoint against checkpoint *and* close: a
+        #: ``Database.close()`` racing an in-flight checkpoint (e.g.
+        #: from a process-pool fence) must not interleave two
+        #: export+reset sequences on one WAL (double reset could drop
+        #: records appended between them) nor close the WAL under a
+        #: checkpoint's feet.
+        self._ckpt_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -227,10 +272,29 @@ class DurableStore:
                     "durable store is closed; refusing an unlogged "
                     "mutation"
                 )
-            if op == "insert":
-                wal.append(epoch, OP_INSERT, encode_insert(obj))
-            else:
-                wal.append(epoch, OP_DELETE, encode_delete(obj.oid))
+            if self._read_only:
+                raise StoreReadOnly(
+                    f"{self.path}: store is read-only after a WAL "
+                    "write failure; mutations are refused"
+                )
+            try:
+                if op == "insert":
+                    wal.append(epoch, OP_INSERT, encode_insert(obj))
+                else:
+                    wal.append(epoch, OP_DELETE, encode_delete(obj.oid))
+            except OSError as exc:
+                # The append healed the log back to the last record
+                # boundary; the listener fires pre-apply, so raising
+                # here aborts the mutation with memory untouched.
+                if self.on_wal_error == "read_only":
+                    self._read_only = True
+                    raise StoreReadOnly(
+                        f"{self.path}: WAL append for epoch {epoch} "
+                        f"failed ({exc}); degrading to read-only — "
+                        "this and later mutations are refused, reads "
+                        "and already-logged epochs are unaffected"
+                    ) from exc
+                raise
 
         dataset.add_mutation_listener(_on_mutation)
         self._dataset = dataset
@@ -241,30 +305,51 @@ class DurableStore:
 
         The snapshot is durable (atomic rename + fsync) *before* the
         WAL is reset, so a crash at any point recovers correctly.
+        Serialized against concurrent checkpoints and :meth:`close`
+        under one lock — a ``Database.close()`` racing a pool fence's
+        checkpoint must not double-reset the WAL (the second reset
+        would drop records appended between them).
         """
-        if self._dataset is None:
-            raise RuntimeError("DurableStore is not attached to a dataset")
-        if self._closed:
-            raise RuntimeError("durable store is closed")
-        epoch = self._dataset.instance_store().export_file(
-            self.snapshot_path
-        )
-        assert self._wal is not None
-        self._wal.reset()
-        return epoch
+        with self._ckpt_lock:
+            if self._dataset is None:
+                raise RuntimeError(
+                    "DurableStore is not attached to a dataset"
+                )
+            if self._closed:
+                raise RuntimeError("durable store is closed")
+            if self._read_only:
+                raise StoreReadOnly(
+                    f"{self.path}: store is read-only after a WAL "
+                    "write failure; refusing to checkpoint (the "
+                    "on-disk state is the last trustworthy one)"
+                )
+            _fault_check("durable.checkpoint")
+            epoch = self._dataset.instance_store().export_file(
+                self.snapshot_path
+            )
+            assert self._wal is not None
+            self._wal.reset()
+            return epoch
+
+    @property
+    def read_only(self) -> bool:
+        """True once a WAL failure degraded the store (read_only policy)."""
+        return self._read_only
 
     def close(self) -> None:
         """Detach from the dataset and close the WAL.
 
         Further mutations of a still-referenced dataset raise rather
-        than silently going unlogged.
+        than silently going unlogged.  Waits out any in-flight
+        checkpoint so the WAL is never closed under its feet.
         """
-        if self._closed:
-            return
-        self._closed = True
-        if self._wal is not None:
-            self._wal.close()
-        self._release_lock()
+        with self._ckpt_lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._wal is not None:
+                self._wal.close()
+            self._release_lock()
 
     def __enter__(self) -> "DurableStore":
         return self

@@ -39,6 +39,7 @@ from typing import BinaryIO
 import numpy as np
 
 from ..geometry import Rect
+from ..testing.faults import FaultInjected, check as _fault_check
 from ..uncertain.objects import UncertainObject
 
 __all__ = [
@@ -164,18 +165,50 @@ class WriteAheadLog:
             self._fh.write(_FILE_HEADER)
             self._fh.flush()
             os.fsync(self._fh.fileno())
+        else:
+            # Append mode positions at end only on write; seek now so
+            # tell() marks the record boundary before each append.
+            self._fh.seek(0, os.SEEK_END)
 
     # ------------------------------------------------------------------
     def append(self, epoch: int, op: int, payload: bytes) -> None:
-        """Append one record; durable before returning when fsync=always."""
+        """Append one record; durable before returning when fsync=always.
+
+        **Failure atomicity:** an I/O error anywhere in the append
+        (write, flush, fsync — injected or real) heals the file back
+        to the pre-append record boundary before the error propagates,
+        so a failed append can never leave a half-written record in
+        *front* of later successful ones (the recovery scan stops at
+        the first tear — mid-file damage would silently drop every
+        record behind it).  The heal is best-effort: if truncation
+        fails too, the tail is torn at the boundary the scan already
+        tolerates.
+        """
         if self._fh.closed:
             raise ValueError("WAL is closed")
         crc = _crc(payload, len(payload), epoch, op)
-        self._fh.write(_REC_HEADER.pack(len(payload), epoch, op, crc))
-        self._fh.write(payload)
-        self._fh.flush()
-        if self.fsync == "always":
-            os.fsync(self._fh.fileno())
+        record = _REC_HEADER.pack(len(payload), epoch, op, crc) + payload
+        start = self._fh.tell()
+        try:
+            rule = _fault_check("wal.append", epoch=epoch)
+            if rule is not None:  # "torn" — write a prefix, then fail
+                cut = int(rule.arg) if rule.arg is not None else (
+                    len(record) // 2
+                )
+                self._fh.write(record[: max(0, min(cut, len(record)))])
+                self._fh.flush()
+                raise FaultInjected("wal.append", "torn")
+            self._fh.write(record)
+            self._fh.flush()
+            _fault_check("wal.fsync", epoch=epoch)
+            if self.fsync == "always":
+                os.fsync(self._fh.fileno())
+        except OSError:
+            try:
+                self.truncate_to(start)
+            except OSError:  # pragma: no cover - disk truly gone
+                pass
+            raise
 
     def flush(self) -> None:
         """Force buffered records to disk regardless of fsync policy."""

@@ -66,21 +66,27 @@ def sig(obj) -> str:
 # Annotations render as strings (PEP 563 is active in repro.api).
 PINNED = {
     Database.nn: "(self, query: 'Any', *, "
-    "retriever: 'str | None' = None) -> 'QueryResult'",
+    "retriever: 'str | None' = None, "
+    "timeout: 'float | None' = None) -> 'QueryResult'",
     Database.knn: "(self, query: 'Any', k: 'int' = 1, *, "
-    "retriever: 'str | None' = None) -> 'QueryResult'",
+    "retriever: 'str | None' = None, "
+    "timeout: 'float | None' = None) -> 'QueryResult'",
     Database.topk: "(self, query: 'Any', k: 'int' = 1, *, "
-    "retriever: 'str | None' = None) -> 'QueryResult'",
+    "retriever: 'str | None' = None, "
+    "timeout: 'float | None' = None) -> 'QueryResult'",
     Database.threshold: "(self, query: 'Any', p: 'float' = 0.1, *, "
-    "retriever: 'str | None' = None) -> 'QueryResult'",
+    "retriever: 'str | None' = None, "
+    "timeout: 'float | None' = None) -> 'QueryResult'",
     Database.group_nn: "(self, queries: 'Any', "
     "aggregate: 'str' = 'sum', *, "
-    "retriever: 'str | None' = None) -> 'QueryResult'",
-    Database.reverse_nn: "(self, query_object: 'UncertainObject') "
-    "-> 'QueryResult'",
+    "retriever: 'str | None' = None, "
+    "timeout: 'float | None' = None) -> 'QueryResult'",
+    Database.reverse_nn: "(self, query_object: 'UncertainObject', *, "
+    "timeout: 'float | None' = None) -> 'QueryResult'",
     Database.expected_nn: "(self, query: 'Any', "
     "top: 'int | None' = None, *, "
-    "retriever: 'str | None' = None) -> 'QueryResult'",
+    "retriever: 'str | None' = None, "
+    "timeout: 'float | None' = None) -> 'QueryResult'",
     Database.batch: "(self, specs: 'Sequence[QuerySpec]', *, "
     "retriever: 'str | None' = None) -> 'list[QueryResult]'",
     Database.insert: "(self, obj: 'UncertainObject') -> 'None'",
@@ -96,13 +102,16 @@ PINNED = {
     UncertainDBServer.session: "(self) -> 'Session'",
     UncertainDBServer.submit: "(self, kind: 'str', query: 'Any', "
     "params: 'tuple[tuple[str, Any], ...]' = (), "
-    "retriever: 'str | None' = None) -> 'QueryFuture'",
+    "retriever: 'str | None' = None, "
+    "deadline: 'float | None' = None) -> 'QueryFuture'",
     QueryFuture.result: "(self, timeout: 'float | None' = None) -> 'Any'",
     QueryFuture.done: "(self) -> 'bool'",
     Session.nn: "(self, query: 'Any', *, "
-    "retriever: 'str | None' = None) -> 'QueryFuture'",
+    "retriever: 'str | None' = None, "
+    "timeout: 'float | None' = None) -> 'QueryFuture'",
     Session.knn: "(self, query: 'Any', k: 'int' = 1, *, "
-    "retriever: 'str | None' = None) -> 'QueryFuture'",
+    "retriever: 'str | None' = None, "
+    "timeout: 'float | None' = None) -> 'QueryFuture'",
     Session.insert: "(self, obj: 'Any') -> 'QueryFuture'",
     Session.delete: "(self, oid: 'int') -> 'QueryFuture'",
 }

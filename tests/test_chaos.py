@@ -1,0 +1,261 @@
+"""Chaos tests: injected faults against the live serving stack.
+
+The acceptance bar for the fault-tolerance layer, exercised through
+the deterministic harness in :mod:`repro.testing.faults`:
+
+* **Chaos differential oracle** — the mixed concurrent workload of
+  ``tests/test_service_differential.py`` runs over the process pool
+  while a seeded :class:`FaultPlan` kills one worker mid-chunk, kills
+  another later, and hangs a third past the stall budget.  Every
+  query and mutation must still succeed, and every answer must replay
+  **bit-identically** on a fresh dataset at its reported epoch — the
+  retry / respawn machinery may reroute work anywhere, but it must
+  never change an answer or drop a query.
+* **Deadlines** — a query stuck behind a slow group expires in the
+  queue (``phase="queued"``, never executed); a caller's ``result()``
+  never blocks past the deadline (``phase="waiting"``) even while the
+  worker is hung.
+* **Stall detection** — a hung worker is killed at the chunk budget
+  and its chunk rescued on a live worker, far sooner than the hang.
+* **Durability under WAL faults** — served mutations hit injected
+  WAL / checkpoint I/O errors; rejected mutations surface as errors,
+  and exactly the accepted ones survive close + reopen.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import test_service_differential as differential
+from repro.api import Database
+from repro.service import QueryTimeout
+from repro.testing import FaultPlan, FaultRule, injected
+from repro.uncertain import (
+    UncertainDataset,
+    UncertainObject,
+    synthetic_dataset,
+    uniform_pdf,
+)
+
+
+def _make_db(n: int = 60) -> Database:
+    return Database(synthetic_dataset(n=n, dims=2, seed=21, n_samples=4))
+
+
+# ----------------------------------------------------------------------
+# The chaos differential oracle
+# ----------------------------------------------------------------------
+def test_chaos_mixed_workload_matches_serial_replay():
+    """Worker kills and a hang mid-workload must be invisible: no
+    failed futures, no lost or duplicated queries, and every answer
+    bit-identical to the serial replay at its reported epoch."""
+    plan = FaultPlan(
+        [
+            FaultRule("proc.chunk", "kill", wid=1, after=2),
+            FaultRule("proc.chunk", "kill", wid=2, after=6),
+            FaultRule("proc.chunk", "hang", wid=0, after=4, arg=2.0),
+        ]
+    )
+    initial = differential.make_initial()
+    db = Database(
+        UncertainDataset(list(initial), domain=differential.DOMAIN),
+        indexes=(),
+    )
+    server = db.serve(
+        workers=3, mode="process", fault_plan=plan, stall_timeout=1.0
+    )
+    clients = [
+        differential.Client(tid, server, ("brute", None))
+        for tid in range(differential.N_CLIENTS)
+    ]
+    threads = [
+        threading.Thread(target=client.run) for client in clients
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=180)
+    for client in clients:
+        assert client.error is None, client.error
+
+    all_reads = [read for client in clients for read in client.reads]
+    all_mutations = [
+        mutation for client in clients for mutation in client.mutations
+    ]
+    # No query hangs, none is dropped: every future completes cleanly
+    # despite two kills and a stall mid-flight.
+    for future, *_ in all_reads + all_mutations:
+        assert future.exception(timeout=180) is None, future
+    recovery = server.recovery_snapshot()
+    db.close()
+
+    # Rebuild every epoch's object set from the totally ordered
+    # mutation log, then replay every read serially at its epoch.
+    epochs = [future.epoch for future, *_ in all_mutations]
+    assert len(set(epochs)) == len(epochs), "barrier epochs must be unique"
+    states: dict[int, list[UncertainObject]] = {0: list(initial)}
+    state = list(initial)
+    for future, op, payload in sorted(
+        all_mutations, key=lambda entry: entry[0].epoch
+    ):
+        if op == "insert":
+            state = state + [payload]
+        else:
+            state = [obj for obj in state if obj.oid != payload]
+        states[future.epoch] = state
+
+    assert all_reads, "workload produced no reads"
+    engine_cache: dict = {}
+    for future, kind, query, params in all_reads:
+        result = future.result()
+        assert future.epoch == result.epoch
+        assert future.epoch in states, (
+            f"read reported epoch {future.epoch} which no barrier produced"
+        )
+        engine = differential.replay_engine(
+            engine_cache, states, future.epoch, kind
+        )
+        want = engine.query(query, **params)
+        differential.assert_bit_identical(kind, result, want)
+
+    # The faults actually fired and were recovered, or the run proved
+    # nothing about fault tolerance.
+    assert recovery["retries"] >= 1
+    assert recovery["worker_restarts"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+def test_deadline_expires_in_queue_behind_a_slow_group():
+    db = _make_db()
+    try:
+        plan = FaultPlan([FaultRule("proc.chunk", "hang", arg=1.5)])
+        server = db.serve(
+            workers=1, mode="process", fault_plan=plan, stall_timeout=10.0
+        )
+        session = server.session()
+        q = np.asarray([500.0, 500.0])
+        slow = session.nn(q)  # occupies the only dispatcher ~1.5s
+        time.sleep(0.05)
+        late = session.topk(q, k=2, timeout=0.2)
+        error = late.exception(timeout=30)
+        assert isinstance(error, QueryTimeout)
+        assert error.phase == "queued"
+        assert error.stats.deadline_misses == 1
+        assert error.waited_seconds >= 0.2
+        # The slow query itself was merely slow, not sacrificed.
+        assert slow.result(timeout=30).answer is not None
+        assert server.recovery_snapshot()["deadline_misses"] >= 1
+    finally:
+        db.close()
+
+
+def test_deadline_bounds_result_wait_under_a_hang():
+    db = _make_db()
+    try:
+        plan = FaultPlan([FaultRule("proc.chunk", "hang", arg=1.5)])
+        server = db.serve(
+            workers=1, mode="process", fault_plan=plan, stall_timeout=10.0
+        )
+        session = server.session()
+        hung = session.nn(np.asarray([500.0, 500.0]), timeout=0.25)
+        t0 = time.monotonic()
+        with pytest.raises(QueryTimeout) as excinfo:
+            hung.result()  # no local timeout: the deadline must bound it
+        elapsed = time.monotonic() - t0
+        assert elapsed < 1.0, "result() blocked past the deadline"
+        assert excinfo.value.phase == "waiting"
+        assert excinfo.value.stats.deadline_misses == 1
+        assert excinfo.value.waited_seconds > 0.0
+    finally:
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# Stall detection
+# ----------------------------------------------------------------------
+def test_stalled_worker_is_killed_and_the_chunk_rescued():
+    db = _make_db()
+    reference = _make_db()
+    try:
+        plan = FaultPlan([FaultRule("proc.chunk", "hang", wid=0, arg=5.0)])
+        server = db.serve(
+            workers=2, mode="process", fault_plan=plan, stall_timeout=0.5
+        )
+        q = np.asarray([500.0, 500.0])
+        t0 = time.monotonic()
+        result = db.nn(q)  # first chunk lands on the hung worker 0
+        elapsed = time.monotonic() - t0
+        want = reference.nn(q, retriever="brute")
+        assert dict(result.probabilities) == dict(want.probabilities)
+        # Rescued at the stall budget, not after the 5s hang.
+        assert elapsed < 4.0
+        assert result.stats.retries >= 1
+        recovery = server.recovery_snapshot()
+        assert recovery["retries"] >= 1
+        assert recovery["worker_restarts"] >= 1
+    finally:
+        db.close()
+        reference.close()
+
+
+# ----------------------------------------------------------------------
+# Durability under WAL faults while serving
+# ----------------------------------------------------------------------
+def test_wal_faults_during_serving_keep_accepted_mutations_durable(
+    tmp_path,
+):
+    """Served mutations hitting injected WAL append / checkpoint I/O
+    errors: the rejected ones fail loudly (fail-stop policy), reads
+    keep working, and after close + reopen the store holds exactly
+    the accepted mutations — nothing lost, nothing phantom."""
+    ds = synthetic_dataset(n=24, dims=2, seed=13, n_samples=4)
+    db = Database.open(str(tmp_path / "db"), dataset=ds, indexes=())
+    accepted: list[int] = []
+    rejected: list[int] = []
+    try:
+        db.serve(workers=2, mode="process")
+        region = db.dataset[db.dataset.ids[0]].region
+        rng = np.random.default_rng(29)
+        q = db.dataset.domain.sample_points(1, rng)[0]
+        plan = FaultPlan(
+            [
+                FaultRule("wal.append", "eio", after=2, count=2),
+                FaultRule("durable.checkpoint", "eio", after=1, count=2),
+            ]
+        )
+        with injected(plan):
+            for i in range(8):
+                instances, weights = uniform_pdf(region, 4, rng)
+                obj = UncertainObject(
+                    90_000 + i, region, instances, weights
+                )
+                try:
+                    db.insert(obj)
+                except OSError:
+                    rejected.append(obj.oid)
+                    continue
+                accepted.append(obj.oid)
+                # Reads stay healthy between (and despite) the faults.
+                assert db.nn(q).answer is not None
+        assert rejected == [90_002, 90_003]
+        assert len(accepted) == 6
+        assert db.epoch == len(accepted)
+        assert db.describe()["degraded_mode"] is False  # fail-stop
+    finally:
+        db.close()
+
+    db2 = Database.open(str(tmp_path / "db"), indexes=())
+    try:
+        assert db2.epoch == len(accepted)
+        for oid in accepted:
+            assert oid in db2.dataset.ids
+        for oid in rejected:
+            assert oid not in db2.dataset.ids
+    finally:
+        db2.close()

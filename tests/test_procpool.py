@@ -16,7 +16,8 @@ import numpy as np
 import pytest
 
 from repro.api import Database
-from repro.service import ProcessPoolServer, WorkerDied
+from repro.service import ProcessPoolServer
+from repro.testing import FaultPlan, FaultRule
 from repro.uncertain import (
     UncertainObject,
     attach_shared,
@@ -218,7 +219,11 @@ def test_scaleout_telemetry_reaches_stats_and_explain():
 # ----------------------------------------------------------------------
 # Worker death and the close() regression
 # ----------------------------------------------------------------------
-def test_worker_death_fails_the_group_and_respawns():
+def test_worker_death_retries_the_chunk_and_respawns():
+    """A killed worker no longer fails the query: the chunk is
+    re-dispatched to the respawned replacement (or runs inline) and
+    the retry is counted on the result's stats and the pool's
+    recovery snapshot."""
     db = _make_db()
     try:
         server = db.serve(workers=1, mode="process")
@@ -227,13 +232,60 @@ def test_worker_death_fails_the_group_and_respawns():
         victim = server._procs[0]
         victim.proc.kill()
         victim.proc.join(10)
-        with pytest.raises(WorkerDied):
-            db.nn(q)
+        healed = db.nn(q)
+        reference = _make_db()
+        try:
+            want = reference.nn(q, retriever="brute")
+        finally:
+            reference.close()
+        assert dict(healed.probabilities) == dict(want.probabilities)
+        assert healed.stats.retries >= 1
+        recovery = server.recovery_snapshot()
+        assert recovery["retries"] >= 1
+        assert recovery["worker_restarts"] >= 1
         # The pool respawned a replacement; service continues.
         again = db.nn(q)
         assert again.plan.retriever == "sharded"
     finally:
         db.close()
+
+
+def _fresh_object(db: Database, oid: int) -> UncertainObject:
+    rng = np.random.default_rng(oid)
+    region = db.dataset[db.dataset.ids[0]].region
+    instances, weights = uniform_pdf(region, 4, rng)
+    return UncertainObject(oid, region, instances, weights)
+
+
+def test_fence_worker_kill_is_leak_free_and_reentrant():
+    """The satellite-1 regression: a worker killed mid-fence must not
+    orphan the freshly exported segment or wedge the fence.  The dead
+    worker is respawned at the new epoch, the mutation succeeds, and
+    a second fence runs cleanly afterwards."""
+    before = _shm_segments()
+    db = _make_db()
+    try:
+        plan = FaultPlan([FaultRule("proc.fence", "kill", wid=0)])
+        server = db.serve(
+            workers=2,
+            mode="process",
+            fault_plan=plan,
+            stall_timeout=10.0,
+        )
+        q = np.asarray([500.0, 500.0])
+        db.nn(q)
+        db.insert(_fresh_object(db, 990100))  # worker 0 dies mid-fence
+        assert db.epoch == 1
+        live = _shm_segments() - before
+        assert len(live) == 1, f"fence leaked segments: {live}"
+        assert server.recovery_snapshot()["worker_restarts"] >= 1
+        result = db.threshold(q, p=0.0)
+        assert result.epoch == 1
+        db.delete(990100)  # re-entrancy: the next fence runs clean
+        assert db.epoch == 2
+    finally:
+        db.close()
+    assert _shm_segments() == before
 
 
 def test_close_unlinks_segments_even_after_worker_death():

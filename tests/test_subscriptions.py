@@ -28,6 +28,7 @@ from repro import Rect, UncertainObject
 from repro.api import Database
 from repro.service import RevisionOverflow
 from repro.service.subscriptions import answers_equal
+from repro.testing import FaultPlan, FaultRule
 from repro.uncertain import UncertainDataset, uniform_pdf
 
 DOMAIN = Rect.cube(0.0, 1000.0, 2)
@@ -470,3 +471,60 @@ class TestUVLocality:
             assert material >= 1, "workload produced no material change"
             # The forced-UV plan really ran on the UV index.
             assert uv_sub._last_retriever == "uv"
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: worker death must not drop or duplicate revisions
+# ----------------------------------------------------------------------
+def test_process_pool_worker_death_still_emits_once_per_epoch():
+    """Served subscription under injected worker kills (one mid-chunk,
+    one mid-fence): the revision stream must stay exactly one revision
+    per changed epoch, bit-identical to the serial replay — recovery
+    re-dispatch and fence respawn are invisible to consumers."""
+    objs = make_initial()
+    live = {o.oid: o for o in objs}
+    db = Database(
+        UncertainDataset(list(objs), domain=DOMAIN), indexes=()
+    )
+    try:
+        plan = FaultPlan(
+            [
+                FaultRule("proc.chunk", "kill", wid=0, after=1),
+                FaultRule("proc.fence", "kill", wid=1, after=2),
+            ]
+        )
+        server = db.serve(
+            workers=2,
+            mode="process",
+            fault_plan=plan,
+            stall_timeout=10.0,
+        )
+        sub = db.subscribe("nn", QUERY)
+        baseline = sub.poll()
+        assert baseline is not None and baseline.changed is False
+        prev = baseline.answer
+        seen_epochs = {baseline.epoch}
+        for i in range(N_MUTATIONS):
+            apply_mutation(db, i, live)
+            db.nn(QUERY)  # served read: keeps chunks flowing over kills
+            want = reference_answer(live, "nn", QUERY, ())
+            revision = sub.poll()
+            if revision is not None:
+                assert revision.epoch == db.epoch
+                assert revision.epoch not in seen_epochs, (
+                    "duplicate revision for one epoch"
+                )
+                seen_epochs.add(revision.epoch)
+                assert revision.changed
+                assert answers_equal("nn", revision.answer, want)
+                assert sub.poll() is None  # exactly one per epoch
+            else:
+                assert answers_equal("nn", prev, want), (
+                    "suppression hid a change"
+                )
+            prev = want
+        assert sub.revisions_emitted >= 2
+        # Both injected kills actually recovered through respawns.
+        assert server.recovery_snapshot()["worker_restarts"] >= 1
+    finally:
+        db.close()
