@@ -1,0 +1,74 @@
+"""``python -m repro.analysis`` — run every project-invariant checker.
+
+Exit status is non-zero when any finding is not covered by the
+optional baseline file (``--baseline``); ``--write-baseline`` records
+the current findings so a new checker can land before every
+pre-existing hit is fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import run_all
+from .findings import load_baseline, save_baseline
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis for repro.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root (default: derived from this package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file of suppressed finding keys",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        help="write current findings as the new baseline and exit 0",
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+
+    findings = run_all(root)
+
+    if args.write_baseline is not None:
+        save_baseline(args.write_baseline, findings)
+        print(
+            f"repro.analysis: wrote baseline with {len(findings)} "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    suppressed: set[str] = set()
+    if args.baseline is not None and args.baseline.exists():
+        suppressed = load_baseline(args.baseline)
+
+    new = [f for f in findings if f.key() not in suppressed]
+    old = len(findings) - len(new)
+    for finding in sorted(new):
+        print(finding.render())
+    summary = f"repro.analysis: {len(new)} finding(s)"
+    if old:
+        summary += f" ({old} suppressed by baseline)"
+    print(summary)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

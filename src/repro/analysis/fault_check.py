@@ -1,0 +1,139 @@
+"""fault-site registry discipline: no silent chaos hooks.
+
+A :class:`~repro.testing.faults.FaultRule` targets a site by string
+name; before this pass, a typo'd site compiled, armed, and then
+silently never fired — the chaos test "passed" while testing nothing.
+Two directions are checked:
+
+* every ``faults.check("…")`` / ``_fault_check("…")`` literal in the
+  scanned sources must name a site declared in ``faults.SITES``;
+* every declared site must have at least one call site (a rule can
+  never target dead metadata), unless ``require_all_sites_used`` is
+  off — fixture scans cover a single file and would otherwise flag
+  every site as unused.
+
+Call sites are recognized syntactically: a call of an attribute named
+``check`` on a module alias (``faults.check(...)``,
+``_faults.check(...)``) or a bare name bound by ``from … faults
+import check`` (aliases included, e.g. ``_fault_check``), with a
+string-literal first argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["check_fault_sites", "declared_sites"]
+
+_FAULTS_MODULE_SUFFIX = "faults"
+
+
+def declared_sites() -> dict[str, str]:
+    """The live ``faults.SITES`` registry (site → description)."""
+    from ..testing import faults
+
+    return dict(faults.SITES)
+
+
+def _call_sites(
+    tree: ast.Module,
+) -> list[tuple[str, int]]:
+    """(site literal, line) for every fault-check call in ``tree``."""
+    module_aliases: set[str] = set()
+    function_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[-1] == _FAULTS_MODULE_SUFFIX:
+                    module_aliases.add(
+                        alias.asname or alias.name.split(".")[0]
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            tail = node.module.split(".")[-1]
+            for alias in node.names:
+                if alias.name == _FAULTS_MODULE_SUFFIX:
+                    module_aliases.add(alias.asname or alias.name)
+                elif tail == _FAULTS_MODULE_SUFFIX and (
+                    alias.name == "check"
+                ):
+                    function_aliases.add(alias.asname or alias.name)
+
+    out: list[tuple[str, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        is_hook = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "check"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_aliases
+        ) or (
+            isinstance(func, ast.Name) and func.id in function_aliases
+        )
+        if not is_hook:
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(
+            first.value, str
+        ):
+            out.append((first.value, node.lineno))
+    return out
+
+
+def check_fault_sites(
+    paths: list[Path],
+    *,
+    root: Path | None = None,
+    sites: dict[str, str] | None = None,
+    require_all_sites_used: bool = True,
+) -> list[Finding]:
+    """Cross-reference fault-hook literals against the registry."""
+    if sites is None:
+        sites = declared_sites()
+    findings: list[Finding] = []
+    used: set[str] = set()
+    registry_path = ""
+    for path in paths:
+        posix = path.as_posix()
+        shown = (
+            path.relative_to(root).as_posix()
+            if root is not None and path.is_relative_to(root)
+            else posix
+        )
+        if posix.endswith("testing/faults.py"):
+            registry_path = shown
+            continue  # the registry itself (docs mention every site)
+        tree = ast.parse(
+            path.read_text(encoding="utf-8"), filename=posix
+        )
+        for site, line in _call_sites(tree):
+            used.add(site)
+            if site not in sites:
+                findings.append(
+                    Finding(
+                        "fault-sites",
+                        "F001",
+                        shown,
+                        line,
+                        f"fault hook names undeclared site {site!r} "
+                        f"(declare it in faults.SITES)",
+                    )
+                )
+    if require_all_sites_used:
+        for site in sorted(sites):
+            if site not in used:
+                findings.append(
+                    Finding(
+                        "fault-sites",
+                        "F002",
+                        registry_path or "faults.SITES",
+                        0,
+                        f"declared fault site {site!r} has no call "
+                        f"site — rules targeting it can never fire",
+                    )
+                )
+    return findings

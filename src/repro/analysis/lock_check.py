@@ -1,0 +1,158 @@
+"""Static lock-order checking over ``with``-block nesting.
+
+The cheap, always-on half of the lock-order story (the runtime
+sanitizer in :mod:`repro.analysis.locks` is the other): resolve every
+``with self.<attr>:`` / ``with <name>:`` acquisition in ``api/``,
+``service/`` and ``storage/`` against :data:`STATIC_LOCK_ATTRS`, walk
+the syntactic nesting inside each function, and flag any acquisition
+of a lower-ranked lock while a higher-ranked one is held in the same
+function body.
+
+Purely syntactic by design — cross-function nesting (``checkpoint()``
+taking the store lock under the ckpt lock) is the runtime sanitizer's
+job; this pass catches the direct inversions a refactor introduces in
+one screenful of code, with zero imports and zero false negatives on
+the pattern it targets.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .findings import Finding
+from .locks import LOCK_HIERARCHY, STATIC_LOCK_ATTRS
+
+__all__ = ["check_lock_order"]
+
+
+def _resolve(node: ast.expr, attr_map: dict[str, str]) -> str | None:
+    """The hierarchy name of a ``with``-item expression, if any."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return attr_map.get(node.attr)
+    if isinstance(node, ast.Name):
+        return attr_map.get(node.id)
+    return None
+
+
+class _FunctionWalker:
+    def __init__(
+        self,
+        shown: str,
+        attr_map: dict[str, str],
+        findings: list[Finding],
+    ) -> None:
+        self.shown = shown
+        self.attr_map = attr_map
+        self.findings = findings
+
+    def walk_body(
+        self, body: list[ast.stmt], held: list[tuple[str, int]]
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                self._enter_with(stmt, held)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                # Nested defs execute later — a fresh held stack.
+                self.walk_body(stmt.body, [])
+            elif isinstance(stmt, ast.ClassDef):
+                self.walk_body(stmt.body, [])
+            else:
+                for child_body in self._inner_bodies(stmt):
+                    self.walk_body(child_body, held)
+
+    @staticmethod
+    def _inner_bodies(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        out = []
+        for field_name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, field_name, None)
+            if block:
+                out.append(block)
+        handlers = getattr(stmt, "handlers", None)
+        if handlers:
+            out.extend(handler.body for handler in handlers)
+        return out
+
+    def _enter_with(
+        self, stmt: ast.With, held: list[tuple[str, int]]
+    ) -> None:
+        acquired: list[tuple[str, int]] = []
+        for item in stmt.items:
+            name = _resolve(item.context_expr, self.attr_map)
+            if name is None:
+                continue
+            rank = LOCK_HIERARCHY[name]
+            for held_name, held_rank in held + acquired:
+                if rank < held_rank:
+                    self.findings.append(
+                        Finding(
+                            "lock-order",
+                            "L001",
+                            self.shown,
+                            stmt.lineno,
+                            f"acquires {name!r} (rank {rank}) while "
+                            f"{held_name!r} (rank {held_rank}) is "
+                            f"held — declared order is ascending rank",
+                        )
+                    )
+            acquired.append((name, rank))
+        held.extend(acquired)
+        self.walk_body(stmt.body, held)
+        if acquired:
+            del held[-len(acquired):]
+
+
+def check_lock_order(
+    paths: list[Path],
+    *,
+    root: Path | None = None,
+    attr_maps: dict[str, dict[str, str]] | None = None,
+) -> list[Finding]:
+    """Check every file in ``paths``.
+
+    Each file's attribute→lock table comes from ``attr_maps`` (default
+    :data:`STATIC_LOCK_ATTRS`), matched by path suffix; files with no
+    entry are checked against the union of all tables minus the
+    ambiguous attribute names (``_lock`` means different locks in
+    different files), so fixture/test modules can use the unambiguous
+    names directly.
+    """
+    if attr_maps is None:
+        attr_maps = STATIC_LOCK_ATTRS
+    # Union table for unmatched files: drop attr names claimed by
+    # more than one lock.
+    union: dict[str, str] = {}
+    ambiguous: set[str] = set()
+    for table in attr_maps.values():
+        for attr, lock_name in table.items():
+            if attr in union and union[attr] != lock_name:
+                ambiguous.add(attr)
+            union[attr] = lock_name
+    for attr in ambiguous:
+        union.pop(attr, None)
+
+    findings: list[Finding] = []
+    for path in paths:
+        posix = path.as_posix()
+        table = union
+        for suffix, candidate in attr_maps.items():
+            if posix.endswith(suffix):
+                table = candidate
+                break
+        shown = (
+            path.relative_to(root).as_posix()
+            if root is not None and path.is_relative_to(root)
+            else posix
+        )
+        tree = ast.parse(
+            path.read_text(encoding="utf-8"), filename=posix
+        )
+        walker = _FunctionWalker(shown, table, findings)
+        walker.walk_body(tree.body, [])
+    return findings

@@ -1,0 +1,185 @@
+"""Cross-process discipline: picklable errors, monotonic deadlines.
+
+Two rules, both grounded in bugs this stack has actually hit:
+
+* **P001 — worker exceptions must survive the pipe.**  Errors raised
+  in ``service/procpool.py`` worker paths travel to the parent as
+  pickles; an exception class that does not round-trip (the classic:
+  an ``OSError`` subclass with a custom multi-arg ``__init__`` and no
+  ``__reduce__`` — exactly the bug ``FaultInjected.__reduce__``
+  exists to fix) either crashes the pipe or reconstructs with garbage
+  attributes.  The checker collects every ``raise <Name>(…)`` in the
+  module, resolves the class, instantiates a specimen, and verifies
+  ``pickle.loads(pickle.dumps(e))`` preserves type, ``args`` and
+  ``__dict__``.
+* **P002 — wall-clock time is banned from deadline paths.**
+  ``time.time()`` jumps under NTP steps; every deadline/timeout
+  computation in the kernel/scheduler/serving paths must use
+  ``time.monotonic()``.  Timing *measurements* use
+  ``time.perf_counter()``; there is no legitimate ``time.time()``
+  call in ``src/`` today, and this keeps it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import pickle
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["check_process_safety", "check_exception_roundtrip"]
+
+#: Argument tuples tried when instantiating a specimen exception.
+_CTOR_TRIALS: tuple[tuple, ...] = (
+    ("injected-specimen",),
+    (1, "injected-specimen"),
+    ("injected-specimen", "detail"),
+    (),
+)
+
+
+def _roundtrip_failure(exc_cls: type) -> str | None:
+    """Why ``exc_cls`` fails a pickle round-trip, or ``None``."""
+    specimen = None
+    for args in _CTOR_TRIALS:
+        try:
+            specimen = exc_cls(*args)
+            break
+        except Exception:  # noqa: BLE001 - constructor probing
+            continue
+    if specimen is None:
+        return None  # cannot build a specimen; nothing to verify
+    try:
+        clone = pickle.loads(pickle.dumps(specimen))
+    except Exception as error:  # noqa: BLE001 - any failure is the finding
+        return f"pickle round-trip raises {type(error).__name__}: {error}"
+    if type(clone) is not type(specimen):
+        return (
+            f"pickle round-trip changes type to "
+            f"{type(clone).__name__}"
+        )
+    if clone.args != specimen.args:
+        return (
+            f"pickle round-trip corrupts args: {specimen.args!r} -> "
+            f"{clone.args!r}"
+        )
+    if clone.__dict__ != specimen.__dict__:
+        return (
+            f"pickle round-trip drops attributes: "
+            f"{specimen.__dict__!r} -> {clone.__dict__!r}"
+        )
+    return None
+
+
+def check_exception_roundtrip(
+    path: str | Path,
+    namespace: dict[str, object],
+    *,
+    rel: str | None = None,
+) -> list[Finding]:
+    """P001 over every ``raise <Name>(…)`` in ``path``.
+
+    ``namespace`` resolves exception names to classes — the importing
+    caller passes ``vars(module)`` so the checker never guesses at
+    import side effects.
+    """
+    shown = rel if rel is not None else str(path)
+    tree = ast.parse(
+        Path(path).read_text(encoding="utf-8"), filename=str(path)
+    )
+    findings: list[Finding] = []
+    seen: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        call = node.exc
+        name = None
+        if isinstance(call, ast.Call) and isinstance(
+            call.func, ast.Name
+        ):
+            name = call.func.id
+        elif isinstance(call, ast.Name):
+            name = call.id
+        if name is None or name in seen:
+            continue
+        seen.add(name)
+        candidate = namespace.get(name)
+        if not (
+            isinstance(candidate, type)
+            and issubclass(candidate, BaseException)
+        ):
+            continue
+        why = _roundtrip_failure(candidate)
+        if why is not None:
+            findings.append(
+                Finding(
+                    "process-safety",
+                    "P001",
+                    shown,
+                    node.lineno,
+                    f"exception {name!r} raised in a worker path is "
+                    f"not picklable: {why}",
+                )
+            )
+    return findings
+
+
+def check_monotonic(
+    paths: list[Path], *, root: Path | None = None
+) -> list[Finding]:
+    """P002: no ``time.time()`` in the scanned deadline paths."""
+    findings: list[Finding] = []
+    for path in paths:
+        posix = path.as_posix()
+        shown = (
+            path.relative_to(root).as_posix()
+            if root is not None and path.is_relative_to(root)
+            else posix
+        )
+        tree = ast.parse(
+            path.read_text(encoding="utf-8"), filename=posix
+        )
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "time"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"
+            ):
+                findings.append(
+                    Finding(
+                        "process-safety",
+                        "P002",
+                        shown,
+                        node.lineno,
+                        "time.time() in a deadline path — wall clock "
+                        "jumps under NTP; use time.monotonic()",
+                    )
+                )
+    return findings
+
+
+def check_process_safety(
+    monotonic_paths: list[Path],
+    *,
+    root: Path | None = None,
+    procpool_path: Path | None = None,
+) -> list[Finding]:
+    """The full pass: P001 over procpool + P002 over deadline paths."""
+    findings: list[Finding] = []
+    if procpool_path is not None and procpool_path.exists():
+        from ..service import procpool
+
+        rel = (
+            procpool_path.relative_to(root).as_posix()
+            if root is not None and procpool_path.is_relative_to(root)
+            else procpool_path.as_posix()
+        )
+        findings.extend(
+            check_exception_roundtrip(
+                procpool_path, vars(procpool), rel=rel
+            )
+        )
+    findings.extend(check_monotonic(monotonic_paths, root=root))
+    return findings

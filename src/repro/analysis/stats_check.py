@@ -1,0 +1,302 @@
+"""stats-completeness: every ``ExecutionStats`` field wired everywhere.
+
+``ExecutionStats`` fields must be hand-wired into six methods
+(``reset`` / ``snapshot`` / ``capture`` / ``delta_since`` / ``delta``
+/ ``merge``) — every PR since PR 1 has extended all six by
+convention, and nothing but reviewer vigilance catches a miss.  This
+checker parses ``engine/stats.py`` (no import, pure AST), derives the
+field set from the dataclass annotations, and emits one finding per
+field missing from a method.  It also verifies the two positional
+contracts:
+
+* the module-level ``_SCALAR_FIELDS`` tuple names exactly the scalar
+  (``int`` / ``float``) fields, in the order ``capture`` emits them;
+* ``delta_since`` subtracts ``captured[i]`` at the same ``i`` where
+  ``capture`` placed that field — the silent-corruption bug class
+  (two swapped indices produce plausible nonsense, not a crash).
+
+A method that iterates ``_SCALAR_FIELDS`` (``merge`` does) covers
+every scalar field at once; explicit ``self.<field>`` references and
+constructor keywords cover fields one by one.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["check_stats"]
+
+#: The methods every counter must flow through.
+SYNC_METHODS = (
+    "reset",
+    "snapshot",
+    "capture",
+    "delta_since",
+    "delta",
+    "merge",
+)
+
+_SCALAR_ANNOTATIONS = {"int", "float"}
+
+
+def _annotation_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _self_attrs(node: ast.AST) -> set[str]:
+    """Every ``self.<name>`` attribute read or written under ``node``."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            out.add(sub.attr)
+    return out
+
+
+def _mentions_scalar_fields(node: ast.AST, tuple_name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == tuple_name
+        for sub in ast.walk(node)
+    )
+
+
+def _call_keywords(node: ast.AST) -> set[str]:
+    """Keyword argument names of every call under ``node``."""
+    out: set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            for kw in sub.keywords:
+                if kw.arg is not None:
+                    out.add(kw.arg)
+    return out
+
+
+def _capture_order(func: ast.FunctionDef) -> list[str]:
+    """The flattened attribute path of each element of the returned
+    tuple: ``self.queries`` → ``queries``, ``self.or_io.reads`` →
+    ``or_io.reads``.  Non-attribute elements render as ``?``."""
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Return) and isinstance(
+            stmt.value, ast.Tuple
+        ):
+            out = []
+            for element in stmt.value.elts:
+                parts: list[str] = []
+                node: ast.expr = element
+                while isinstance(node, ast.Attribute):
+                    parts.append(node.attr)
+                    node = node.value
+                if isinstance(node, ast.Name) and node.id == "self":
+                    out.append(".".join(reversed(parts)))
+                else:
+                    out.append("?")
+            return out
+    return []
+
+
+def _subscript_indices(node: ast.AST, param: str) -> set[int]:
+    """Integer ``param[i]`` indices appearing under ``node``."""
+    out: set[int] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == param
+            and isinstance(sub.slice, ast.Constant)
+            and isinstance(sub.slice.value, int)
+        ):
+            out.add(sub.slice.value)
+    return out
+
+
+def check_stats(
+    path: str | Path, *, rel: str | None = None
+) -> list[Finding]:
+    """Check every stats-like class in ``path``.
+
+    A class participates when it has dataclass-style annotated fields
+    and at least one of the six sync methods.  ``rel`` overrides the
+    path findings report (repo-relative in the CLI).
+    """
+    source = Path(path).read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    shown = rel if rel is not None else str(path)
+    findings: list[Finding] = []
+
+    # Module-level scalar-order tuple (any *_FIELDS tuple of strings).
+    tuple_name = None
+    tuple_order: list[str] = []
+    tuple_line = 0
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id.endswith("_FIELDS")
+            and isinstance(stmt.value, ast.Tuple)
+        ):
+            tuple_name = stmt.targets[0].id
+            tuple_line = stmt.lineno
+            for element in stmt.value.elts:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    tuple_order.append(element.value)
+
+    for cls in tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        fields: list[str] = []
+        scalars: list[str] = []
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                name = stmt.target.id
+                if name.startswith("_"):
+                    continue
+                fields.append(name)
+                if (
+                    _annotation_name(stmt.annotation)
+                    in _SCALAR_ANNOTATIONS
+                ):
+                    scalars.append(name)
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef)
+            and stmt.name in SYNC_METHODS
+        }
+        if not fields or not methods:
+            continue
+        io_fields = [f for f in fields if f not in scalars]
+
+        # -- _SCALAR_FIELDS tuple completeness + order ------------------
+        if tuple_name is not None:
+            for name in scalars:
+                if name not in tuple_order:
+                    findings.append(
+                        Finding(
+                            "stats",
+                            "S001",
+                            shown,
+                            tuple_line,
+                            f"field {name!r} missing from {tuple_name}",
+                        )
+                    )
+            for name in tuple_order:
+                if name not in scalars:
+                    findings.append(
+                        Finding(
+                            "stats",
+                            "S002",
+                            shown,
+                            tuple_line,
+                            f"{tuple_name} names unknown field {name!r}",
+                        )
+                    )
+
+        # -- per-method field coverage ---------------------------------
+        capture_order: list[str] = []
+        if "capture" in methods:
+            capture_order = _capture_order(methods["capture"])
+
+        for method_name, func in methods.items():
+            if tuple_name is not None and _mentions_scalar_fields(
+                func, tuple_name
+            ):
+                covered = set(scalars)
+            else:
+                covered = set()
+            covered |= _self_attrs(func)
+            if method_name in ("snapshot", "delta_since", "delta"):
+                covered |= _call_keywords(func)
+            if method_name == "capture":
+                covered |= {
+                    spec.split(".", 1)[0] for spec in capture_order
+                }
+            for name in fields:
+                if name not in covered:
+                    findings.append(
+                        Finding(
+                            "stats",
+                            "S003",
+                            shown,
+                            func.lineno,
+                            f"field {name!r} not handled by "
+                            f"{cls.name}.{method_name}",
+                        )
+                    )
+
+        # -- capture order == _SCALAR_FIELDS order ---------------------
+        if capture_order and tuple_order:
+            expected = tuple_order + [
+                f"{io}.{attr}"
+                for io in io_fields
+                for attr in ("reads", "writes")
+            ]
+            if (
+                all(name in scalars for name in tuple_order)
+                and capture_order != expected
+            ):
+                findings.append(
+                    Finding(
+                        "stats",
+                        "S004",
+                        shown,
+                        methods["capture"].lineno,
+                        f"{cls.name}.capture tuple order diverges from "
+                        f"{tuple_name} + I/O tail "
+                        f"(got {capture_order!r})",
+                    )
+                )
+
+        # -- delta_since indices match capture positions ---------------
+        if capture_order and "delta_since" in methods:
+            func = methods["delta_since"]
+            args = func.args.args
+            param = args[1].arg if len(args) > 1 else None
+            if param is not None:
+                positions = {
+                    spec: i for i, spec in enumerate(capture_order)
+                }
+                for sub in ast.walk(func):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    for kw in sub.keywords:
+                        if kw.arg is None or kw.arg not in fields:
+                            continue
+                        used = _subscript_indices(kw.value, param)
+                        if not used:
+                            continue
+                        if kw.arg in scalars:
+                            expect = {positions.get(kw.arg, -1)}
+                        else:
+                            expect = {
+                                positions.get(f"{kw.arg}.reads", -1),
+                                positions.get(f"{kw.arg}.writes", -1),
+                            }
+                        if not used <= expect:
+                            findings.append(
+                                Finding(
+                                    "stats",
+                                    "S005",
+                                    shown,
+                                    func.lineno,
+                                    f"{cls.name}.delta_since subtracts "
+                                    f"{param}[{sorted(used)}] for field "
+                                    f"{kw.arg!r} but capture placed it "
+                                    f"at {sorted(expect)}",
+                                )
+                            )
+    return findings

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
+from ..analysis.locks import make_lock, make_rlock
 from ..core import (
     ExpectedNNEngine,
     GroupNNEngine,
@@ -116,7 +117,7 @@ class IndexHandle:
         self.maintainable = maintainable
         self.index: Any = None
         self.secondary: Any = None
-        self._build_lock = threading.Lock()
+        self._build_lock = make_lock("handle.build_lock")
 
     def cost_estimate(self) -> CostEstimate:
         if self.index is not None and hasattr(self.index, "cost_estimate"):
@@ -237,13 +238,13 @@ class Database:
         #: workers) see consistent derived state.  Engine *execution*
         #: happens outside this lock, under each engine's own lock —
         #: different query kinds run concurrently.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("db.lock")
         #: Serializes mutation apply + subscription pump as one unit
         #: (re-entrant: the mutating thread pumps under it).  Held
         #: *around* ``_lock``, never acquired while holding it — pump
         #: re-executions take engine locks that readers hold while
         #: waiting on ``_lock``.
-        self._mutation_order = threading.RLock()
+        self._mutation_order = make_rlock("db.mutation_order")
         self._server: "UncertainDBServer | None" = None
         self._subscriptions: Any = None  # SubscriptionManager, lazy
         self._durable: Any = None  # DurableStore when opened via open()

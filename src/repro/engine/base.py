@@ -44,6 +44,7 @@ from typing import Any, Hashable, Sequence
 
 import numpy as np
 
+from ..analysis.locks import make_rlock
 from ..storage.pager import IOStats
 from ..uncertain import UncertainDataset
 from .cache import _MISS, CandidateMemo, LRUCache
@@ -153,7 +154,7 @@ class BaseEngine:
         #: measured entry points wrap ``query``/``query_batch``, which
         #: re-acquire it inside ``_run``/``_run_batch`` — and because
         #: ``_sync_epoch`` may run under an outer bracket.
-        self._lock = threading.RLock()
+        self._lock = make_rlock("engine.lock")
         # A retriever built before mutations that bypassed it is stale
         # from the start — catch that here, not just on later drift.
         self._drop_stale_retriever()

@@ -265,10 +265,10 @@ class RStarTree:
         sorted_per_axis: list[list[int]] = []
         for axis in range(self.dims):
             by_lo = sorted(
-                range(len(children)), key=lambda i: rects[i].lo[axis]
+                range(len(children)), key=lambda i, axis=axis: rects[i].lo[axis]
             )
             by_hi = sorted(
-                range(len(children)), key=lambda i: rects[i].hi[axis]
+                range(len(children)), key=lambda i, axis=axis: rects[i].hi[axis]
             )
             margin = 0.0
             for order in (by_lo, by_hi):

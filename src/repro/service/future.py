@@ -23,6 +23,8 @@ import threading
 import time
 from typing import Any, Callable, Iterable, Iterator
 
+from ..analysis.locks import make_lock
+
 __all__ = ["FutureTimeout", "QueryFuture", "QueryTimeout", "as_completed"]
 
 
@@ -95,7 +97,7 @@ class QueryFuture:
         #: ``time.monotonic()`` at submission (queue-time accounting).
         self.submitted_at = time.monotonic()
         self._event = threading.Event()
-        self._lock = threading.Lock()
+        self._lock = make_lock("future.lock")
         self._value: Any = _PENDING
         self._error: BaseException | None = None
         self._epoch: int | None = None
@@ -223,7 +225,7 @@ def as_completed(
         while yielded < len(pending):
             with cv:
                 while not done_queue:
-                    remaining = None
+                    remaining: float | None = None
                     if deadline is not None:
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:

@@ -62,6 +62,7 @@ import time
 from collections import deque
 from typing import Any, Sequence
 
+from ..analysis.locks import make_lock
 from ..storage.durable import StoreReadOnly
 from .scheduler import MutationWork
 from .server import UncertainDBServer
@@ -104,7 +105,7 @@ class _WorkerState:
         from ..uncertain.store import attach_shared
 
         self.view = attach_shared(handle)
-        self.dataset = self.view.build_dataset()
+        self.dataset: Any = self.view.build_dataset()
         self.config = config
         self.epoch = int(handle.epoch)
         self._engines: dict[tuple[str, str], Any] = {}
@@ -171,7 +172,7 @@ class _WorkerState:
         engine = self._engines.get(key)
         if engine is not None:
             return engine
-        retriever = None
+        retriever: ShardedRetriever | None = None
         if rname == "sharded":
             if self._layout is None:
                 self._layout = ShardLayout.build(
@@ -286,7 +287,7 @@ def _worker_main(
     plan = config.get("fault_plan")
     if plan is not None:
         _faults.arm(plan)
-    send_lock = threading.Lock()
+    send_lock = make_lock("procpool.send_lock")
     busy = threading.Event()
     stopping = threading.Event()
 
@@ -301,7 +302,7 @@ def _worker_main(
                 if busy.is_set():
                     try:
                         _send(("hb", wid))
-                    except Exception:
+                    except (OSError, ValueError):
                         return  # pipe gone: the process is exiting
 
         threading.Thread(
@@ -345,7 +346,8 @@ def _worker_main(
                 except BaseException as error:  # noqa: BLE001 - shipped back
                     try:
                         _send(("err", error))
-                    except Exception:
+                    # A broken __reduce__ can raise anything.
+                    except Exception:  # noqa: BLE001
                         _send(
                             ("err", RuntimeError(
                                 f"{type(error).__name__}: {error}"
@@ -363,7 +365,7 @@ def _worker_main(
             state.close()
         try:
             conn.close()
-        except Exception:
+        except (OSError, ValueError):
             pass
 
 
@@ -397,7 +399,7 @@ class _WorkerProc:
         """Best-effort graceful stop, escalating to terminate."""
         try:
             self.conn.send(("stop",))
-        except Exception:
+        except (OSError, ValueError):
             pass
         self.proc.join(timeout)
         if self.proc.is_alive():
@@ -405,7 +407,7 @@ class _WorkerProc:
             self.proc.join(timeout)
         try:
             self.conn.close()
-        except Exception:
+        except (OSError, ValueError):
             pass
 
 
@@ -555,7 +557,8 @@ class ProcessPoolServer(UncertainDBServer):
             try:
                 self._spawn_locked()
                 self._worker_restarts += 1
-            except Exception:
+            # Any spawn failure degrades the pool to broken.
+            except Exception:  # noqa: BLE001
                 if not self._procs:
                     self._broken = True
             self._proc_cv.notify_all()
@@ -893,13 +896,13 @@ class ProcessPoolServer(UncertainDBServer):
         for proc in procs:
             try:
                 proc.stop()
-            except Exception:
+            except Exception:  # noqa: BLE001 - teardown must never raise
                 pass
         handle, self._handle = self._handle, None
         if handle is not None:
             try:
                 handle.unlink()
-            except Exception:
+            except OSError:
                 pass
 
     def __repr__(self) -> str:

@@ -27,6 +27,7 @@ import threading
 import time
 from typing import Any, Sequence
 
+from ..analysis.locks import make_lock
 from .future import QueryFuture, QueryTimeout
 from .scheduler import CoalescingScheduler, MutationWork, ReadGroup
 
@@ -72,9 +73,9 @@ class UncertainDBServer:
 
         self._kinds = _KINDS
         self._closed = False
-        self._close_lock = threading.Lock()
+        self._close_lock = make_lock("server.close_lock")
         #: Recovery-action counters (see :meth:`recovery_snapshot`).
-        self._recovery_lock = threading.Lock()
+        self._recovery_lock = make_lock("server.recovery_lock")
         self._deadline_misses = 0
         self._threads = [
             threading.Thread(

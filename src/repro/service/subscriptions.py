@@ -83,10 +83,11 @@ import itertools
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
 import numpy as np
 
+from ..analysis.locks import make_lock
 from ..engine.stats import ExecutionStats
 from ..geometry import (
     Rect,
@@ -428,9 +429,9 @@ class SubscriptionManager:
         #: (op, region, epoch) records the dataset listener appended;
         #: drained in epoch order by :meth:`pump`.
         self._pending: deque[tuple[str, Rect, int]] = deque()
-        self._listener = None
+        self._listener: Callable[[str, Any, int], None] | None = None
         #: Guards the subscription table and listener registration.
-        self._reg_lock = threading.Lock()
+        self._reg_lock = make_lock("subscriptions.reg_lock")
         self.stats = ExecutionStats()
         self._closed = False
 

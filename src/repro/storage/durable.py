@@ -43,8 +43,10 @@ try:  # POSIX only; single-writer locking degrades gracefully without
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
+from ..analysis.locks import make_lock
 from ..testing.faults import check as _fault_check
 from ..uncertain.dataset import UncertainDataset
+from ..uncertain.objects import UncertainObject
 from ..uncertain.store import attach_file
 from .wal import (
     OP_DELETE,
@@ -146,7 +148,7 @@ class DurableStore:
         #: export+reset sequences on one WAL (double reset could drop
         #: records appended between them) nor close the WAL under a
         #: checkpoint's feet.
-        self._ckpt_lock = threading.Lock()
+        self._ckpt_lock = make_lock("durable.ckpt_lock")
 
     # ------------------------------------------------------------------
     @property
@@ -240,8 +242,10 @@ class DurableStore:
             op, value = rec.decode()
             try:
                 if op == "insert":
+                    assert isinstance(value, UncertainObject)
                     dataset.insert(value)
                 else:
+                    assert isinstance(value, int)
                     dataset.delete(value)
             except (KeyError, ValueError) as exc:
                 raise RecoveryError(

@@ -77,7 +77,7 @@ class WalRecord:
     op: int
     payload: bytes
 
-    def decode(self) -> tuple[str, object]:
+    def decode(self) -> tuple[str, UncertainObject | int]:
         """``("insert", UncertainObject)`` or ``("delete", oid)``."""
         return decode_payload(self.op, self.payload)
 
@@ -105,7 +105,7 @@ def encode_delete(oid: int) -> bytes:
     return _DELETE_FIXED.pack(oid)
 
 
-def decode_payload(op: int, payload: bytes) -> tuple[str, object]:
+def decode_payload(op: int, payload: bytes) -> tuple[str, UncertainObject | int]:
     """Decode a record payload back into its mutation."""
     if op == OP_DELETE:
         (oid,) = _DELETE_FIXED.unpack(payload)

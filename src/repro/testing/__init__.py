@@ -9,6 +9,7 @@ worker processes die or hang mid-chunk, shared-memory attaches fail.
 """
 
 from .faults import (
+    SITES,
     FaultInjected,
     FaultPlan,
     FaultRule,
@@ -19,6 +20,7 @@ from .faults import (
 )
 
 __all__ = [
+    "SITES",
     "FaultInjected",
     "FaultPlan",
     "FaultRule",

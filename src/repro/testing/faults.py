@@ -49,13 +49,15 @@ from __future__ import annotations
 import errno
 import os
 import random
-import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from ..analysis.locks import make_lock
+
 __all__ = [
     "ACTIONS",
+    "SITES",
     "FaultInjected",
     "FaultPlan",
     "FaultRule",
@@ -68,6 +70,20 @@ __all__ = [
 
 #: Everything a rule may do when it fires.
 ACTIONS = ("eio", "fail", "torn", "kill", "hang")
+
+#: The registry of hook sites wired into the stack (the table above).
+#: :func:`arm` rejects plans targeting unregistered sites — a typo'd
+#: site used to arm successfully and then silently never fire — and
+#: ``python -m repro.analysis`` cross-references every
+#: ``faults.check(...)`` literal against this mapping, both ways.
+SITES: dict[str, str] = {
+    "wal.append": "before a WAL record is written",
+    "wal.fsync": "between a WAL write and its fsync",
+    "durable.checkpoint": "before the snapshot export of a checkpoint",
+    "proc.attach": "worker-side, before attaching the shared segment",
+    "proc.chunk": "worker-side, before executing a dispatched chunk",
+    "proc.fence": "worker-side, on receiving a re-attach fence",
+}
 
 #: Exit code of a ``kill`` action, so a chaos test can tell an
 #: injected death from a genuine crash in the worker.
@@ -134,7 +150,7 @@ class FaultPlan:
         self._reset_runtime()
 
     def _reset_runtime(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = make_lock("faults.plan_lock")
         self._hits: dict[int, int] = {}
         self._fired: list[tuple[str, str, dict[str, Any]]] = []
         self._rng = random.Random(self.seed)
@@ -210,7 +226,18 @@ _PLAN: FaultPlan | None = None
 
 
 def arm(plan: FaultPlan) -> FaultPlan:
-    """Arm ``plan`` process-wide; hooks start consulting it."""
+    """Arm ``plan`` process-wide; hooks start consulting it.
+
+    Rejects rules targeting sites absent from :data:`SITES`: an
+    unregistered site has no hook, so the rule could never fire and
+    the chaos test would silently assert nothing.
+    """
+    for rule in plan.rules:
+        if rule.site not in SITES:
+            raise ValueError(
+                f"fault rule targets unregistered site {rule.site!r} "
+                f"(known sites: {', '.join(sorted(SITES))})"
+            )
     global _PLAN
     _PLAN = plan
     return plan

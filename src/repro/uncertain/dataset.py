@@ -23,6 +23,7 @@ from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
+from ..analysis.locks import make_lock
 from ..geometry import Rect
 from .objects import UncertainObject
 from .store import InstanceStore
@@ -99,7 +100,7 @@ class UncertainDataset:
         self._rows: dict[int, int] = {o.oid: i for i, o in enumerate(objs)}
         self._next_row = len(objs)
         self._store: InstanceStore | None = None
-        self._store_lock = threading.Lock()
+        self._store_lock = make_lock("dataset.store_lock")
         self._listeners: list = []
 
     # ------------------------------------------------------------------

@@ -503,7 +503,8 @@ def _untrack(shm) -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals moved
+    # Defensive: the tracker is private API and has moved before.
+    except Exception:  # pragma: no cover  # noqa: BLE001
         pass
 
 
@@ -514,7 +515,8 @@ def _untrack_name(name: str) -> None:
 
         tracked = name if name.startswith("/") else "/" + name
         resource_tracker.unregister(tracked, "shared_memory")
-    except Exception:  # pragma: no cover - tracker internals moved
+    # Defensive: the tracker is private API and has moved before.
+    except Exception:  # pragma: no cover  # noqa: BLE001
         pass
 
 

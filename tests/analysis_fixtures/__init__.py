@@ -1,0 +1,7 @@
+"""Deliberately-broken fixture modules for ``repro.analysis`` tests.
+
+Each module violates exactly one project invariant; the tests in
+``tests/test_analysis.py`` assert each produces exactly one finding.
+Not collected by pytest (no ``test_`` prefix) and excluded from the
+repo-wide analysis run (which scans ``src/`` only).
+"""

@@ -1,0 +1,26 @@
+"""Fixture: a lock acquired against the declared hierarchy (one L001).
+
+``durable.ckpt_lock`` (rank 40) must never be taken while
+``dataset.store_lock`` (rank 50) is held — the checkpoint bracket
+wraps store access, not the other way around.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class BackwardsCheckpointer:
+    def __init__(self) -> None:
+        self._store_lock = threading.Lock()
+        self._ckpt_lock = threading.Lock()
+
+    def checkpoint(self) -> None:
+        with self._store_lock:
+            with self._ckpt_lock:  # inverted: 40 under 50
+                pass
+
+    def fine(self) -> None:
+        with self._ckpt_lock:
+            with self._store_lock:  # declared order: ascending rank
+                pass

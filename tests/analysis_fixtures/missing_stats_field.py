@@ -1,0 +1,55 @@
+"""Fixture: one stats field missing from ``reset`` (exactly one S003).
+
+A miniature of ``ExecutionStats``: every method is complete except
+``reset``, which forgets ``cache_hits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_SCALAR_FIELDS = (
+    "queries",
+    "batches",
+    "cache_hits",
+)
+
+
+@dataclass
+class MiniStats:
+    queries: int = 0
+    batches: int = 0
+    cache_hits: int = 0
+
+    def reset(self) -> None:
+        self.queries = 0
+        self.batches = 0
+        # cache_hits deliberately forgotten
+
+    def snapshot(self) -> "MiniStats":
+        return MiniStats(
+            queries=self.queries,
+            batches=self.batches,
+            cache_hits=self.cache_hits,
+        )
+
+    def capture(self) -> tuple:
+        return (self.queries, self.batches, self.cache_hits)
+
+    def delta_since(self, captured: tuple) -> "MiniStats":
+        return MiniStats(
+            queries=self.queries - captured[0],
+            batches=self.batches - captured[1],
+            cache_hits=self.cache_hits - captured[2],
+        )
+
+    def delta(self, earlier: "MiniStats") -> "MiniStats":
+        return MiniStats(
+            queries=self.queries - earlier.queries,
+            batches=self.batches - earlier.batches,
+            cache_hits=self.cache_hits - earlier.cache_hits,
+        )
+
+    def merge(self, other: "MiniStats") -> None:
+        for name in _SCALAR_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))

@@ -1,0 +1,15 @@
+"""Fixture: a fault hook naming an undeclared site (exactly one F001).
+
+``proc.chnk`` is the typo of ``proc.chunk`` — before ``faults.SITES``
+this armed fine and silently never fired.
+"""
+
+from __future__ import annotations
+
+from repro.testing import faults
+
+
+def run_chunk(payload: object) -> object:
+    faults.check("proc.chnk", kind="read")  # typo'd site
+    faults.check("proc.chunk", kind="read")  # the real one
+    return payload

@@ -1,0 +1,28 @@
+"""Fixture: a worker exception that cannot cross the pipe (one P001).
+
+The classic ``OSError``-subclass trap: a multi-argument ``__init__``
+without ``__reduce__``.  ``OSError.__reduce__`` reconstructs with the
+*formatted* args, so unpickling calls ``ShardFailure(message)`` —
+``TypeError`` — exactly the bug ``FaultInjected.__reduce__`` fixes in
+``repro.testing.faults``.
+"""
+
+from __future__ import annotations
+
+
+class ShardFailure(OSError):
+    def __init__(self, shard: int, reason: str) -> None:
+        super().__init__(f"shard {shard}: {reason}")
+        self.shard = shard
+
+
+class CleanFailure(RuntimeError):
+    """Single-message exceptions round-trip fine (no finding)."""
+
+
+def worker_step(shard: int) -> None:
+    raise ShardFailure(shard, "segment vanished")
+
+
+def clean_step() -> None:
+    raise CleanFailure("plain message")

@@ -189,6 +189,8 @@ def test_mypy_passes_over_the_public_surface():
             str(REPO_ROOT / "mypy.ini"),
             str(REPO_ROOT / "src" / "repro" / "api"),
             str(REPO_ROOT / "src" / "repro" / "engine"),
+            str(REPO_ROOT / "src" / "repro" / "storage"),
+            str(REPO_ROOT / "src" / "repro" / "service"),
         ],
         capture_output=True,
         text=True,

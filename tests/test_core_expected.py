@@ -85,7 +85,7 @@ class TestExpectedNNEngine:
             result = engine.query(q)
             brute = min(
                 dense.ids,
-                key=lambda oid: expected_distance(dense, oid, q),
+                key=lambda oid, q=q: expected_distance(dense, oid, q),
             )
             assert result.best == brute
 

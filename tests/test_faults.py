@@ -69,17 +69,32 @@ def test_unarmed_check_is_a_no_op():
     assert check("wal.append", epoch=1) is None
 
 
+def test_arm_rejects_unregistered_sites():
+    """A typo'd site used to arm successfully and then silently never
+    fire — the chaos test "passed" while testing nothing."""
+    from repro.testing import SITES
+
+    plan = FaultPlan([FaultRule("wal.apend", "eio")])  # the typo
+    with pytest.raises(ValueError, match="unregistered site"):
+        arm(plan)
+    assert active() is None  # nothing was armed
+    assert "wal.append" in SITES and len(SITES) >= 6
+    # Every registered site arms fine.
+    arm(FaultPlan([FaultRule(site, "eio") for site in SITES]))
+    disarm()
+
+
 def test_trigger_window_fires_exactly_count_times_after_skip():
-    plan = arm(FaultPlan([FaultRule("site.x", "eio", after=2, count=2)]))
+    plan = arm(FaultPlan([FaultRule("wal.append", "eio", after=2, count=2)]))
     outcomes = []
     for _ in range(6):
         try:
-            check("site.x")
+            check("wal.append")
             outcomes.append("ok")
         except FaultInjected:
             outcomes.append("eio")
     assert outcomes == ["ok", "ok", "eio", "eio", "ok", "ok"]
-    assert [site for site, _, _ in plan.fired] == ["site.x", "site.x"]
+    assert [site for site, _, _ in plan.fired] == ["wal.append", "wal.append"]
 
 
 def test_wid_scoping_only_counts_matching_hits():
@@ -99,16 +114,16 @@ def test_torn_rule_is_returned_to_the_caller():
 
 
 def test_plan_pickles_schedule_but_not_runtime_state():
-    plan = FaultPlan([FaultRule("site.y", "eio")], seed=42)
+    plan = FaultPlan([FaultRule("wal.fsync", "eio")], seed=42)
     with injected(plan):
         with pytest.raises(FaultInjected):
-            check("site.y")
+            check("wal.fsync")
     clone = pickle.loads(pickle.dumps(plan))
     assert clone.seed == 42 and clone.rules == plan.rules
     assert clone.fired == []  # counters replay from zero per process
     with injected(clone):
         with pytest.raises(FaultInjected):
-            check("site.y")
+            check("wal.fsync")
 
 
 def test_seeded_probability_replays_identically():
@@ -117,13 +132,13 @@ def test_seeded_probability_replays_identically():
         with injected(plan):
             for _ in range(32):
                 try:
-                    check("site.z")
+                    check("durable.checkpoint")
                     fired.append(False)
                 except FaultInjected:
                     fired.append(True)
         return fired
 
-    rule = FaultRule("site.z", "eio", count=32, probability=0.5)
+    rule = FaultRule("durable.checkpoint", "eio", count=32, probability=0.5)
     a = schedule(FaultPlan([rule], seed=7))
     b = schedule(FaultPlan([rule], seed=7))
     assert a == b
@@ -131,7 +146,7 @@ def test_seeded_probability_replays_identically():
 
 
 def test_injected_context_manager_disarms_on_exit():
-    with injected(FaultPlan([FaultRule("site.w", "eio")])) as plan:
+    with injected(FaultPlan([FaultRule("proc.attach", "eio")])) as plan:
         assert active() is plan
     assert active() is None
 

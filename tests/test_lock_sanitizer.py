@@ -1,0 +1,203 @@
+"""The runtime lock-order sanitizer (``REPRO_SANITIZE=1``).
+
+Seeded inversions must be detected *before* they can deadlock, with
+both witness stacks attached: the stack that established the first
+order and the stack attempting the conflicting acquisition.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import locks
+from repro.analysis.locks import (
+    LOCK_HIERARCHY,
+    LockOrderViolation,
+    make_lock,
+    make_rlock,
+)
+
+
+@pytest.fixture(autouse=True)
+def _armed_sanitizer():
+    was_enabled = locks.enabled()
+    locks.enable()
+    locks.reset_graph()
+    yield
+    locks.reset_graph()
+    if not was_enabled:
+        locks.disable()
+
+
+@pytest.fixture()
+def sibling_ranks():
+    """Two equal-rank test locks (ordered only by the observed graph)."""
+    LOCK_HIERARCHY["test.alpha"] = 1000
+    LOCK_HIERARCHY["test.beta"] = 1000
+    yield
+    del LOCK_HIERARCHY["test.alpha"]
+    del LOCK_HIERARCHY["test.beta"]
+
+
+# ----------------------------------------------------------------------
+# Factory semantics
+# ----------------------------------------------------------------------
+def test_unarmed_factory_returns_plain_primitives():
+    locks.disable()
+    lock = make_lock("db.lock")
+    assert type(lock) is type(threading.Lock())
+    rlock = make_rlock("db.lock")
+    assert type(rlock) is type(threading.RLock())
+
+
+def test_undeclared_lock_name_is_rejected_even_unarmed():
+    locks.disable()
+    with pytest.raises(KeyError, match="LOCK_HIERARCHY"):
+        make_lock("db.typo_lock")
+    locks.enable()
+    with pytest.raises(KeyError, match="LOCK_HIERARCHY"):
+        make_rlock("db.typo_lock")
+
+
+def test_armed_locks_track_the_held_stack():
+    a = make_rlock("db.mutation_order")
+    b = make_rlock("db.lock")
+    with a:
+        with a:  # re-entrant: one entry, not two
+            with b:
+                assert locks.held_locks() == [
+                    "db.mutation_order",
+                    "db.lock",
+                ]
+        assert locks.held_locks() == ["db.mutation_order"]
+    assert locks.held_locks() == []
+
+
+def test_nonblocking_acquire_skips_order_checks():
+    outer = make_lock("db.lock")
+    inner = make_lock("db.mutation_order")  # lower rank
+    with outer:
+        # A try-acquire cannot block this thread, so no violation —
+        # but bookkeeping still tracks it.
+        assert inner.acquire(False) is True
+        assert "db.mutation_order" in locks.held_locks()
+        inner.release()
+    assert locks.held_locks() == []
+
+
+# ----------------------------------------------------------------------
+# Inversion detection
+# ----------------------------------------------------------------------
+def test_rank_inversion_raises_with_both_witness_stacks():
+    mutation_order = make_rlock("db.mutation_order")  # rank 10
+    db_lock = make_rlock("db.lock")  # rank 20
+    with pytest.raises(LockOrderViolation) as excinfo:
+        with db_lock:
+            with mutation_order:
+                pass
+    error = excinfo.value
+    assert "db.mutation_order" in str(error)
+    assert "db.lock" in str(error)
+    # Both witnesses point back into this test.
+    this_test = "test_rank_inversion_raises_with_both_witness_stacks"
+    assert this_test in error.held_stack
+    assert this_test in error.acquire_stack
+    # The violation raised *before* acquiring: nothing left held.
+    assert locks.held_locks() == []
+
+
+def test_sibling_locks_of_one_rank_cannot_nest():
+    first = make_rlock("engine.lock")
+    second = make_rlock("engine.lock")
+    with pytest.raises(LockOrderViolation, match="sibling"):
+        with first:
+            with second:
+                pass
+
+
+def test_cross_thread_cycle_detected_with_both_witness_stacks(
+    sibling_ranks,
+):
+    """The order-graph half: thread one establishes alpha → beta, the
+    main thread then attempts beta → alpha.  Ranks are equal, so only
+    the global acquisition graph can see the cycle — and the error
+    must carry the *other thread's* establishing stack as the first
+    witness."""
+    alpha = make_lock("test.alpha")
+    beta = make_lock("test.beta")
+
+    def establish_alpha_then_beta() -> None:
+        with alpha:
+            with beta:
+                pass
+
+    thread = threading.Thread(target=establish_alpha_then_beta)
+    thread.start()
+    thread.join()
+
+    with pytest.raises(LockOrderViolation) as excinfo:
+        with beta:
+            with alpha:
+                pass
+    error = excinfo.value
+    assert "cycle" in str(error)
+    # First witness: the other thread's stack that took beta under
+    # alpha.  Second witness: this thread's conflicting acquisition.
+    assert "establish_alpha_then_beta" in error.held_stack
+    assert (
+        "test_cross_thread_cycle_detected_with_both_witness_stacks"
+        in error.acquire_stack
+    )
+
+
+def test_legitimate_nesting_never_trips(sibling_ranks):
+    """Same orders repeated from many threads build edges, no cycle."""
+    alpha = make_lock("test.alpha")
+    beta = make_lock("test.beta")
+    errors: list[BaseException] = []
+
+    def worker() -> None:
+        try:
+            for _ in range(50):
+                with alpha:
+                    with beta:
+                        pass
+        except BaseException as error:  # noqa: BLE001 - reported below
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+
+
+# ----------------------------------------------------------------------
+# The wired stack runs armed
+# ----------------------------------------------------------------------
+def test_database_stack_runs_clean_under_the_sanitizer():
+    """Insert + query + checkpoint-free close through sanitized locks:
+    the declared hierarchy matches the real acquisition order."""
+    import numpy as np
+
+    from repro.api import Database
+    from repro.uncertain import (
+        UncertainObject,
+        synthetic_dataset,
+        uniform_pdf,
+    )
+
+    ds = synthetic_dataset(n=16, dims=2, seed=3, n_samples=4)
+    db = Database(ds, indexes=())
+    try:
+        rng = np.random.default_rng(5)
+        region = ds[ds.ids[0]].region
+        instances, weights = uniform_pdf(region, 4, rng)
+        db.insert(UncertainObject(90_001, region, instances, weights))
+        result = db.nn(np.asarray([500.0, 500.0]))
+        assert result.answer is not None
+    finally:
+        db.close()

@@ -106,7 +106,8 @@ def oracle_knn_probabilities(dataset, q, k) -> dict[int, float]:
     probs = {o.oid: 0.0 for o in objects}
     for w, world in worlds(objects):
         ranked = sorted(
-            world, key=lambda oid: float(np.linalg.norm(world[oid] - q))
+            world,
+            key=lambda oid, w=world: float(np.linalg.norm(w[oid] - q)),
         )
         for oid in ranked[:k]:
             probs[oid] += w

@@ -5,7 +5,12 @@ import pytest
 
 from repro import Rect, UncertainObject, UVIndex, synthetic_dataset
 from repro.uncertain import uniform_pdf
-from repro.uvindex import CircleSet, circle_maxdist, circle_mindist, circumscribed_circle
+from repro.uvindex import (
+    CircleSet,
+    circle_maxdist,
+    circle_mindist,
+    circumscribed_circle,
+)
 
 
 def make_obj(oid, center, half=5.0, seed=0):
